@@ -1,0 +1,115 @@
+// Command datagen generates synthetic sequencing datasets (the scaled GAGE
+// stand-ins or custom profiles) as FASTQ, optionally writing the reference
+// genome as FASTA for downstream validation.
+//
+// Usage:
+//
+//	datagen -profile chr14 -out chr14.fastq -genome chr14.fasta
+//	datagen -genome-size 100000 -read-len 101 -reads 50000 -lambda 1 -out x.fastq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"parahash"
+	"parahash/internal/fastq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		profile    = fs.String("profile", "", "built-in profile: tiny, chr14, bumblebee")
+		scale      = fs.Float64("scale", 1, "scale factor applied to the profile")
+		outPath    = fs.String("out", "", "output FASTQ path (default stdout)")
+		genomePath = fs.String("genome", "", "also write the reference genome as FASTA here")
+		genomeSize = fs.Int("genome-size", 0, "custom profile: genome size in bp")
+		readLen    = fs.Int("read-len", 101, "custom profile: read length")
+		numReads   = fs.Int("reads", 0, "custom profile: number of reads")
+		lambda     = fs.Float64("lambda", 1, "custom profile: mean errors per read (Poisson λ)")
+		seed       = fs.Int64("seed", 1, "custom profile: RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prof, err := resolveProfile(*profile, *scale, *genomeSize, *readLen, *numReads, *lambda, *seed)
+	if err != nil {
+		return err
+	}
+	d, err := parahash.GenerateDataset(prof)
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := parahash.WriteFASTQ(out, d.Reads); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d reads (%s, coverage %.1fx)\n",
+		len(d.Reads), prof.Name, prof.Coverage())
+
+	if *genomePath != "" {
+		f, err := os.Create(*genomePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		genomeRead := []fastq.Read{{ID: prof.Name + ".genome", Bases: d.Genome}}
+		if err := fastq.WriteFASTA(f, genomeRead); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %d bp genome to %s\n", prof.GenomeSize, *genomePath)
+	}
+	return nil
+}
+
+func resolveProfile(name string, scale float64, genomeSize, readLen, numReads int,
+	lambda float64, seed int64) (parahash.Profile, error) {
+	if name != "" {
+		var prof parahash.Profile
+		switch strings.ToLower(name) {
+		case "tiny":
+			prof = parahash.TinyProfile()
+		case "chr14":
+			prof = parahash.HumanChr14Profile()
+		case "bumblebee":
+			prof = parahash.BumblebeeProfile()
+		default:
+			return parahash.Profile{}, fmt.Errorf("unknown profile %q", name)
+		}
+		if scale != 1 {
+			prof = prof.Scale(scale)
+		}
+		return prof, nil
+	}
+	if genomeSize <= 0 || numReads <= 0 {
+		return parahash.Profile{}, fmt.Errorf("custom profile needs -genome-size and -reads (or use -profile)")
+	}
+	return parahash.Profile{
+		Name:        "custom",
+		GenomeSize:  genomeSize,
+		ReadLength:  readLen,
+		NumReads:    numReads,
+		ErrorLambda: lambda,
+		Seed:        seed,
+	}, nil
+}

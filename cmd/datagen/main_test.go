@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parahash"
+)
+
+func TestDatagenProfileToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-profile", "tiny"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := parahash.ParseReads(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != parahash.TinyProfile().NumReads {
+		t.Errorf("got %d reads", len(reads))
+	}
+	if !strings.Contains(errw.String(), "coverage") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}
+
+func TestDatagenCustomWithGenome(t *testing.T) {
+	dir := t.TempDir()
+	fq := filepath.Join(dir, "x.fastq")
+	fa := filepath.Join(dir, "x.fasta")
+	var out, errw bytes.Buffer
+	err := run([]string{"-genome-size", "500", "-read-len", "60", "-reads", "40",
+		"-lambda", "0.5", "-out", fq, "-genome", fa}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reads, err := parahash.ParseReads(f)
+	if err != nil || len(reads) != 40 {
+		t.Fatalf("fastq: %v, %d reads", err, len(reads))
+	}
+	fa2, err := os.Open(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa2.Close()
+	genome, err := parahash.ParseReads(fa2)
+	if err != nil || len(genome) != 1 || len(genome[0].Bases) != 500 {
+		t.Fatalf("genome fasta: %v", err)
+	}
+}
+
+func TestDatagenScale(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-profile", "tiny", "-scale", "0.5"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := parahash.ParseReads(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := parahash.TinyProfile().NumReads / 2; len(reads) != want {
+		t.Errorf("scaled reads = %d, want %d", len(reads), want)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // neither profile nor custom
+		{"-profile", "bogus"},   // unknown profile
+		{"-genome-size", "100"}, // missing -reads
+		{"-genome-size", "10", "-reads", "5", "-read-len", "60"}, // read > genome
+	}
+	for i, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

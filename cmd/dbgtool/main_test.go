@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parahash"
+	"parahash/internal/dna"
+)
+
+// writeTestGraph builds a small graph file and returns its path plus one
+// k-mer known to be in the graph.
+func writeTestGraph(t *testing.T) (string, string) {
+	t.Helper()
+	d, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parahash.BuildNaive(d.Reads, 27)
+	path := filepath.Join(t.TempDir(), "g.dbg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	probe := dna.DecodeSeq(d.Reads[0].Bases[:27])
+	return path, probe
+}
+
+func TestStats(t *testing.T) {
+	path, _ := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"stats", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"distinct vertices", "spectrum valley", "coverage peak"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	path, probe := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"lookup", path, probe}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "occurrences") {
+		t.Errorf("lookup output:\n%s", out.String())
+	}
+	// Absent k-mer.
+	out.Reset()
+	absent := strings.Repeat("A", 27)
+	if err := run([]string{"lookup", path, absent}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "not in graph") {
+		t.Errorf("absent lookup output:\n%s", out.String())
+	}
+	// Wrong length.
+	if err := run([]string{"lookup", path, "ACGT"}, &out, &errw); err == nil {
+		t.Error("wrong-length kmer accepted")
+	}
+}
+
+func TestSpectrumAndContigs(t *testing.T) {
+	path, _ := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"spectrum", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "suggested filter threshold") {
+		t.Errorf("spectrum output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"contigs", path, "-auto", "-min-len", "40"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ">contig") {
+		t.Errorf("contigs output:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "auto-filtered") {
+		t.Errorf("contigs stderr:\n%s", errw.String())
+	}
+}
+
+func TestExports(t *testing.T) {
+	path, _ := writeTestGraph(t)
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	gfa := filepath.Join(dir, "g.gfa")
+	if err := run([]string{"gfa", path, gfa}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(gfa)
+	if err != nil || !bytes.HasPrefix(data, []byte("H\tVN:Z:1.0")) {
+		t.Errorf("gfa export bad: %v", err)
+	}
+	dot := filepath.Join(dir, "g.dot")
+	if err := run([]string{"dot", path, dot}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(dot)
+	if err != nil || !bytes.HasPrefix(data, []byte("digraph")) {
+		t.Errorf("dot export bad: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	path, _ := writeTestGraph(t)
+	cases := [][]string{
+		{},
+		{"stats"},
+		{"bogus", path},
+		{"lookup", path},
+		{"gfa", path},
+		{"stats", "/does/not/exist"},
+	}
+	for i, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

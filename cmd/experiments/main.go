@@ -1,0 +1,67 @@
+// Command experiments regenerates the tables and figures of the ParaHash
+// paper's evaluation section on the simulated substrate.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table3
+//	experiments -run all -scale 0.5
+//
+// Reported seconds are virtual time from the calibrated cost model with
+// throughputs scaled to the datasets, so magnitudes are comparable to the
+// paper's full-scale numbers; see DESIGN.md and EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parahash/internal/exps"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id    = fs.String("run", "all", "experiment id to run, or 'all'")
+		scale = fs.Float64("scale", 1, "dataset scale factor (smaller = faster)")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range exps.List() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+
+	opts := exps.Options{Scale: *scale}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exps.List()
+	}
+	for _, name := range ids {
+		rep, err := exps.Run(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *csv {
+			fmt.Fprintf(stdout, "# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+		} else {
+			fmt.Fprintln(stdout, rep.Format())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != 18 {
+		t.Errorf("listed %d experiments, want 18", len(lines))
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "contention", "-scale", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lock reduction") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "table99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "contention", "-scale", "0.1", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Metric,Value") {
+		t.Errorf("csv output:\n%s", out.String())
+	}
+}

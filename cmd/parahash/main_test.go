@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parahash"
+)
+
+func TestRunProfile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.dbg")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "tiny", "-partitions", "8", "-threads", "4",
+		"-out", out, "-gpus", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"distinct vertices", "step 1", "step 2", "workload", "graph written"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := parahash.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Error("written graph is empty")
+	}
+}
+
+func TestRunFileInput(t *testing.T) {
+	dir := t.TempDir()
+	fastqPath := filepath.Join(dir, "in.fastq")
+	d, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(fastqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parahash.WriteFASTQ(f, d.Reads); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-in", fastqPath, "-partitions", "8", "-threads", "4",
+		"-filter", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "filtered") {
+		t.Errorf("filter output missing:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                   // no input
+		{"-profile", "nope"}, // bad profile
+		{"-profile", "tiny", "-medium", "floppy"},
+		{"-profile", "tiny", "-in", "x"}, // mutually exclusive
+		{"-in", "/does/not/exist.fastq"},
+		{"-profile", "tiny", "-k", "1"}, // bad config
+	}
+	for i, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestRunHostCalibration(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "tiny", "-partitions", "8", "-threads", "2",
+		"-host-calibration"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "virtual time") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,3 @@
+module parahash
+
+go 1.22

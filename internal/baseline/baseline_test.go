@@ -1,0 +1,180 @@
+// Package baseline_test cross-validates every baseline builder against the
+// naive reference and checks the cost relationships the paper's comparisons
+// rely on.
+package baseline_test
+
+import (
+	"errors"
+	"testing"
+
+	"parahash/internal/baseline/bcalmlike"
+	"parahash/internal/baseline/soaplike"
+	"parahash/internal/baseline/sortmerge"
+	"parahash/internal/costmodel"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/msp"
+	"parahash/internal/simulate"
+)
+
+func tinyReads(t testing.TB) []fastq.Read {
+	t.Helper()
+	d, err := simulate.Generate(simulate.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Reads
+}
+
+func TestSOAPLikeMatchesReference(t *testing.T) {
+	reads := tinyReads(t)
+	cal := costmodel.DefaultCalibration()
+	g, st, err := soaplike.Build(reads, soaplike.Config{K: 27, Threads: 4, Cal: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.BuildNaive(reads, 27)
+	if !g.Equal(want) {
+		t.Fatal("SOAP-like graph differs from reference")
+	}
+	if st.Distinct != int64(want.NumVertices()) {
+		t.Errorf("distinct = %d, want %d", st.Distinct, want.NumVertices())
+	}
+	if st.Seconds <= 0 || st.ReadDataSeconds <= 0 || st.InsertSeconds <= 0 {
+		t.Error("virtual time not charged")
+	}
+}
+
+func TestSOAPLikeScanDoesNotScaleWithThreads(t *testing.T) {
+	// The defining limitation: the read-data phase is invariant in thread
+	// count (every thread scans everything); only inserts parallelise.
+	reads := tinyReads(t)
+	cal := costmodel.DefaultCalibration()
+	_, st1, err := soaplike.Build(reads, soaplike.Config{K: 27, Threads: 1, Cal: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st20, err := soaplike.Build(reads, soaplike.Config{K: 27, Threads: 20, Cal: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ReadDataSeconds != st20.ReadDataSeconds {
+		t.Errorf("scan time changed with threads: %f vs %f", st1.ReadDataSeconds, st20.ReadDataSeconds)
+	}
+	if st20.InsertSeconds >= st1.InsertSeconds {
+		t.Error("insert time should shrink with threads")
+	}
+}
+
+func TestSOAPLikeOutOfMemory(t *testing.T) {
+	reads := tinyReads(t)
+	cal := costmodel.DefaultCalibration()
+	_, _, err := soaplike.Build(reads, soaplike.Config{
+		K: 27, Threads: 4, MemoryLimitBytes: 1024, Cal: cal,
+	})
+	if !errors.Is(err, soaplike.ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestSOAPLikeValidation(t *testing.T) {
+	if _, _, err := soaplike.Build(nil, soaplike.Config{K: 1, Threads: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := soaplike.Build(nil, soaplike.Config{K: 27, Threads: 0}); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestSortMergeMatchesReference(t *testing.T) {
+	reads := tinyReads(t)
+	k, p := 27, 11
+	var sks []msp.Superkmer
+	for _, rd := range reads {
+		sks = msp.SuperkmersFromRead(sks, rd.Bases, k, p)
+	}
+	g, st, err := sortmerge.BuildSubgraph(sks, k, 4, costmodel.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(graph.BuildNaive(reads, k)) {
+		t.Fatal("sort-merge graph differs from reference")
+	}
+	if st.Pairs == 0 || st.Seconds <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestSortMergeValidation(t *testing.T) {
+	if _, _, err := sortmerge.BuildSubgraph(nil, 27, 0, costmodel.DefaultCalibration()); err == nil {
+		t.Error("threads=0 accepted")
+	}
+	if sortmerge.Seconds(0, 4, costmodel.DefaultCalibration()) != 0 {
+		t.Error("zero pairs should cost zero")
+	}
+}
+
+func TestBcalmLikeMatchesReference(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := bcalmlike.Config{
+		K: 27, P: 11, NumPartitions: 8, Threads: 4,
+		Medium: costmodel.MediumMemCached, Cal: costmodel.DefaultCalibration(),
+	}
+	g, st, err := bcalmlike.Build(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(graph.BuildNaive(reads, 27)) {
+		t.Fatal("bcalm-like graph differs from reference")
+	}
+	if st.Seconds <= 0 || st.SortMergeSeconds <= 0 || st.IOSeconds <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if st.PeakMemoryBytes <= 0 {
+		t.Error("peak memory not tracked")
+	}
+}
+
+func TestBcalmLikeValidation(t *testing.T) {
+	cal := costmodel.DefaultCalibration()
+	bad := []bcalmlike.Config{
+		{K: 1, P: 1, NumPartitions: 1, Threads: 1, Cal: cal},
+		{K: 27, P: 0, NumPartitions: 1, Threads: 1, Cal: cal},
+		{K: 27, P: 28, NumPartitions: 1, Threads: 1, Cal: cal},
+		{K: 27, P: 11, NumPartitions: 0, Threads: 1, Cal: cal},
+		{K: 27, P: 11, NumPartitions: 1, Threads: 0, Cal: cal},
+	}
+	for i, cfg := range bad {
+		cfg.Medium = costmodel.MediumMemCached
+		if _, _, err := bcalmlike.Build(nil, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBaselineCostOrderingMatchesPaper(t *testing.T) {
+	// Table III's qualitative ordering on the medium dataset: the
+	// bcalm-like baseline must be several times slower than the SOAP-like
+	// baseline, and its memory far smaller.
+	reads := tinyReads(t)
+	cal := costmodel.DefaultCalibration()
+	_, soapStats, err := soaplike.Build(reads, soaplike.Config{K: 27, Threads: 20, Cal: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bcalmStats, err := bcalmlike.Build(reads, bcalmlike.Config{
+		K: 27, P: 11, NumPartitions: 8, Threads: 20,
+		Medium: costmodel.MediumMemCached, Cal: cal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcalmStats.Seconds < 2*soapStats.Seconds {
+		t.Errorf("bcalm-like (%.3fs) should be much slower than SOAP-like (%.3fs)",
+			bcalmStats.Seconds, soapStats.Seconds)
+	}
+	if bcalmStats.PeakMemoryBytes >= soapStats.PeakMemoryBytes {
+		t.Errorf("bcalm-like memory (%d) should undercut SOAP-like (%d)",
+			bcalmStats.PeakMemoryBytes, soapStats.PeakMemoryBytes)
+	}
+}

@@ -1,0 +1,148 @@
+// Package bloom implements a BFCounter-style k-mer counter (Melsted &
+// Pritchard 2011, the paper's [10]): a Bloom filter screens out the flood
+// of once-seen (mostly erroneous) k-mers so that only k-mers observed at
+// least twice enter the exact counting table, cutting memory dramatically.
+//
+// Like the lock-free counter, this baseline counts occurrences only — it
+// is one of the "k-mer counters [that] do not generate the complete De
+// Bruijn graph in the output" the paper excludes from its end-to-end
+// comparison (§V-A) — and it exists here to make that contrast concrete.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"parahash/internal/dna"
+)
+
+// Filter is a classic Bloom filter over k-mers. It is not safe for
+// concurrent use; BFCounter shards by input partition instead.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+}
+
+// NewFilter sizes a Bloom filter for n expected elements at the target
+// false-positive rate.
+func NewFilter(n int, fpRate float64) (*Filter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bloom: expected elements %d must be positive", n)
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate %g out of (0,1)", fpRate)
+	}
+	// Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits:   make([]uint64, (m+63)/64),
+		nbits:  m,
+		hashes: k,
+	}, nil
+}
+
+// indexes derives the probe positions via double hashing.
+func (f *Filter) indexes(km dna.Kmer, fn func(idx uint64) bool) {
+	h1 := km.Hash()
+	h2 := dna.Mix64(h1 ^ 0x9e3779b97f4a7c15)
+	if h2%2 == 0 {
+		h2++
+	}
+	for i := 0; i < f.hashes; i++ {
+		if !fn((h1 + uint64(i)*h2) % f.nbits) {
+			return
+		}
+	}
+}
+
+// TestAndAdd inserts the k-mer and reports whether it was (probably)
+// already present.
+func (f *Filter) TestAndAdd(km dna.Kmer) bool {
+	present := true
+	f.indexes(km, func(idx uint64) bool {
+		word, bit := idx/64, idx%64
+		if f.bits[word]&(1<<bit) == 0 {
+			present = false
+			f.bits[word] |= 1 << bit
+		}
+		return true
+	})
+	return present
+}
+
+// Test reports whether the k-mer is (probably) present.
+func (f *Filter) Test(km dna.Kmer) bool {
+	present := true
+	f.indexes(km, func(idx uint64) bool {
+		word, bit := idx/64, idx%64
+		if f.bits[word]&(1<<bit) == 0 {
+			present = false
+			return false
+		}
+		return true
+	})
+	return present
+}
+
+// MemoryBytes is the filter's bit-array footprint.
+func (f *Filter) MemoryBytes() int64 { return int64(len(f.bits)) * 8 }
+
+// Counter is the BFCounter scheme: first occurrences park in the Bloom
+// filter; a k-mer reaching its second occurrence is promoted to the exact
+// table with count 2 and counted exactly thereafter.
+type Counter struct {
+	filter *Filter
+	counts map[dna.Kmer]uint32
+	adds   int64
+}
+
+// NewCounter creates a counter expecting roughly n distinct k-mers.
+func NewCounter(n int, fpRate float64) (*Counter, error) {
+	f, err := NewFilter(n, fpRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{filter: f, counts: make(map[dna.Kmer]uint32)}, nil
+}
+
+// Add counts one occurrence of the canonical k-mer.
+func (c *Counter) Add(km dna.Kmer) {
+	c.adds++
+	if _, exact := c.counts[km]; exact {
+		c.counts[km]++
+		return
+	}
+	if c.filter.TestAndAdd(km) {
+		// Second (or false-positive "second") sighting: promote.
+		c.counts[km] = 2
+	}
+}
+
+// Count returns the exact count for k-mers seen at least twice, and 0 for
+// singletons (which stay inside the Bloom filter, uncounted — the scheme's
+// defining trade-off).
+func (c *Counter) Count(km dna.Kmer) uint32 { return c.counts[km] }
+
+// DistinctRepeated returns the number of k-mers counted exactly (seen >=2
+// times, modulo Bloom false positives promoting a few singletons).
+func (c *Counter) DistinctRepeated() int { return len(c.counts) }
+
+// Adds returns the total occurrences ingested.
+func (c *Counter) Adds() int64 { return c.adds }
+
+// MemoryBytes approximates the counter's footprint: the filter plus the
+// exact table.
+func (c *Counter) MemoryBytes() int64 {
+	return c.filter.MemoryBytes() + int64(len(c.counts))*40
+}

@@ -1,0 +1,210 @@
+package baseline_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parahash/internal/baseline/bloom"
+	"parahash/internal/baseline/lockfree"
+	"parahash/internal/dna"
+)
+
+func randomCanonicalKmers(seed int64, n, k int) []dna.Kmer {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dna.Kmer, n)
+	for i := range out {
+		bases := make([]dna.Base, k)
+		for j := range bases {
+			bases[j] = dna.Base(rng.Intn(4))
+		}
+		out[i], _ = dna.KmerFromBases(bases, k).Canonical(k)
+	}
+	return out
+}
+
+func TestLockFreeCounterSequential(t *testing.T) {
+	kmers := randomCanonicalKmers(70, 500, 27)
+	c, err := lockfree.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[dna.Kmer]uint64)
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 5000; i++ {
+		km := kmers[rng.Intn(len(kmers))]
+		if err := c.Add(km); err != nil {
+			t.Fatal(err)
+		}
+		ref[km]++
+	}
+	for km, want := range ref {
+		if got := c.Count(km); got != want {
+			t.Fatalf("count(%v) = %d, want %d", km, got, want)
+		}
+	}
+	if c.Distinct() != int64(len(ref)) {
+		t.Errorf("distinct = %d, want %d", c.Distinct(), len(ref))
+	}
+}
+
+func TestLockFreeCounterConcurrent(t *testing.T) {
+	kmers := randomCanonicalKmers(72, 300, 27)
+	c, err := lockfree.New(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				if err := c.Add(kmers[rng.Intn(len(kmers))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Total counted occurrences must equal total adds (no lost updates).
+	var total int64
+	for m, freq := range c.Histogram() {
+		total += int64(m) * freq
+	}
+	if total != workers*perWorker {
+		t.Errorf("counted %d occurrences, want %d", total, workers*perWorker)
+	}
+	if c.Distinct() > int64(len(kmers)) {
+		t.Errorf("distinct %d exceeds key pool %d", c.Distinct(), len(kmers))
+	}
+}
+
+func TestLockFreeCounterTableFull(t *testing.T) {
+	kmers := randomCanonicalKmers(73, 100, 27)
+	c, err := lockfree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for _, km := range kmers {
+		if lastErr = c.Add(km); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, lockfree.ErrTableFull) {
+		t.Fatalf("expected ErrTableFull, got %v", lastErr)
+	}
+}
+
+func TestLockFreeCounterValidation(t *testing.T) {
+	if _, err := lockfree.New(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	c, _ := lockfree.New(100)
+	if c.Capacity() != 128 {
+		t.Errorf("capacity = %d, want 128", c.Capacity())
+	}
+	if got := c.Count(dna.KmerFromString("ACGTACG")); got != 0 {
+		t.Errorf("absent count = %d", got)
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	f, err := bloom.NewFilter(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmers := randomCanonicalKmers(74, 1000, 27)
+	for _, km := range kmers {
+		if f.TestAndAdd(km) {
+			// A few false "already present" are tolerable but not many;
+			// counted below via Test on fresh keys.
+			continue
+		}
+	}
+	for _, km := range kmers {
+		if !f.Test(km) {
+			t.Fatal("inserted kmer reported absent (impossible for Bloom)")
+		}
+	}
+	// False-positive rate on fresh keys should be near the target.
+	fresh := randomCanonicalKmers(75, 5000, 27)
+	fp := 0
+	for _, km := range fresh {
+		if f.Test(km) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(len(fresh))
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.3f, want ~0.01", rate)
+	}
+}
+
+func TestBloomFilterValidation(t *testing.T) {
+	if _, err := bloom.NewFilter(0, 0.01); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := bloom.NewFilter(10, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := bloom.NewFilter(10, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+}
+
+func TestBloomCounterSkipsSingletons(t *testing.T) {
+	c, err := bloom.NewCounter(10000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeated := randomCanonicalKmers(76, 200, 27)
+	singletons := randomCanonicalKmers(77, 5000, 27)
+	for _, km := range singletons {
+		c.Add(km)
+	}
+	for rep := 0; rep < 5; rep++ {
+		for _, km := range repeated {
+			c.Add(km)
+		}
+	}
+	// Every repeated kmer must be counted exactly 5.
+	for _, km := range repeated {
+		if got := c.Count(km); got != 5 {
+			t.Fatalf("repeated kmer counted %d, want 5", got)
+		}
+	}
+	// The exact table must hold ~the repeated set, not the singleton flood
+	// (allowing a few Bloom false-positive promotions).
+	if n := c.DistinctRepeated(); n < len(repeated) || n > len(repeated)+60 {
+		t.Errorf("exact table has %d entries, want ~%d", n, len(repeated))
+	}
+	if c.Adds() != int64(len(singletons)+5*len(repeated)) {
+		t.Errorf("Adds = %d", c.Adds())
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Error("memory accounting broken")
+	}
+}
+
+func TestBloomCounterMemoryAdvantage(t *testing.T) {
+	// The scheme's point: with a singleton-heavy stream, the Bloom counter
+	// uses far less exact-table memory than one entry per distinct kmer.
+	c, err := bloom.NewCounter(50000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singletons := randomCanonicalKmers(78, 30000, 27)
+	for _, km := range singletons {
+		c.Add(km)
+	}
+	naive := int64(len(singletons)) * 40
+	if c.MemoryBytes() > naive/2 {
+		t.Errorf("bloom counter memory %d not clearly below naive %d", c.MemoryBytes(), naive)
+	}
+}

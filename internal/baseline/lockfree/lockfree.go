@@ -1,0 +1,154 @@
+// Package lockfree implements a Jellyfish-style non-blocking k-mer counter
+// (Marçais & Kingsford 2011, the paper's [5]): an open-addressing table
+// whose entries are claimed and updated purely with machine-word
+// compare-and-swap, no locks at all.
+//
+// It exists to demonstrate the two limitations §II of the paper raises
+// about CAS-word-sized hashing for De Bruijn graph construction:
+//
+//  1. the entry must fit one machine word, so only a fingerprint of the
+//     multi-word k-mer is stored — distinct k-mers can collide and be
+//     merged incorrectly ("the number of hash entries is limited and
+//     conflict may occur for large data sets");
+//  2. it counts occurrences only — there is no room for the
+//     <vertex, list of edges> adjacency that Definition 3 requires, so a
+//     complete De Bruijn graph cannot be reconstructed from it.
+//
+// ParaHash's state-transfer table exists precisely because of these gaps.
+package lockfree
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"parahash/internal/dna"
+)
+
+// Entry layout: one uint64 per slot.
+//
+//	bits 63..24  fingerprint (40 bits of the k-mer hash, never zero)
+//	bits 23..0   occurrence count (saturating)
+const (
+	fingerprintBits = 40
+	countBits       = 64 - fingerprintBits
+	countMask       = (uint64(1) << countBits) - 1
+	maxCount        = countMask
+)
+
+// ErrTableFull reports that an insert probed every slot.
+var ErrTableFull = errors.New("lockfree: table full")
+
+// Counter is the lock-free k-mer occurrence counter. All methods are safe
+// for concurrent use.
+type Counter struct {
+	mask  uint64
+	slots []uint64
+
+	distinct atomic.Int64
+}
+
+// New creates a counter with at least the given slot capacity.
+func New(capacity int) (*Counter, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("lockfree: capacity %d must be positive", capacity)
+	}
+	n := 1 << bits.Len64(uint64(capacity-1))
+	if n < 8 {
+		n = 8
+	}
+	return &Counter{mask: uint64(n - 1), slots: make([]uint64, n)}, nil
+}
+
+// Capacity returns the slot count.
+func (c *Counter) Capacity() int { return len(c.slots) }
+
+// Distinct returns the number of distinct fingerprints seen. Fingerprint
+// collisions make this an under-count for very large inputs — the
+// limitation this baseline documents.
+func (c *Counter) Distinct() int64 { return c.distinct.Load() }
+
+// fingerprint derives the slot-independent 40-bit tag; zero is reserved
+// for empty slots.
+func fingerprint(h uint64) uint64 {
+	fp := h >> (64 - fingerprintBits)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// Add counts one occurrence of the canonical k-mer. The entire operation
+// is CAS-based: claiming an empty slot and bumping a count are both single
+// machine-word CAS loops.
+func (c *Counter) Add(km dna.Kmer) error {
+	h := km.Hash()
+	fp := fingerprint(h)
+	for i := uint64(0); i <= c.mask; i++ {
+		idx := (h + i) & c.mask
+		for {
+			cur := atomic.LoadUint64(&c.slots[idx])
+			switch {
+			case cur == 0:
+				// Empty: claim with count 1.
+				if atomic.CompareAndSwapUint64(&c.slots[idx], 0, fp<<countBits|1) {
+					c.distinct.Add(1)
+					return nil
+				}
+				// Lost the race; re-examine the slot.
+			case cur>>countBits == fp:
+				// Same fingerprint: increment (saturating). Note this may
+				// be a DIFFERENT k-mer with a colliding fingerprint — the
+				// machine-word limitation.
+				cnt := cur & countMask
+				if cnt == maxCount {
+					return nil
+				}
+				if atomic.CompareAndSwapUint64(&c.slots[idx], cur, cur+1) {
+					return nil
+				}
+			default:
+				// Occupied by another fingerprint: probe on.
+				goto nextSlot
+			}
+		}
+	nextSlot:
+	}
+	return ErrTableFull
+}
+
+// Count returns the occurrence count recorded for the k-mer's fingerprint
+// (0 when absent). Subject to the same collision caveat as Add.
+func (c *Counter) Count(km dna.Kmer) uint64 {
+	h := km.Hash()
+	fp := fingerprint(h)
+	for i := uint64(0); i <= c.mask; i++ {
+		idx := (h + i) & c.mask
+		cur := atomic.LoadUint64(&c.slots[idx])
+		if cur == 0 {
+			return 0
+		}
+		if cur>>countBits == fp {
+			return cur & countMask
+		}
+	}
+	return 0
+}
+
+// Histogram returns occurrence-count frequencies: result[m] = number of
+// fingerprints counted m times (index 0 unused; truncated at the max).
+func (c *Counter) Histogram() []int64 {
+	var hist []int64
+	for _, s := range c.slots {
+		if s == 0 {
+			continue
+		}
+		m := s & countMask
+		for uint64(len(hist)) <= m {
+			hist = append(hist, 0)
+		}
+		hist[m]++
+	}
+	return hist
+}

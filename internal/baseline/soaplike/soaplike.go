@@ -1,0 +1,200 @@
+// Package soaplike reimplements the SOAPdenovo De Bruijn graph construction
+// strategy the paper compares against (§II-C): reads are loaded and all
+// k-mers generated in main memory, and each of T threads owns a private
+// local hash table — thread t scans the entire k-mer stream and inserts
+// only the k-mers that hash to its table. Contention is avoided, but every
+// thread reads all k-mers (the dominant cost in Fig. 10), parallelism is
+// capped at the number of tables, and the whole graph must fit in memory —
+// which is why SOAP cannot run the Bumblebee dataset on a 64 GB machine
+// (Table III's "NA").
+package soaplike
+
+import (
+	"fmt"
+	"sync"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/dna"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/msp"
+)
+
+// Stats reports the baseline's virtual-time breakdown (Fig. 10) and memory.
+type Stats struct {
+	// InputSeconds is the raw FASTQ read time (zero when no Medium is set).
+	InputSeconds float64
+	// ReadDataSeconds is the per-thread full k-mer scan time: every thread
+	// touches every <vertex, edge> pair once.
+	ReadDataSeconds float64
+	// InsertSeconds is the local-table insertion/update time.
+	InsertSeconds float64
+	// Seconds is the total virtual elapsed hashing time.
+	Seconds float64
+	// PeakMemoryBytes counts the in-memory k-mer stream plus all local
+	// tables — the whole graph resident at once.
+	PeakMemoryBytes int64
+	// Kmers is the number of k-mer instances processed.
+	Kmers int64
+	// Distinct is the graph size.
+	Distinct int64
+}
+
+// ErrOutOfMemory reports that the whole-graph-in-RAM requirement exceeds
+// the configured memory budget, reproducing SOAP's failure mode on big
+// genomes.
+var ErrOutOfMemory = fmt.Errorf("soaplike: graph does not fit in memory")
+
+// Config parameterises the baseline.
+type Config struct {
+	// K is the k-mer length.
+	K int
+	// Threads is the thread (and local-table) count; SOAP's concurrency is
+	// capped by it.
+	Threads int
+	// MemoryLimitBytes bounds host memory (the paper machine has 64 GB);
+	// 0 means unlimited.
+	MemoryLimitBytes int64
+	// Medium, when set, charges reading the raw FASTQ input from it.
+	Medium costmodel.Medium
+	// Cal supplies timing constants.
+	Cal costmodel.Calibration
+}
+
+// kmerObs is one in-memory <vertex, edge> observation, the unit SOAP
+// materialises for all reads before hashing.
+type kmerObs struct {
+	canon dna.Kmer
+	left  int8
+	right int8
+}
+
+// tableEntryBytes approximates SOAP's per-distinct-vertex table footprint
+// (key, edge counters, chaining overhead). With it, the scaled Human Chr14
+// stand-in lands near the paper's 16 GB-on-9.4 GB-input proportions.
+const tableEntryBytes = 36
+
+// Build constructs the De Bruijn graph with the SOAP strategy and returns
+// it with the run's stats. The graph is identical to ParaHash's output on
+// the same input; only the construction strategy (and its costs) differ.
+func Build(reads []fastq.Read, cfg Config) (*graph.Subgraph, Stats, error) {
+	if cfg.K < 2 || cfg.K > dna.MaxK {
+		return nil, Stats{}, fmt.Errorf("soaplike: k=%d out of range", cfg.K)
+	}
+	if cfg.Threads < 1 {
+		return nil, Stats{}, fmt.Errorf("soaplike: threads=%d must be positive", cfg.Threads)
+	}
+
+	// Phase 1: generate ALL kmer observations in main memory.
+	var all []kmerObs
+	var readBytes int64
+	for _, rd := range reads {
+		appendObservations(&all, rd.Bases, cfg.K)
+		readBytes += int64(len(rd.Bases)) / 4 // 2-bit packed resident reads
+	}
+	kmers := int64(len(all))
+
+	// Phase 2: every thread scans all observations, inserting its share
+	// into its private table.
+	tables := make([]map[dna.Kmer]*[8]uint32, cfg.Threads)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			local := make(map[dna.Kmer]*[8]uint32)
+			mod := uint64(cfg.Threads)
+			for _, o := range all {
+				if o.canon.Hash()%mod != uint64(t) {
+					continue
+				}
+				c := local[o.canon]
+				if c == nil {
+					c = &[8]uint32{}
+					local[o.canon] = c
+				}
+				if o.left != msp.NoBase {
+					c[o.left]++
+				}
+				if o.right != msp.NoBase {
+					c[4+o.right]++
+				}
+			}
+			tables[t] = local
+		}(t)
+	}
+	wg.Wait()
+
+	// Merge local tables (disjoint by construction).
+	var distinct int64
+	g := &graph.Subgraph{K: cfg.K}
+	for _, local := range tables {
+		distinct += int64(len(local))
+		for km, c := range local {
+			g.Vertices = append(g.Vertices, graph.Vertex{Kmer: km, Counts: *c})
+		}
+	}
+	g.Sort()
+
+	st := Stats{
+		Kmers:           kmers,
+		Distinct:        distinct,
+		PeakMemoryBytes: readBytes + distinct*tableEntryBytes,
+	}
+	// SOAP requires all local hash tables — i.e. the whole graph — to
+	// reside in main memory; crossing the machine's limit is the failure
+	// mode that makes Table III report "NA" for the big dataset.
+	if cfg.MemoryLimitBytes > 0 && st.PeakMemoryBytes > cfg.MemoryLimitBytes {
+		return nil, st, fmt.Errorf("%w: need %d bytes, limit %d",
+			ErrOutOfMemory, st.PeakMemoryBytes, cfg.MemoryLimitBytes)
+	}
+	// Virtual time: the scan phase does not shrink with threads (each
+	// thread reads everything); only inserts split T ways, and each local
+	// table's working set pays the same locality penalty as ParaHash's.
+	st.ReadDataSeconds = float64(kmers) / cfg.Cal.SOAPScanKmersPerSec
+	perTableBytes := distinct * tableEntryBytes / int64(cfg.Threads)
+	st.InsertSeconds = float64(kmers) / (cfg.Cal.SOAPInsertKmersPerSec * float64(cfg.Threads)) *
+		cfg.Cal.LocalityFactor(perTableBytes)
+	if cfg.Medium != 0 {
+		st.InputSeconds = cfg.Cal.ReadSeconds(cfg.Medium, fastq.ApproxFASTQBytes(reads))
+	}
+	st.Seconds = st.InputSeconds + st.ReadDataSeconds + st.InsertSeconds
+	return g, st, nil
+}
+
+// appendObservations emits the canonical-oriented observations of one read,
+// the same adjacency semantics as the naive reference.
+func appendObservations(dst *[]kmerObs, read []dna.Base, k int) {
+	nk := len(read) - k + 1
+	if nk <= 0 {
+		return
+	}
+	km := dna.KmerFromBases(read, k)
+	for i := 0; i < nk; i++ {
+		if i > 0 {
+			km = km.AppendBase(read[i+k-1], k)
+		}
+		canon, fwd := km.Canonical(k)
+		prev, next := msp.NoBase, msp.NoBase
+		if i > 0 {
+			prev = int8(read[i-1])
+		}
+		if i < nk-1 {
+			next = int8(read[i+k])
+		}
+		o := kmerObs{canon: canon}
+		if fwd {
+			o.left, o.right = prev, next
+		} else {
+			o.left, o.right = complementOrNone(next), complementOrNone(prev)
+		}
+		*dst = append(*dst, o)
+	}
+}
+
+func complementOrNone(b int8) int8 {
+	if b == msp.NoBase {
+		return msp.NoBase
+	}
+	return b ^ 3
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/iosim"
+	"parahash/internal/msp"
+)
+
+// Build constructs the De Bruijn graph of the reads with the full ParaHash
+// pipeline: Step 1 partitions the graph via MSP into encoded superkmer
+// partitions; Step 2 constructs each subgraph with concurrent hashing.
+// Both steps pipeline input, compute and output over the configured
+// heterogeneous processors.
+//
+// The reads live in memory (this is a library, not a file CLI), but the
+// memory and IO accounting models the paper's streaming execution: peak
+// residency counts one in-flight chunk, hash table and subgraph at a time,
+// and every partition byte is charged to the configured IO medium.
+// PartitionOnly runs only Step 1 (MSP graph partitioning) and returns the
+// per-partition superkmer statistics with the step's virtual-time record.
+// The parameter studies of the paper (Fig. 6, Table II) use this entry
+// point to examine partition-size distributions without constructing
+// subgraphs.
+func PartitionOnly(reads []fastq.Read, cfg Config) ([]msp.PartitionStats, StepStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, StepStats{}, err
+	}
+	if err := fastq.Validate(reads, cfg.K); err != nil {
+		return nil, StepStats{}, err
+	}
+	store := iosim.NewStore(cfg.Medium)
+	return runStep1(reads, cfg, store)
+}
+
+// PartitionSuperkmers scans the reads and groups their superkmers into
+// cfg.NumPartitions in-memory partitions by minimizer hash — the Step 1
+// routing without the encoded file round-trip. The hashing parameter
+// studies (Figs. 7-10) use it to feed individual partitions to processors.
+func PartitionSuperkmers(reads []fastq.Read, cfg Config) ([][]msp.Superkmer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fastq.Validate(reads, cfg.K); err != nil {
+		return nil, err
+	}
+	parts := make([][]msp.Superkmer, cfg.NumPartitions)
+	sc := msp.Scanner{K: cfg.K, P: cfg.P}
+	var scratch []msp.Superkmer
+	for _, rd := range reads {
+		scratch = sc.Superkmers(scratch[:0], rd.Bases)
+		for _, sk := range scratch {
+			idx := msp.Partition(sk.Minimizer, cfg.NumPartitions)
+			parts[idx] = append(parts[idx], sk)
+		}
+	}
+	return parts, nil
+}
+
+func Build(reads []fastq.Read, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fastq.Validate(reads, cfg.K); err != nil {
+		return nil, err
+	}
+	return buildWithStore(reads, cfg, iosim.NewStore(cfg.Medium))
+}
+
+// buildWithStore runs the validated pipeline against a caller-provided
+// store; fault-injection tests use it to exercise IO error paths.
+func buildWithStore(reads []fastq.Read, cfg Config, store *iosim.Store) (*Result, error) {
+	partStats, step1Stats, err := runStep1(reads, cfg, store)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1 (MSP partitioning): %w", err)
+	}
+	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, store)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
+	}
+
+	res := &Result{Subgraphs: subgraphs}
+	res.Stats.Step1 = step1Stats
+	res.Stats.Step2 = step2Stats
+	res.Stats.TotalSeconds = step1Stats.Seconds + step2Stats.Seconds
+	res.Stats.Superkmers = msp.SummarizeStats(partStats)
+	res.Stats.TotalKmers = res.Stats.Superkmers.TotalKmers
+
+	var peak int64
+	chunkBytes := int64(0)
+	chunks := fastq.PartitionReads(reads, cfg.inputChunks())
+	for _, ch := range chunks {
+		if b := fastqBytesOf(ch); b > chunkBytes {
+			chunkBytes = b
+		}
+	}
+	peak = chunkBytes
+	for _, w := range works {
+		res.Stats.DistinctVertices += w.distinct
+		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
+			peak = resident
+		}
+	}
+	res.Stats.PeakMemoryBytes = peak
+	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices
+
+	if cfg.KeepSubgraphs {
+		merged, err := graph.Merge(cfg.K, subgraphs...)
+		if err != nil {
+			return nil, err
+		}
+		res.Graph = merged
+	}
+	return res, nil
+}

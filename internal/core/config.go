@@ -1,0 +1,143 @@
+// Package core assembles the ParaHash system: the two-step, partition-by-
+// partition De Bruijn graph construction of the paper — Step 1 (MSP graph
+// partitioning) and Step 2 (concurrent-hashing subgraph construction) —
+// pipelined over heterogeneous processors with work stealing.
+//
+// Correctness is real: every partition is scanned, routed, decoded and
+// hashed by the actual algorithms, and the result provably equals the naive
+// reference construction. Timing is virtual: elapsed seconds are charged
+// from the costmodel calibration, making the reported performance
+// deterministic and host-independent (see DESIGN.md).
+package core
+
+import (
+	"fmt"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/dna"
+)
+
+// Config parameterises a ParaHash run in the paper's terms.
+type Config struct {
+	// K is the k-mer length (vertex size); the paper evaluates K=27.
+	K int
+	// P is the minimizer length; the paper defaults to 11 for Human Chr14
+	// and 19 for Bumblebee.
+	P int
+	// NumPartitions is the superkmer partition count (the paper defaults
+	// to 512 for multi-gigabyte inputs, 960 for 100 GB or more; scaled
+	// datasets want proportionally fewer).
+	NumPartitions int
+	// InputChunks is the number of equal-size input partitions Step 1
+	// processes; 0 selects a default of 4 per processor (min 16).
+	InputChunks int
+
+	// Lambda is λ of Property 1 — expected sequencing errors per read —
+	// used to pre-size hash tables (paper default 2).
+	Lambda float64
+	// Alpha is the hash table load ratio α ∈ [0.5, 0.8] (default 0.65).
+	Alpha float64
+
+	// UseCPU enables the CPU as a compute processor.
+	UseCPU bool
+	// CPUThreads is the CPU worker count (paper machine: 20).
+	CPUThreads int
+	// NumGPUs is how many simulated GPUs co-process (0-2 in the paper).
+	NumGPUs int
+	// GPUMemoryBytes bounds each GPU's device memory (0 = unlimited; the
+	// paper's K40m has 12 GB). Partitions whose hash table plus input
+	// exceed it fail with device.ErrDeviceMemory — increase NumPartitions.
+	GPUMemoryBytes int64
+
+	// Medium selects the IO device timing: mem-cached (Case 1) or disk
+	// (Case 2).
+	Medium costmodel.Medium
+	// Calibration supplies the virtual-time constants.
+	Calibration costmodel.Calibration
+
+	// KeepSubgraphs retains every constructed subgraph in the result (and
+	// merges them into Result.Graph). Disable for size-only runs.
+	KeepSubgraphs bool
+
+	// ExcludeGraphOutput drops the Step 2 subgraph write-out from the
+	// virtual-time accounting (the graphs are still written). The paper's
+	// assembler comparisons measure until "all the subgraphs are
+	// constructed in main memory", excluding graph write-out for every
+	// system, while still charging the superkmer partition write and read.
+	ExcludeGraphOutput bool
+
+	// OutputFilterMin, when > 1, filters vertices with total edge
+	// multiplicity below it out of the written subgraph files — the
+	// paper's "invalid vertices filtered" output (its 92 GB Bumblebee
+	// input yields a ~20 GB graph file). The in-memory Result keeps the
+	// complete graph; only the serialised output (and its IO accounting)
+	// shrinks.
+	OutputFilterMin int
+}
+
+// DefaultConfig returns the paper's default configuration, scaled-dataset
+// partition count aside: K=27, P=11, λ=2, α=0.65, CPU with 20 threads plus
+// two GPUs, memory-cached IO.
+func DefaultConfig() Config {
+	return Config{
+		K:             27,
+		P:             11,
+		NumPartitions: 64,
+		Lambda:        2,
+		Alpha:         0.65,
+		UseCPU:        true,
+		CPUThreads:    20,
+		NumGPUs:       2,
+		Medium:        costmodel.MediumMemCached,
+		Calibration:   costmodel.DefaultCalibration(),
+		KeepSubgraphs: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 2 || c.K > dna.MaxK:
+		return fmt.Errorf("core: K=%d out of range [2,%d]", c.K, dna.MaxK)
+	case c.P < 1 || c.P > c.K:
+		return fmt.Errorf("core: P=%d out of range [1,K=%d]", c.P, c.K)
+	case c.P > dna.MaxP:
+		return fmt.Errorf("core: P=%d exceeds MaxP=%d", c.P, dna.MaxP)
+	case c.NumPartitions < 1:
+		return fmt.Errorf("core: NumPartitions=%d must be positive", c.NumPartitions)
+	case c.Lambda <= 0:
+		return fmt.Errorf("core: Lambda=%g must be positive", c.Lambda)
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("core: Alpha=%g out of range (0,1]", c.Alpha)
+	case !c.UseCPU && c.NumGPUs == 0:
+		return fmt.Errorf("core: no processors configured")
+	case c.UseCPU && c.CPUThreads < 1:
+		return fmt.Errorf("core: CPUThreads=%d must be positive", c.CPUThreads)
+	case c.NumGPUs < 0:
+		return fmt.Errorf("core: NumGPUs=%d must be non-negative", c.NumGPUs)
+	case c.Medium != costmodel.MediumMemCached && c.Medium != costmodel.MediumDisk:
+		return fmt.Errorf("core: unknown IO medium %d", c.Medium)
+	}
+	return c.Calibration.Validate()
+}
+
+// NumProcessors returns the configured compute device count.
+func (c Config) NumProcessors() int {
+	n := c.NumGPUs
+	if c.UseCPU {
+		n++
+	}
+	return n
+}
+
+// inputChunks resolves the Step 1 chunk count.
+func (c Config) inputChunks() int {
+	if c.InputChunks > 0 {
+		return c.InputChunks
+	}
+	n := 4 * c.NumProcessors()
+	if n < 16 {
+		n = 16
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"parahash/internal/graph"
+	"parahash/internal/msp"
+	"parahash/internal/pipeline"
+)
+
+// StepStats records one step's virtual-time performance and workload
+// distribution — the quantities the paper's evaluation reports per step.
+type StepStats struct {
+	// Seconds is the pipelined elapsed time (virtual).
+	Seconds float64
+	// NonPipelinedSeconds is the sequential-stage sum (Fig. 12 baseline).
+	NonPipelinedSeconds float64
+	// InputSeconds / OutputSeconds are total stage-1/stage-3 times.
+	InputSeconds, OutputSeconds float64
+	// ProcessorNames aligns with the per-processor slices below.
+	ProcessorNames []string
+	// ProcessorBusy is each processor's total compute seconds.
+	ProcessorBusy []float64
+	// ProcessorUnits is each processor's consumed work units (reads in
+	// Step 1, k-mers in Step 2).
+	ProcessorUnits []int64
+	// ProcessorParts is the number of partitions each processor consumed.
+	ProcessorParts []int
+	// SoloSeconds is each processor's estimated time to run the whole step
+	// alone (drives the ideal shares of Fig. 11).
+	SoloSeconds []float64
+	// Partitions is the step's partition count.
+	Partitions int
+}
+
+// WorkloadShares returns each processor's measured fraction of work units.
+func (s StepStats) WorkloadShares() []float64 {
+	var total int64
+	for _, u := range s.ProcessorUnits {
+		total += u
+	}
+	shares := make([]float64, len(s.ProcessorUnits))
+	if total == 0 {
+		return shares
+	}
+	for i, u := range s.ProcessorUnits {
+		shares[i] = float64(u) / float64(total)
+	}
+	return shares
+}
+
+// IdealShares returns the speed-proportional target distribution.
+func (s StepStats) IdealShares() []float64 {
+	return pipeline.IdealShares(s.SoloSeconds)
+}
+
+// Stats aggregates a full ParaHash run.
+type Stats struct {
+	// Step1 and Step2 are the per-step performance records.
+	Step1, Step2 StepStats
+	// TotalSeconds is the end-to-end virtual elapsed time (Step1 + Step2).
+	TotalSeconds float64
+	// PeakMemoryBytes estimates the host peak residency: the largest
+	// simultaneous partition + hash table + subgraph footprint.
+	PeakMemoryBytes int64
+	// DistinctVertices is the constructed graph size (Table I).
+	DistinctVertices int64
+	// DuplicateVertices is total k-mer instances minus distinct (Table I).
+	DuplicateVertices int64
+	// TotalKmers is N(L-K+1) summed over reads.
+	TotalKmers int64
+	// Superkmers summarises the Step 1 partition statistics.
+	Superkmers msp.StatsSummary
+}
+
+// Result is a completed construction.
+type Result struct {
+	// Graph is the merged De Bruijn graph (nil unless KeepSubgraphs).
+	Graph *graph.Subgraph
+	// Subgraphs holds the per-partition graphs (nil unless KeepSubgraphs).
+	Subgraphs []*graph.Subgraph
+	// Stats records the run's measurements.
+	Stats Stats
+}

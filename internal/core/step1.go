@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"parahash/internal/device"
+	"parahash/internal/fastq"
+	"parahash/internal/iosim"
+	"parahash/internal/msp"
+	"parahash/internal/pipeline"
+)
+
+// superkmerFile names a superkmer partition in the store.
+func superkmerFile(i int) string { return fmt.Sprintf("superkmers/%04d", i) }
+
+// subgraphFile names a constructed subgraph in the store.
+func subgraphFile(i int) string { return fmt.Sprintf("subgraphs/%04d", i) }
+
+// processors instantiates the configured compute devices. Index 0 is the
+// CPU when enabled, followed by the GPUs.
+func processors(cfg Config) []device.Processor {
+	procs := make([]device.Processor, 0, cfg.NumProcessors())
+	if cfg.UseCPU {
+		procs = append(procs, &device.CPU{Threads: cfg.CPUThreads, Cal: cfg.Calibration})
+	}
+	for g := 0; g < cfg.NumGPUs; g++ {
+		procs = append(procs, &device.GPU{
+			Index:       g,
+			Cal:         cfg.Calibration,
+			MemoryBytes: cfg.GPUMemoryBytes,
+		})
+	}
+	return procs
+}
+
+// step1Work records one input chunk's measured work for virtual timing.
+type step1Work struct {
+	reads        int64
+	bases        int64
+	fastqBytes   int64
+	superkmers   int64
+	encodedBytes int64
+}
+
+// fastqBytesOf approximates a chunk's on-disk FASTQ footprint.
+func fastqBytesOf(reads []fastq.Read) int64 { return fastq.ApproxFASTQBytes(reads) }
+
+// runStep1 executes the MSP graph partitioning step: input chunks flow
+// through the work-stealing pipeline, each consumed by a processor that
+// scans it into superkmers, and the output stage routes superkmers into
+// the store's encoded partition files.
+func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.PartitionStats, StepStats, error) {
+	chunks := fastq.PartitionReads(reads, cfg.inputChunks())
+	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, func(i int) (io.WriteCloser, error) {
+		return store.Create(superkmerFile(i)), nil
+	})
+	if err != nil {
+		return nil, StepStats{}, err
+	}
+
+	procs := processors(cfg)
+	works := make([]step1Work, len(chunks))
+
+	workers := make([]pipeline.Worker[[]fastq.Read, device.Step1Output], len(procs))
+	for i, p := range procs {
+		p := p
+		workers[i] = func(chunk []fastq.Read) (device.Step1Output, error) {
+			return p.Step1(chunk, cfg.K, cfg.P)
+		}
+	}
+
+	read := func(i int) ([]fastq.Read, error) { return chunks[i], nil }
+	write := func(i int, out device.Step1Output) error {
+		w := &works[i]
+		w.reads = int64(len(chunks[i]))
+		w.bases = out.Bases
+		w.fastqBytes = fastqBytesOf(chunks[i])
+		for _, sk := range out.Superkmers {
+			if err := writer.WriteSuperkmer(sk); err != nil {
+				return err
+			}
+			w.superkmers++
+			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
+		}
+		return nil
+	}
+
+	if _, err := pipeline.Run(len(chunks), read, workers, write); err != nil {
+		writer.Close()
+		return nil, StepStats{}, err
+	}
+	if err := writer.Close(); err != nil {
+		return nil, StepStats{}, err
+	}
+
+	stats, err := scheduleStep1(works, cfg, procs)
+	if err != nil {
+		return nil, StepStats{}, err
+	}
+	return writer.Stats(), stats, nil
+}
+
+// step1Cost returns processor p's virtual seconds for one chunk.
+func step1Cost(cfg Config, p device.Processor, w step1Work) float64 {
+	if p.Kind() == device.KindCPU {
+		return cfg.Calibration.CPUStep1Seconds(w.bases, cpuThreadsOf(p))
+	}
+	transfer := w.bases/4 + w.superkmers*12
+	return cfg.Calibration.GPUStep1Seconds(w.bases, transfer)
+}
+
+func cpuThreadsOf(p device.Processor) int {
+	if c, ok := p.(*device.CPU); ok {
+		return c.Threads
+	}
+	return 1
+}
+
+// scheduleStep1 computes the step's virtual-time schedule from the
+// measured chunk work.
+func scheduleStep1(works []step1Work, cfg Config, procs []device.Processor) (StepStats, error) {
+	parts := make([]pipeline.Partition, len(works))
+	solo := make([]float64, len(procs))
+	for i, w := range works {
+		costs := make([]float64, len(procs))
+		for p, proc := range procs {
+			costs[p] = step1Cost(cfg, proc, w)
+			solo[p] += costs[p]
+		}
+		parts[i] = pipeline.Partition{
+			InputSeconds:   cfg.Calibration.ReadSeconds(cfg.Medium, w.fastqBytes),
+			OutputSeconds:  cfg.Calibration.WriteSeconds(cfg.Medium, w.encodedBytes),
+			ComputeSeconds: costs,
+			WorkUnits:      w.reads,
+		}
+	}
+	sched, err := pipeline.Simulate(parts, len(procs))
+	if err != nil {
+		return StepStats{}, err
+	}
+	return stepStatsFromSchedule(sched, procs, solo), nil
+}
+
+// stepStatsFromSchedule converts a pipeline schedule into StepStats.
+func stepStatsFromSchedule(sched pipeline.Schedule, procs []device.Processor, solo []float64) StepStats {
+	names := make([]string, len(procs))
+	for i, p := range procs {
+		names[i] = p.Name()
+	}
+	return StepStats{
+		Seconds:             sched.Elapsed,
+		NonPipelinedSeconds: sched.NonPipelinedElapsed,
+		InputSeconds:        sched.SumInput,
+		OutputSeconds:       sched.SumOutput,
+		ProcessorNames:      names,
+		ProcessorBusy:       sched.ProcBusy,
+		ProcessorUnits:      sched.ProcUnits,
+		ProcessorParts:      sched.ProcParts,
+		SoloSeconds:         solo,
+		Partitions:          len(sched.Assignment),
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"parahash/internal/device"
+	"parahash/internal/dna"
+	"parahash/internal/graph"
+	"parahash/internal/hashtable"
+	"parahash/internal/iosim"
+	"parahash/internal/msp"
+	"parahash/internal/pipeline"
+)
+
+// step2Work records one superkmer partition's measured work.
+type step2Work struct {
+	kmers      int64
+	fileBytes  int64
+	tableBytes int64
+	graphBytes int64
+	distinct   int64
+}
+
+// loadPartition decodes a superkmer partition from the store, copying each
+// record out of the decoder's reuse buffer.
+func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, error) {
+	r, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	dec := msp.NewDecoder(r)
+	var sks []msp.Superkmer
+	for {
+		sk, err := dec.Next()
+		if err == io.EOF {
+			return sks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		bases := make([]dna.Base, len(sk.Bases))
+		copy(bases, sk.Bases)
+		sk.Bases = bases
+		sks = append(sks, sk)
+	}
+}
+
+// runStep2 executes the subgraph construction step: superkmer partitions
+// flow through the pipeline, each hashed by an idle processor into a
+// subgraph that the output stage serialises to the store.
+func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([]*graph.Subgraph, []step2Work, StepStats, error) {
+	np := len(partStats)
+	procs := processors(cfg)
+	works := make([]step2Work, np)
+	var subgraphs []*graph.Subgraph
+	if cfg.KeepSubgraphs {
+		subgraphs = make([]*graph.Subgraph, np)
+	}
+
+	workers := make([]pipeline.Worker[[]msp.Superkmer, device.Step2Output], len(procs))
+	for i, p := range procs {
+		p := p
+		workers[i] = func(sks []msp.Superkmer) (device.Step2Output, error) {
+			var kmers int64
+			for _, sk := range sks {
+				kmers += int64(sk.NumKmers(cfg.K))
+			}
+			slots := hashtable.SizeForKmers(kmers, cfg.Lambda, cfg.Alpha)
+			for {
+				out, err := p.Step2(sks, cfg.K, slots)
+				if errors.Is(err, hashtable.ErrTableFull) {
+					// Property 1 under-estimated this partition (possible
+					// for unusual inputs, e.g. coverage below 1); fall back
+					// to the resize path the pre-sizing normally avoids.
+					slots *= 2
+					continue
+				}
+				return out, err
+			}
+		}
+	}
+
+	read := func(i int) ([]msp.Superkmer, error) {
+		return loadPartition(store, superkmerFile(i))
+	}
+	write := func(i int, out device.Step2Output) error {
+		w := &works[i]
+		w.kmers = out.Kmers
+		w.fileBytes = partStats[i].EncodedBytes
+		w.tableBytes = out.TableBytes
+		w.distinct = out.Distinct
+		toWrite := out.Graph
+		if cfg.OutputFilterMin > 1 {
+			filtered := &graph.Subgraph{K: toWrite.K,
+				Vertices: append([]graph.Vertex(nil), toWrite.Vertices...)}
+			filtered.FilterByMultiplicity(cfg.OutputFilterMin)
+			toWrite = filtered
+		}
+		w.graphBytes = graph.SerializedSize(toWrite.NumVertices())
+		sink := store.Create(subgraphFile(i))
+		if err := toWrite.Write(sink); err != nil {
+			return fmt.Errorf("core: writing subgraph %d: %w", i, err)
+		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if cfg.KeepSubgraphs {
+			subgraphs[i] = out.Graph
+		}
+		return nil
+	}
+
+	if _, err := pipeline.Run(np, read, workers, write); err != nil {
+		return nil, nil, StepStats{}, err
+	}
+
+	stats, err := scheduleStep2(works, cfg, procs)
+	if err != nil {
+		return nil, nil, StepStats{}, err
+	}
+	return subgraphs, works, stats, nil
+}
+
+// step2Cost returns processor p's virtual seconds for one partition.
+func step2Cost(cfg Config, p device.Processor, w step2Work) float64 {
+	if p.Kind() == device.KindCPU {
+		return cfg.Calibration.CPUStep2Seconds(w.kmers, cpuThreadsOf(p), w.tableBytes)
+	}
+	transfer := w.fileBytes + w.graphBytes
+	return cfg.Calibration.GPUStep2Seconds(w.kmers, transfer, w.tableBytes)
+}
+
+// scheduleStep2 computes the step's virtual-time schedule.
+func scheduleStep2(works []step2Work, cfg Config, procs []device.Processor) (StepStats, error) {
+	parts := make([]pipeline.Partition, len(works))
+	solo := make([]float64, len(procs))
+	for i, w := range works {
+		costs := make([]float64, len(procs))
+		for p, proc := range procs {
+			costs[p] = step2Cost(cfg, proc, w)
+			solo[p] += costs[p]
+		}
+		outputSeconds := cfg.Calibration.WriteSeconds(cfg.Medium, w.graphBytes)
+		if cfg.ExcludeGraphOutput {
+			outputSeconds = 0
+		}
+		parts[i] = pipeline.Partition{
+			InputSeconds:   cfg.Calibration.ReadSeconds(cfg.Medium, w.fileBytes),
+			OutputSeconds:  outputSeconds,
+			ComputeSeconds: costs,
+			WorkUnits:      w.distinct,
+		}
+	}
+	sched, err := pipeline.Simulate(parts, len(procs))
+	if err != nil {
+		return StepStats{}, err
+	}
+	return stepStatsFromSchedule(sched, procs, solo), nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/iosim"
+	"parahash/internal/msp"
+)
+
+// This file provides the out-of-core entry point: constructing the graph
+// from a FASTA/FASTQ stream without ever materialising the full read set.
+// This matches the paper's operating assumption — "we do not assume that
+// the entire graph fits into machine memory" — more faithfully than
+// Build's in-memory read slice: Step 1 holds one chunk of reads at a time,
+// and Step 2 (which never needs the reads) proceeds partition by partition
+// as usual.
+
+// DefaultStreamChunkBases is the approximate number of bases per streamed
+// Step 1 chunk.
+const DefaultStreamChunkBases = 1 << 22
+
+// BuildFromReader constructs the De Bruijn graph from a plain or gzipped
+// FASTA/FASTQ stream. chunkBases bounds the bases held in memory at once
+// (0 selects DefaultStreamChunkBases).
+func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if chunkBases <= 0 {
+		chunkBases = DefaultStreamChunkBases
+	}
+	fr, err := fastq.NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	store := iosim.NewStore(cfg.Medium)
+
+	partStats, step1Stats, totalReads, err := runStep1Stream(fr, cfg, store, chunkBases)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1 (streamed MSP partitioning): %w", err)
+	}
+	if totalReads == 0 {
+		return nil, fmt.Errorf("core: input stream contains no usable reads")
+	}
+	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, store)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
+	}
+
+	res := &Result{Subgraphs: subgraphs}
+	res.Stats.Step1 = step1Stats
+	res.Stats.Step2 = step2Stats
+	res.Stats.TotalSeconds = step1Stats.Seconds + step2Stats.Seconds
+	res.Stats.Superkmers = msp.SummarizeStats(partStats)
+	res.Stats.TotalKmers = res.Stats.Superkmers.TotalKmers
+	var peak int64
+	for _, w := range works {
+		res.Stats.DistinctVertices += w.distinct
+		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
+			peak = resident
+		}
+	}
+	res.Stats.PeakMemoryBytes = peak
+	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices
+
+	if cfg.KeepSubgraphs {
+		merged, err := graph.Merge(cfg.K, subgraphs...)
+		if err != nil {
+			return nil, err
+		}
+		res.Graph = merged
+	}
+	return res, nil
+}
+
+// runStep1Stream executes Step 1 over lazily parsed chunks. Execution is
+// chunk-sequential — only one chunk of reads is ever resident — while the
+// virtual-time schedule still models the pipelined co-processing over the
+// same chunk sequence.
+func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases int) ([]msp.PartitionStats, StepStats, int64, error) {
+	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, func(i int) (io.WriteCloser, error) {
+		return store.Create(superkmerFile(i)), nil
+	})
+	if err != nil {
+		return nil, StepStats{}, 0, err
+	}
+	procs := processors(cfg)
+	// Execution runs on the first processor (results are identical across
+	// processors); the schedule prices all of them.
+	exec := procs[0]
+
+	var works []step1Work
+	var totalReads int64
+	chunk := make([]fastq.Read, 0, 1024)
+	chunkSize := 0
+	eof := false
+	for !eof {
+		chunk, chunkSize = chunk[:0], 0
+		for chunkSize < chunkBases {
+			rd, err := fr.Next()
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				writer.Close()
+				return nil, StepStats{}, 0, err
+			}
+			chunk = append(chunk, rd)
+			chunkSize += len(rd.Bases)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		totalReads += int64(len(chunk))
+		out, err := exec.Step1(chunk, cfg.K, cfg.P)
+		if err != nil {
+			writer.Close()
+			return nil, StepStats{}, 0, err
+		}
+		w := step1Work{
+			reads:      int64(len(chunk)),
+			bases:      out.Bases,
+			fastqBytes: fastqBytesOf(chunk),
+		}
+		for _, sk := range out.Superkmers {
+			if err := writer.WriteSuperkmer(sk); err != nil {
+				writer.Close()
+				return nil, StepStats{}, 0, err
+			}
+			w.superkmers++
+			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
+		}
+		works = append(works, w)
+	}
+	if err := writer.Close(); err != nil {
+		return nil, StepStats{}, 0, err
+	}
+	stats, err := scheduleStep1(works, cfg, procs)
+	if err != nil {
+		return nil, StepStats{}, 0, err
+	}
+	return writer.Stats(), stats, totalReads, nil
+}

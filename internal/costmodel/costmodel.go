@@ -1,0 +1,367 @@
+// Package costmodel provides the calibrated virtual-time cost model that
+// makes ParaHash's performance experiments reproducible on any host, plus
+// the paper's analytical performance model (Equations 1 and 2 of §IV).
+//
+// The reproduction substitutes real GPUs and a 20-core Xeon with simulated
+// processors: algorithms execute for real (so graphs are bit-correct), and
+// elapsed time is charged against per-processor throughput constants
+// calibrated to the paper's hardware (2× Intel Xeon E5-2660 + 2× Nvidia
+// Tesla K40m, PCIe 3.0, 64 GB host RAM). Because charged time is pure
+// arithmetic over measured work counts, every figure regenerates
+// deterministically, preserving the paper's orderings, ratios, and
+// crossovers rather than absolute seconds.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration holds the throughput constants of the modeled machine.
+// All throughputs are work units per second of virtual time.
+type Calibration struct {
+	// CPUThreads is the number of hardware threads the CPU contributes
+	// (the paper machine has 2 sockets × 10 cores = 20).
+	CPUThreads int
+	// NumGPUs is the number of installed GPU devices.
+	NumGPUs int
+
+	// CPUThreadStep1BasesPerSec is one CPU thread's MSP scanning speed
+	// (minimizer search + superkmer generation), in input bases/s.
+	CPUThreadStep1BasesPerSec float64
+	// CPUThreadStep2KmersPerSec is one CPU thread's concurrent-hashing
+	// speed, in k-mer insertions+updates/s.
+	CPUThreadStep2KmersPerSec float64
+
+	// GPUStep1BasesPerSec is one whole GPU's MSP kernel throughput.
+	// The paper offloads the regular-access minimizer computation to the
+	// GPU, where encoding makes string processing fast (§III-D).
+	GPUStep1BasesPerSec float64
+	// GPUStep2KmersPerSec is one whole GPU's hashing throughput. Per
+	// Fig. 7/8, a K40's hashing compute is comparable to the 20-core CPU's
+	// because random access defeats coalescing.
+	GPUStep2KmersPerSec float64
+
+	// PCIeBytesPerSec is the host<->device transfer bandwidth; the paper
+	// does not overlap device compute with transfer (§IV-B), so transfer
+	// time adds to GPU time.
+	PCIeBytesPerSec float64
+	// PCIeLatencySec is the fixed per-batch transfer setup cost.
+	PCIeLatencySec float64
+
+	// DiskReadBytesPerSec / DiskWriteBytesPerSec model the Case 2 medium
+	// (spinning disk, Bumblebee experiments).
+	DiskReadBytesPerSec  float64
+	DiskWriteBytesPerSec float64
+	// MemBytesPerSec models the Case 1 medium: the paper's "memory cached
+	// file", with IO bandwidth of several GB/s.
+	MemBytesPerSec float64
+
+	// SOAPScanKmersPerSec is one thread's k-mer read throughput in the
+	// SOAP-like baseline, where every thread scans ALL k-mers and inserts
+	// only its share into its local table (§II-C); the scan is the
+	// baseline's bottleneck in Fig. 10.
+	SOAPScanKmersPerSec float64
+	// SOAPInsertKmersPerSec is one thread's local-table insert throughput
+	// in the SOAP-like baseline (no contention: tables are private).
+	SOAPInsertKmersPerSec float64
+	// SortMergeKmersPerSec is one thread's sort-merge throughput for the
+	// bcalm2-like and GPU-sort-merge baselines; sorting is substantially
+	// slower per k-mer than hashing.
+	SortMergeKmersPerSec float64
+	// BcalmExtraIOPasses is the number of additional full passes over the
+	// partition data the bcalm2-like baseline performs (re-reading and
+	// re-writing during compaction and MPHF construction).
+	BcalmExtraIOPasses int
+	// BcalmParallelEfficiency scales the bcalm2-like baseline's thread
+	// scaling (its pipeline serialises on compaction).
+	BcalmParallelEfficiency float64
+
+	// HashLoadPenalty inflates Step 2 time per unit of hash table load
+	// factor above 0.5, modelling longer probe chains; Fig. 7's
+	// small-table speedup comes from locality, captured by
+	// LocalityPenaltyGB below.
+	HashLoadPenalty float64
+	// LocalityPenaltyMax is the saturating multiplicative slowdown for
+	// hash tables far beyond LocalityThresholdBytes, modelling cache/TLB
+	// misses (once every access misses, the penalty stops growing);
+	// Table II + Fig. 7 observe that tables under ~1 GB hash fast and
+	// larger ones degrade by a bounded factor.
+	LocalityPenaltyMax float64
+	// LocalityThresholdBytes is the table size under which hashing runs at
+	// full speed (the paper's ~1 GB on its hardware). Scaled-down
+	// experiments scale this threshold with their data so the Fig. 7
+	// partition-count effect reproduces at laptop size.
+	LocalityThresholdBytes int64
+}
+
+// DefaultCalibration models the paper's evaluation machine.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		CPUThreads:                20,
+		NumGPUs:                   2,
+		CPUThreadStep1BasesPerSec: 12e6,
+		CPUThreadStep2KmersPerSec: 10e6,
+		GPUStep1BasesPerSec:       400e6,
+		GPUStep2KmersPerSec:       190e6,
+		PCIeBytesPerSec:           10e9,
+		PCIeLatencySec:            20e-6,
+		DiskReadBytesPerSec:       160e6,
+		DiskWriteBytesPerSec:      130e6,
+		MemBytesPerSec:            4e9,
+		SOAPScanKmersPerSec:       60e6,
+		SOAPInsertKmersPerSec:     7e6,
+		SortMergeKmersPerSec:      1.4e6,
+		BcalmExtraIOPasses:        2,
+		BcalmParallelEfficiency:   0.55,
+		HashLoadPenalty:           0.8,
+		LocalityPenaltyMax:        2.0,
+		LocalityThresholdBytes:    1 << 30,
+	}
+}
+
+// ScaleThroughputs returns a copy of the calibration with every throughput
+// (compute, PCIe, disk, memory) and the locality threshold multiplied by
+// factor. Scaling throughputs in proportion to a scaled-down dataset keeps
+// virtual times at full-scale magnitudes and — more importantly — keeps
+// every IO/compute and cache/table-size ratio in the regime the paper
+// evaluates, so Case 1 vs Case 2 behaviour reproduces at laptop size.
+func (c Calibration) ScaleThroughputs(factor float64) Calibration {
+	s := c
+	s.CPUThreadStep1BasesPerSec *= factor
+	s.CPUThreadStep2KmersPerSec *= factor
+	s.GPUStep1BasesPerSec *= factor
+	s.GPUStep2KmersPerSec *= factor
+	s.PCIeBytesPerSec *= factor
+	s.DiskReadBytesPerSec *= factor
+	s.DiskWriteBytesPerSec *= factor
+	s.MemBytesPerSec *= factor
+	s.SOAPScanKmersPerSec *= factor
+	s.SOAPInsertKmersPerSec *= factor
+	s.SortMergeKmersPerSec *= factor
+	s.LocalityThresholdBytes = int64(float64(c.LocalityThresholdBytes) * factor)
+	return s
+}
+
+// Validate reports nonsensical calibrations.
+func (c Calibration) Validate() error {
+	if c.CPUThreads <= 0 {
+		return fmt.Errorf("costmodel: CPUThreads %d must be positive", c.CPUThreads)
+	}
+	if c.NumGPUs < 0 {
+		return fmt.Errorf("costmodel: NumGPUs %d must be non-negative", c.NumGPUs)
+	}
+	for name, v := range map[string]float64{
+		"CPUThreadStep1BasesPerSec": c.CPUThreadStep1BasesPerSec,
+		"CPUThreadStep2KmersPerSec": c.CPUThreadStep2KmersPerSec,
+		"GPUStep1BasesPerSec":       c.GPUStep1BasesPerSec,
+		"GPUStep2KmersPerSec":       c.GPUStep2KmersPerSec,
+		"PCIeBytesPerSec":           c.PCIeBytesPerSec,
+		"DiskReadBytesPerSec":       c.DiskReadBytesPerSec,
+		"DiskWriteBytesPerSec":      c.DiskWriteBytesPerSec,
+		"MemBytesPerSec":            c.MemBytesPerSec,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("costmodel: %s must be positive", name)
+		}
+	}
+	return nil
+}
+
+// CPUStep1Seconds charges MSP scanning of the given bases across threads.
+func (c Calibration) CPUStep1Seconds(bases int64, threads int) float64 {
+	if threads <= 0 || bases <= 0 {
+		return 0
+	}
+	return float64(bases) / (c.CPUThreadStep1BasesPerSec * float64(threads))
+}
+
+// CPUStep2Seconds charges concurrent hashing of kmers across threads
+// against a hash table of tableBytes, applying the locality penalty for
+// oversized tables. Scaling across threads is linear, matching the
+// paper's Fig. 9 (log-log slope ≈ −1).
+func (c Calibration) CPUStep2Seconds(kmers int64, threads int, tableBytes int64) float64 {
+	if threads <= 0 || kmers <= 0 {
+		return 0
+	}
+	base := float64(kmers) / (c.CPUThreadStep2KmersPerSec * float64(threads))
+	return base * c.LocalityFactor(tableBytes)
+}
+
+// GPUStep1Seconds charges the MSP kernel plus host<->device transfer of
+// the encoded reads and resulting superkmer ids/offsets.
+func (c Calibration) GPUStep1Seconds(bases, transferBytes int64) float64 {
+	if bases <= 0 {
+		return 0
+	}
+	return float64(bases)/c.GPUStep1BasesPerSec + c.TransferSeconds(transferBytes)
+}
+
+// GPUStep2Seconds charges the hashing kernel plus transfer, with the same
+// table-locality penalty as the CPU (thread divergence and uncoalesced
+// access grow with table size on the GPU too).
+func (c Calibration) GPUStep2Seconds(kmers, transferBytes, tableBytes int64) float64 {
+	if kmers <= 0 {
+		return 0
+	}
+	compute := float64(kmers) / c.GPUStep2KmersPerSec * c.LocalityFactor(tableBytes)
+	return compute + c.TransferSeconds(transferBytes)
+}
+
+// TransferSeconds charges one host<->device transfer batch.
+func (c Calibration) TransferSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return c.PCIeLatencySec + float64(bytes)/c.PCIeBytesPerSec
+}
+
+// LocalityFactor is the multiplicative hashing slowdown for a working set
+// of tableBytes: 1 below LocalityThresholdBytes, saturating towards
+// 1+LocalityPenaltyMax far above it. Shared by ParaHash and the baselines
+// so table-size effects compare apples to apples.
+func (c Calibration) LocalityFactor(tableBytes int64) float64 {
+	threshold := c.LocalityThresholdBytes
+	if threshold <= 0 {
+		threshold = 1 << 30
+	}
+	units := float64(tableBytes) / float64(threshold)
+	if units <= 1 {
+		return 1
+	}
+	return 1 + c.LocalityPenaltyMax*(1-1/units)
+}
+
+// Medium selects the IO device of an experiment: the paper's Case 1 uses a
+// memory-cached file, Case 2 a disk file.
+type Medium int
+
+// Supported IO media.
+const (
+	MediumMemCached Medium = iota + 1
+	MediumDisk
+)
+
+// String implements fmt.Stringer.
+func (m Medium) String() string {
+	switch m {
+	case MediumMemCached:
+		return "mem-cached"
+	case MediumDisk:
+		return "disk"
+	default:
+		return "unknown"
+	}
+}
+
+// ReadSeconds charges reading bytes from the medium.
+func (c Calibration) ReadSeconds(m Medium, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	switch m {
+	case MediumDisk:
+		return float64(bytes) / c.DiskReadBytesPerSec
+	default:
+		return float64(bytes) / c.MemBytesPerSec
+	}
+}
+
+// WriteSeconds charges writing bytes to the medium.
+func (c Calibration) WriteSeconds(m Medium, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	switch m {
+	case MediumDisk:
+		return float64(bytes) / c.DiskWriteBytesPerSec
+	default:
+		return float64(bytes) / c.MemBytesPerSec
+	}
+}
+
+// StepTimes carries the component times of one pipeline step (seconds),
+// in the terms of Equation (1): computation on each processor class, and
+// the input/output transfer totals over n partitions.
+type StepTimes struct {
+	// CPU is T^i_CPU: total CPU computation time for the step.
+	CPU float64
+	// GPU is T^i_GPU: the max over devices of compute + transfer.
+	GPU float64
+	// Input is T^i_input: total input transfer time over all partitions.
+	Input float64
+	// Output is T^i_output: total output transfer time.
+	Output float64
+	// Partitions is n_i, the partition count of the step.
+	Partitions int
+}
+
+// EstimateStepSeconds evaluates Equation (1):
+//
+//	T^i = max{T_CPU, T_GPU, T_I/O} + (T_input + T_output)/n,
+//	T_I/O = (n-1)/n · max{T_input, T_output}.
+func EstimateStepSeconds(st StepTimes) float64 {
+	n := float64(st.Partitions)
+	if n < 1 {
+		n = 1
+	}
+	tio := (n - 1) / n * math.Max(st.Input, st.Output)
+	return math.Max(st.CPU, math.Max(st.GPU, tio)) + (st.Input+st.Output)/n
+}
+
+// EstimateCoprocessingSeconds evaluates Equation (2): the ideal elapsed
+// time when a CPU (solo time tCPU) and numGPUs GPUs (solo time tGPU each)
+// co-process one step under Case 1 (IO negligible):
+//
+//	1 / (1/T_onlyCPU + N_GPU/T_singleGPU).
+func EstimateCoprocessingSeconds(tCPU, tSingleGPU float64, numGPUs int) float64 {
+	var rate float64
+	if tCPU > 0 {
+		rate += 1 / tCPU
+	}
+	if tSingleGPU > 0 && numGPUs > 0 {
+		rate += float64(numGPUs) / tSingleGPU
+	}
+	if rate == 0 {
+		return 0
+	}
+	return 1 / rate
+}
+
+// EstimateIOBoundSeconds evaluates the Case 2 estimate of §IV-B:
+// T = T_I/O + (T_input + T_output)/n with T_I/O = (n-1)/n·max{in, out}.
+func EstimateIOBoundSeconds(input, output float64, partitions int) float64 {
+	n := float64(partitions)
+	if n < 1 {
+		n = 1
+	}
+	return (n-1)/n*math.Max(input, output) + (input+output)/n
+}
+
+// FitPowerLaw fits log(y) = a·log(x) + b by least squares and returns the
+// slope a and intercept b. Fig. 9 uses this to show CPU hashing scalability
+// is near-linear (a ≈ −1). All xs and ys must be positive.
+func FitPowerLaw(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("costmodel: need >= 2 matched points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("costmodel: power-law fit needs positive data (point %d)", i)
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, 0, fmt.Errorf("costmodel: degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}

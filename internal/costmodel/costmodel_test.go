@@ -1,0 +1,225 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCalibrationValid(t *testing.T) {
+	if err := DefaultCalibration().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	c := DefaultCalibration()
+	c.CPUThreads = 0
+	if err := c.Validate(); err == nil {
+		t.Error("CPUThreads=0 accepted")
+	}
+	c = DefaultCalibration()
+	c.NumGPUs = -1
+	if err := c.Validate(); err == nil {
+		t.Error("NumGPUs=-1 accepted")
+	}
+	c = DefaultCalibration()
+	c.PCIeBytesPerSec = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestCPUScalingIsLinear(t *testing.T) {
+	c := DefaultCalibration()
+	t1 := c.CPUStep2Seconds(100e6, 1, 1<<28)
+	t20 := c.CPUStep2Seconds(100e6, 20, 1<<28)
+	if math.Abs(t1/t20-20) > 1e-9 {
+		t.Errorf("scaling 1->20 threads = %.2fx, want 20x", t1/t20)
+	}
+}
+
+func TestZeroWorkCostsNothing(t *testing.T) {
+	c := DefaultCalibration()
+	if c.CPUStep1Seconds(0, 4) != 0 || c.CPUStep2Seconds(0, 4, 0) != 0 ||
+		c.GPUStep1Seconds(0, 100) != 0 || c.GPUStep2Seconds(0, 100, 0) != 0 ||
+		c.TransferSeconds(0) != 0 || c.ReadSeconds(MediumDisk, 0) != 0 {
+		t.Error("zero work should cost zero time")
+	}
+}
+
+func TestGPUIncludesTransfer(t *testing.T) {
+	c := DefaultCalibration()
+	noTransfer := c.GPUStep2Seconds(10e6, 0, 1<<28)
+	withTransfer := c.GPUStep2Seconds(10e6, 1<<30, 1<<28)
+	wantDelta := c.TransferSeconds(1 << 30)
+	if math.Abs((withTransfer-noTransfer)-wantDelta) > 1e-9 {
+		t.Errorf("transfer not additive: delta %.4f want %.4f", withTransfer-noTransfer, wantDelta)
+	}
+}
+
+func TestLocalityPenalty(t *testing.T) {
+	c := DefaultCalibration()
+	small := c.CPUStep2Seconds(10e6, 20, 1<<29) // 0.5 GiB
+	big := c.CPUStep2Seconds(10e6, 20, 5<<30)   // 5 GiB
+	if big <= small {
+		t.Errorf("oversized table should hash slower: %.4f vs %.4f", big, small)
+	}
+}
+
+func TestMediumSpeeds(t *testing.T) {
+	c := DefaultCalibration()
+	if c.ReadSeconds(MediumDisk, 1<<30) <= c.ReadSeconds(MediumMemCached, 1<<30) {
+		t.Error("disk should be slower than mem-cached")
+	}
+	if MediumDisk.String() != "disk" || MediumMemCached.String() != "mem-cached" || Medium(0).String() != "unknown" {
+		t.Error("Medium.String broken")
+	}
+}
+
+func TestEstimateStepSecondsEq1(t *testing.T) {
+	// Compute-bound: T = T_CPU + (in+out)/n.
+	st := StepTimes{CPU: 100, GPU: 50, Input: 10, Output: 10, Partitions: 10}
+	want := 100 + (10.0+10.0)/10
+	if got := EstimateStepSeconds(st); math.Abs(got-want) > 1e-9 {
+		t.Errorf("compute-bound estimate = %.4f, want %.4f", got, want)
+	}
+	// IO-bound: T = (n-1)/n*max(in,out) + (in+out)/n.
+	st = StepTimes{CPU: 5, GPU: 5, Input: 100, Output: 60, Partitions: 10}
+	want = 0.9*100 + 160.0/10
+	if got := EstimateStepSeconds(st); math.Abs(got-want) > 1e-9 {
+		t.Errorf("IO-bound estimate = %.4f, want %.4f", got, want)
+	}
+	// Single partition: no pipelining benefit, T = max + in + out.
+	st = StepTimes{CPU: 50, Input: 10, Output: 5, Partitions: 1}
+	if got := EstimateStepSeconds(st); math.Abs(got-65) > 1e-9 {
+		t.Errorf("single-partition estimate = %.4f, want 65", got)
+	}
+}
+
+func TestEstimateCoprocessingEq2(t *testing.T) {
+	// Paper Table III sanity: CPU 132s, single GPU 144s, 2 GPUs ->
+	// 1/(1/132+2/144) ≈ 46.6s, close to the measured 49s.
+	got := EstimateCoprocessingSeconds(132, 144, 2)
+	if math.Abs(got-46.6) > 0.5 {
+		t.Errorf("Eq2 = %.1f, want ~46.6", got)
+	}
+	// GPU-only configurations.
+	if got := EstimateCoprocessingSeconds(0, 144, 2); math.Abs(got-72) > 1e-9 {
+		t.Errorf("2-GPU-only = %.1f, want 72", got)
+	}
+	// Degenerate: nothing running.
+	if got := EstimateCoprocessingSeconds(0, 0, 0); got != 0 {
+		t.Errorf("empty config = %f", got)
+	}
+}
+
+func TestEstimateIOBound(t *testing.T) {
+	got := EstimateIOBoundSeconds(100, 80, 10)
+	want := 0.9*100 + 180.0/10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("IO-bound = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// Perfect y = 8/x should fit slope -1.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 8 / x
+	}
+	slope, intercept, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+1) > 1e-9 {
+		t.Errorf("slope = %.4f, want -1", slope)
+	}
+	if math.Abs(intercept-math.Log(8)) > 1e-9 {
+		t.Errorf("intercept = %.4f, want log 8", intercept)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestCalibrationShapesMatchPaper(t *testing.T) {
+	// Fig. 7/8: GPU hashing compute should be comparable to 20-thread CPU
+	// hashing (within ~25%), with the visible gap coming from transfer.
+	c := DefaultCalibration()
+	kmers := int64(85e6)
+	table := int64(600 << 20)
+	cpu := c.CPUStep2Seconds(kmers, c.CPUThreads, table)
+	gpuCompute := c.GPUStep2Seconds(kmers, 0, table)
+	ratio := gpuCompute / cpu
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("GPU/CPU hashing compute ratio = %.2f, want ~1", ratio)
+	}
+	// Step 1: the GPU kernel should beat the whole CPU on scanning.
+	bases := int64(3.7e9)
+	cpu1 := c.CPUStep1Seconds(bases, c.CPUThreads)
+	gpu1 := c.GPUStep1Seconds(bases, bases/4)
+	if gpu1 >= cpu1 {
+		t.Errorf("GPU Step1 (%.2fs) should outpace CPU (%.2fs)", gpu1, cpu1)
+	}
+}
+
+func TestScaleThroughputs(t *testing.T) {
+	base := DefaultCalibration()
+	s := base.ScaleThroughputs(0.001)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Times must be scale-invariant: scaled work on scaled throughputs
+	// costs the same as full work on full throughputs.
+	full := base.CPUStep2Seconds(1_000_000_000, 20, base.LocalityThresholdBytes/2)
+	scaled := s.CPUStep2Seconds(1_000_000, 20, s.LocalityThresholdBytes/2)
+	if math.Abs(full-scaled)/full > 1e-9 {
+		t.Errorf("scaling broke time invariance: %.4f vs %.4f", full, scaled)
+	}
+	fullIO := base.ReadSeconds(MediumDisk, 92_000_000_000)
+	scaledIO := s.ReadSeconds(MediumDisk, 92_000_000)
+	if math.Abs(fullIO-scaledIO)/fullIO > 1e-9 {
+		t.Errorf("IO time invariance broke: %.2f vs %.2f", fullIO, scaledIO)
+	}
+	// The locality threshold scales too.
+	if s.LocalityThresholdBytes >= base.LocalityThresholdBytes {
+		t.Error("locality threshold did not scale")
+	}
+}
+
+func TestLocalityFactorSaturates(t *testing.T) {
+	c := DefaultCalibration()
+	small := c.LocalityFactor(c.LocalityThresholdBytes / 2)
+	if small != 1 {
+		t.Errorf("below-threshold factor = %f", small)
+	}
+	huge := c.LocalityFactor(c.LocalityThresholdBytes * 1000)
+	if huge > 1+c.LocalityPenaltyMax || huge < 1+0.9*c.LocalityPenaltyMax {
+		t.Errorf("saturated factor = %f, want ~%f", huge, 1+c.LocalityPenaltyMax)
+	}
+	// Zero threshold falls back to the 1 GiB default rather than dividing
+	// by zero.
+	c.LocalityThresholdBytes = 0
+	if f := c.LocalityFactor(1 << 20); f != 1 {
+		t.Errorf("fallback threshold broken: %f", f)
+	}
+}
+
+func TestGPUStep1IncludesTransfer(t *testing.T) {
+	c := DefaultCalibration()
+	without := c.GPUStep1Seconds(1e9, 0)
+	with := c.GPUStep1Seconds(1e9, 1<<30)
+	if with <= without {
+		t.Error("Step1 transfer not charged")
+	}
+}

@@ -1,0 +1,103 @@
+package device
+
+import (
+	"math/rand"
+	"time"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/dna"
+	"parahash/internal/hashtable"
+	"parahash/internal/msp"
+)
+
+// CalibrateHost measures this machine's real single-thread throughput on
+// the two ParaHash kernels — MSP superkmer scanning (Step 1) and
+// state-transfer hash insertion (Step 2) — and returns a Calibration whose
+// CPU constants reflect the host. GPU, PCIe and disk constants keep the
+// paper-machine defaults (this host has none of that hardware to measure).
+//
+// Use it when virtual times should predict *this* machine's wall clock
+// rather than reproduce the paper's:
+//
+//	cfg.Calibration = device.CalibrateHost(runtime.NumCPU())
+//
+// The measurement costs roughly a quarter second.
+func CalibrateHost(threads int) costmodel.Calibration {
+	cal := costmodel.DefaultCalibration()
+	if threads < 1 {
+		threads = 1
+	}
+	cal.CPUThreads = threads
+
+	const (
+		k = 27
+		p = 11
+		// Workload sizes chosen so each measurement runs a few tens of
+		// milliseconds on commodity hardware.
+		scanReads = 2000
+		readLen   = 101
+		hashEdges = 1 << 18
+		hashKeys  = 1 << 15
+	)
+	rng := rand.New(rand.NewSource(0xCA11))
+
+	// Step 1 kernel: superkmer scanning throughput in bases/s.
+	reads := make([][]dna.Base, scanReads)
+	for i := range reads {
+		r := make([]dna.Base, readLen)
+		for j := range r {
+			r[j] = dna.Base(rng.Intn(4))
+		}
+		reads[i] = r
+	}
+	sc := msp.Scanner{K: k, P: p}
+	var sks []msp.Superkmer
+	start := time.Now()
+	var bases int64
+	for _, r := range reads {
+		sks = sc.Superkmers(sks[:0], r)
+		bases += int64(len(r))
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		cal.CPUThreadStep1BasesPerSec = float64(bases) / elapsed
+	}
+
+	// Step 2 kernel: insertion/update throughput in k-mers/s, with the
+	// realistic ~1:5 distinct:duplicate mix.
+	keys := make([]dna.Kmer, hashKeys)
+	for i := range keys {
+		b := make([]dna.Base, k)
+		for j := range b {
+			b[j] = dna.Base(rng.Intn(4))
+		}
+		keys[i], _ = dna.KmerFromBases(b, k).Canonical(k)
+	}
+	edges := make([]msp.KmerEdge, hashEdges)
+	for i := range edges {
+		edges[i] = msp.KmerEdge{
+			Canon: keys[rng.Intn(len(keys))],
+			Left:  int8(rng.Intn(4)),
+			Right: int8(rng.Intn(4)),
+		}
+	}
+	table, err := hashtable.New(k, hashEdges)
+	if err != nil {
+		return cal // cannot happen with these constants
+	}
+	start = time.Now()
+	for _, e := range edges {
+		if table.InsertEdge(e) != nil {
+			break
+		}
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		cal.CPUThreadStep2KmersPerSec = float64(hashEdges) / elapsed
+	}
+
+	// The GPU constants scale with the measured CPU so that the simulated
+	// co-processing keeps the paper's relative speeds on this host.
+	ref := costmodel.DefaultCalibration()
+	cal.GPUStep1BasesPerSec = ref.GPUStep1BasesPerSec / ref.CPUThreadStep1BasesPerSec * cal.CPUThreadStep1BasesPerSec
+	cal.GPUStep2KmersPerSec = ref.GPUStep2KmersPerSec / ref.CPUThreadStep2KmersPerSec * cal.CPUThreadStep2KmersPerSec
+	return cal
+}

@@ -1,0 +1,362 @@
+// Package device provides the heterogeneous processors ParaHash schedules
+// work onto: a multi-threaded CPU and one or more GPUs.
+//
+// The GPU is simulated (see DESIGN.md): it executes the same kernels as the
+// CPU — identical hash table layout, identical state machine — but in a
+// SIMT-structured sweep (warps of 32 work items whose cost is the slowest
+// lane's, reproducing divergence), and its elapsed time is charged from the
+// costmodel calibration including explicit host<->device transfer, which
+// the paper does not overlap with device compute. Results are therefore
+// bit-identical across processors while timing reproduces the paper's
+// CPU-vs-GPU shape.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/hashtable"
+	"parahash/internal/msp"
+)
+
+// Kind discriminates processor classes.
+type Kind int
+
+// Processor kinds.
+const (
+	KindCPU Kind = iota + 1
+	KindGPU
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCPU:
+		return "CPU"
+	case KindGPU:
+		return "GPU"
+	default:
+		return "unknown"
+	}
+}
+
+// WarpSize is the SIMT width of the simulated GPU (Nvidia Kepler: 32).
+const WarpSize = 32
+
+// Step1Output is the result of scanning one read partition into superkmers.
+type Step1Output struct {
+	// Superkmers holds every superkmer of the partition, in read order.
+	Superkmers []msp.Superkmer
+	// Bases is the number of input bases scanned.
+	Bases int64
+	// Seconds is the virtual compute time charged (including transfer for
+	// GPUs).
+	Seconds float64
+	// TransferSeconds is the host<->device share of Seconds (zero on CPU).
+	TransferSeconds float64
+	// TransferBytes is the host<->device traffic (zero on CPU).
+	TransferBytes int64
+}
+
+// Step2Output is the result of hashing one superkmer partition.
+type Step2Output struct {
+	// Graph is the constructed subgraph, sorted.
+	Graph *graph.Subgraph
+	// Kmers is the number of k-mer instances hashed.
+	Kmers int64
+	// Seconds is the virtual time charged (including transfer for GPUs).
+	Seconds float64
+	// ComputeSeconds is Seconds minus transfer.
+	ComputeSeconds float64
+	// TransferSeconds is the host<->device share (zero on CPU).
+	TransferSeconds float64
+	// TransferBytes is the host<->device traffic (zero on CPU).
+	TransferBytes int64
+	// TableBytes is the hash table footprint used.
+	TableBytes int64
+	// Distinct is the number of distinct vertices found.
+	Distinct int64
+	// LockedInserts / LockFreeUpdates expose the state-transfer split.
+	LockedInserts   int64
+	LockFreeUpdates int64
+	// WarpDivergence is, on GPUs, the mean ratio of slowest-lane probes to
+	// mean-lane probes per warp (1.0 = no divergence); zero on CPUs.
+	WarpDivergence float64
+}
+
+// Processor abstracts a compute device for the work-stealing pipeline.
+type Processor interface {
+	// Name is unique within a run ("CPU", "GPU0", ...).
+	Name() string
+	// Kind reports the device class.
+	Kind() Kind
+	// Step1 scans a read partition into superkmers.
+	Step1(reads []fastq.Read, k, p int) (Step1Output, error)
+	// Step2 builds the subgraph of one superkmer partition, sizing the
+	// hash table to tableSlots.
+	Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
+}
+
+// CPU is the multi-threaded host processor. Its kernels use real goroutine
+// concurrency over the shared state-transfer hash table; charged time comes
+// from the calibration so experiments are host-independent.
+type CPU struct {
+	// Threads is the worker count (the paper machine runs 20).
+	Threads int
+	// Cal is the timing calibration.
+	Cal costmodel.Calibration
+}
+
+var _ Processor = (*CPU)(nil)
+
+// Name implements Processor.
+func (c *CPU) Name() string { return "CPU" }
+
+// Kind implements Processor.
+func (c *CPU) Kind() Kind { return KindCPU }
+
+// Step1 scans reads into superkmers with Threads parallel workers, each
+// holding its own scanner, then concatenates in read order.
+func (c *CPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
+	if c.Threads < 1 {
+		return Step1Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
+	}
+	chunks := fastq.PartitionReads(reads, c.Threads)
+	results := make([][]msp.Superkmer, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, chunk []fastq.Read) {
+			defer wg.Done()
+			sc := msp.Scanner{K: k, P: p}
+			var out []msp.Superkmer
+			for _, rd := range chunk {
+				out = sc.Superkmers(out, rd.Bases)
+			}
+			results[i] = out
+		}(i, chunk)
+	}
+	wg.Wait()
+
+	var all []msp.Superkmer
+	var bases int64
+	for _, rd := range reads {
+		bases += int64(len(rd.Bases))
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	all = make([]msp.Superkmer, 0, total)
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return Step1Output{
+		Superkmers: all,
+		Bases:      bases,
+		Seconds:    c.Cal.CPUStep1Seconds(bases, c.Threads),
+	}, nil
+}
+
+// Step2 hashes a superkmer partition with Threads workers sharing one
+// state-transfer table, then materialises the sorted subgraph.
+func (c *CPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
+	if c.Threads < 1 {
+		return Step2Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
+	}
+	table, err := hashtable.New(k, tableSlots)
+	if err != nil {
+		return Step2Output{}, err
+	}
+	var kmers int64
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(k))
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, c.Threads)
+	for w := 0; w < c.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var insertErr error
+			for i := w; i < len(sks); i += c.Threads {
+				msp.ForEachKmerEdge(sks[i], k, func(e msp.KmerEdge) {
+					if insertErr != nil {
+						return
+					}
+					insertErr = table.InsertEdge(e)
+				})
+				if insertErr != nil {
+					errs[w] = insertErr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Step2Output{}, fmt.Errorf("device: CPU hashing: %w", err)
+		}
+	}
+	out := collectStep2(table, k, kmers)
+	out.Seconds = c.Cal.CPUStep2Seconds(kmers, c.Threads, out.TableBytes)
+	out.ComputeSeconds = out.Seconds
+	return out, nil
+}
+
+// ErrDeviceMemory reports that a partition's working set does not fit in
+// the GPU's device memory. The paper's K40m carries 12 GB, which is why
+// partition counts are chosen so each hash table fits on-device (§III-A)
+// and why device compute is not overlapped with transfer (§IV). The fix is
+// a larger partition count.
+var ErrDeviceMemory = errors.New("device: partition exceeds GPU memory; increase the partition count")
+
+// GPU is the simulated device processor.
+type GPU struct {
+	// Index distinguishes multiple devices ("GPU0", "GPU1").
+	Index int
+	// Cal is the timing calibration.
+	Cal costmodel.Calibration
+	// MemoryBytes bounds the device working set (hash table + resident
+	// partition). Zero means unlimited; the paper's K40m has 12 GB.
+	MemoryBytes int64
+}
+
+var _ Processor = (*GPU)(nil)
+
+// Name implements Processor.
+func (g *GPU) Name() string { return fmt.Sprintf("GPU%d", g.Index) }
+
+// Kind implements Processor.
+func (g *GPU) Kind() Kind { return KindGPU }
+
+// Step1 runs the MSP kernel: the device receives 2-bit encoded reads
+// (bases/4 bytes), computes superkmer ids and offsets, and returns offset
+// records the host turns into superkmers — the paper's split where the GPU
+// does the O(LKP) minimizer search and the CPU the irregular memory
+// movement (§III-D).
+func (g *GPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
+	sc := msp.Scanner{K: k, P: p}
+	var all []msp.Superkmer
+	var bases int64
+	for _, rd := range reads {
+		all = sc.Superkmers(all, rd.Bases)
+		bases += int64(len(rd.Bases))
+	}
+	// Transfer: encoded reads down, superkmer (id, offset, length) records
+	// (12 bytes each) back up.
+	transfer := bases/4 + int64(len(all))*12
+	seconds := g.Cal.GPUStep1Seconds(bases, transfer)
+	return Step1Output{
+		Superkmers:      all,
+		Bases:           bases,
+		Seconds:         seconds,
+		TransferSeconds: g.Cal.TransferSeconds(transfer),
+		TransferBytes:   transfer,
+	}, nil
+}
+
+// Step2 runs the hashing kernel in SIMT order: work items (k-mer edge
+// observations) are processed in warps of 32, and each warp's probe cost is
+// its slowest lane's, reproducing the thread-divergence penalty of §III-D.
+func (g *GPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
+	if g.MemoryBytes > 0 {
+		var partBytes int64
+		for _, sk := range sks {
+			partBytes += int64(msp.EncodedSize(len(sk.Bases)))
+		}
+		if need := hashtable.MemoryBytesFor(tableSlots) + partBytes; need > g.MemoryBytes {
+			return Step2Output{}, fmt.Errorf("%w: need %d bytes, have %d",
+				ErrDeviceMemory, need, g.MemoryBytes)
+		}
+	}
+	table, err := hashtable.New(k, tableSlots)
+	if err != nil {
+		return Step2Output{}, err
+	}
+	var kmers int64
+	var warpMaxSum, warpMeanSum float64
+	var warps int
+
+	lane := 0
+	var warpProbes [WarpSize]int
+	flushWarp := func() {
+		if lane == 0 {
+			return
+		}
+		max, sum := 0, 0
+		for i := 0; i < lane; i++ {
+			if warpProbes[i] > max {
+				max = warpProbes[i]
+			}
+			sum += warpProbes[i]
+		}
+		warpMaxSum += float64(max)
+		warpMeanSum += float64(sum) / float64(lane)
+		warps++
+		lane = 0
+	}
+
+	var insertErr error
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(k))
+		msp.ForEachKmerEdge(sk, k, func(e msp.KmerEdge) {
+			if insertErr != nil {
+				return
+			}
+			probes, err := table.InsertEdgeCounted(e)
+			if err != nil {
+				insertErr = err
+				return
+			}
+			warpProbes[lane] = probes
+			lane++
+			if lane == WarpSize {
+				flushWarp()
+			}
+		})
+		if insertErr != nil {
+			return Step2Output{}, fmt.Errorf("device: GPU hashing: %w", insertErr)
+		}
+	}
+	flushWarp()
+
+	out := collectStep2(table, k, kmers)
+	// Transfer: the encoded superkmer partition down, the subgraph up.
+	var skBytes int64
+	for _, sk := range sks {
+		skBytes += int64(msp.EncodedSize(len(sk.Bases)))
+	}
+	out.TransferBytes = skBytes + graph.SerializedSize(out.Graph.NumVertices())
+	out.TransferSeconds = g.Cal.TransferSeconds(out.TransferBytes)
+	out.ComputeSeconds = g.Cal.GPUStep2Seconds(kmers, 0, out.TableBytes)
+	out.Seconds = out.ComputeSeconds + out.TransferSeconds
+	if warps > 0 && warpMeanSum > 0 {
+		out.WarpDivergence = warpMaxSum / warpMeanSum
+	}
+	return out, nil
+}
+
+// collectStep2 materialises the table into a sorted subgraph plus counters.
+func collectStep2(table *hashtable.Table, k int, kmers int64) Step2Output {
+	sub := &graph.Subgraph{K: k, Vertices: make([]graph.Vertex, 0, table.Len())}
+	table.ForEach(func(e hashtable.Entry) {
+		sub.Vertices = append(sub.Vertices, graph.Vertex{Kmer: e.Kmer, Counts: e.Counts})
+	})
+	sub.Sort()
+	m := table.Metrics()
+	return Step2Output{
+		Graph:           sub,
+		Kmers:           kmers,
+		TableBytes:      table.MemoryBytes(),
+		Distinct:        int64(table.Len()),
+		LockedInserts:   m.Inserts.Load(),
+		LockFreeUpdates: m.Updates.Load(),
+	}
+}

@@ -1,0 +1,256 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/hashtable"
+	"parahash/internal/msp"
+	"parahash/internal/simulate"
+)
+
+func testReads(t testing.TB) []fastq.Read {
+	t.Helper()
+	d, err := simulate.Generate(simulate.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Reads
+}
+
+func gatherSuperkmers(t testing.TB, reads []fastq.Read, k, p int) []msp.Superkmer {
+	t.Helper()
+	var sks []msp.Superkmer
+	for _, rd := range reads {
+		sks = msp.SuperkmersFromRead(sks, rd.Bases, k, p)
+	}
+	return sks
+}
+
+func TestKindString(t *testing.T) {
+	if KindCPU.String() != "CPU" || KindGPU.String() != "GPU" || Kind(0).String() != "unknown" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestCPUAndGPUStep1Agree(t *testing.T) {
+	reads := testReads(t)
+	cal := costmodel.DefaultCalibration()
+	cpu := &CPU{Threads: 4, Cal: cal}
+	gpu := &GPU{Index: 0, Cal: cal}
+
+	a, err := cpu.Step1(reads, 27, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gpu.Step1(reads, 27, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Superkmers) != len(b.Superkmers) {
+		t.Fatalf("superkmer counts differ: %d vs %d", len(a.Superkmers), len(b.Superkmers))
+	}
+	if a.Bases != b.Bases {
+		t.Fatalf("base counts differ: %d vs %d", a.Bases, b.Bases)
+	}
+	for i := range a.Superkmers {
+		if a.Superkmers[i].Minimizer != b.Superkmers[i].Minimizer ||
+			len(a.Superkmers[i].Bases) != len(b.Superkmers[i].Bases) {
+			t.Fatalf("superkmer %d differs between CPU and GPU", i)
+		}
+	}
+	if a.Seconds <= 0 || b.Seconds <= 0 {
+		t.Error("virtual time not charged")
+	}
+	if a.TransferBytes != 0 {
+		t.Error("CPU should not report transfer")
+	}
+	if b.TransferBytes <= 0 || b.TransferSeconds <= 0 {
+		t.Error("GPU transfer not accounted")
+	}
+}
+
+func TestCPUAndGPUStep2ProduceIdenticalGraphs(t *testing.T) {
+	reads := testReads(t)
+	k, p := 27, 11
+	sks := gatherSuperkmers(t, reads, k, p)
+	slots := hashtable.SizeForKmers(int64(len(sks)*80), 2, 0.65)
+
+	cal := costmodel.DefaultCalibration()
+	cpu := &CPU{Threads: 4, Cal: cal}
+	gpu := &GPU{Index: 1, Cal: cal}
+
+	a, err := cpu.Step2(sks, k, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gpu.Step2(sks, k, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Equal(b.Graph) {
+		t.Fatal("CPU and GPU built different graphs")
+	}
+	// Both must match the naive oracle.
+	want := graph.BuildNaive(reads, k)
+	if !a.Graph.Equal(want) {
+		t.Fatal("device graph differs from naive reference")
+	}
+	if a.Kmers != b.Kmers || a.Kmers == 0 {
+		t.Errorf("kmer counts: %d vs %d", a.Kmers, b.Kmers)
+	}
+	if a.Distinct != int64(want.NumVertices()) {
+		t.Errorf("distinct = %d, want %d", a.Distinct, want.NumVertices())
+	}
+}
+
+func TestGPUStep2Accounting(t *testing.T) {
+	reads := testReads(t)
+	k, p := 27, 11
+	sks := gatherSuperkmers(t, reads, k, p)
+	gpu := &GPU{Cal: costmodel.DefaultCalibration()}
+	out, err := gpu.Step2(sks, k, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TransferBytes <= 0 {
+		t.Error("no transfer bytes accounted")
+	}
+	if out.Seconds <= out.ComputeSeconds {
+		t.Error("GPU elapsed should include transfer on top of compute")
+	}
+	if out.WarpDivergence < 1 {
+		t.Errorf("warp divergence = %.3f, must be >= 1", out.WarpDivergence)
+	}
+	if out.LockedInserts != out.Distinct {
+		t.Errorf("locked inserts %d != distinct %d", out.LockedInserts, out.Distinct)
+	}
+	if out.LockFreeUpdates != out.Kmers-out.Distinct {
+		t.Errorf("lock-free updates %d, want %d", out.LockFreeUpdates, out.Kmers-out.Distinct)
+	}
+}
+
+func TestCPUStep2ThreadCountInvariance(t *testing.T) {
+	reads := testReads(t)
+	k, p := 27, 11
+	sks := gatherSuperkmers(t, reads, k, p)
+	cal := costmodel.DefaultCalibration()
+	var prev *graph.Subgraph
+	for _, threads := range []int{1, 2, 8} {
+		cpu := &CPU{Threads: threads, Cal: cal}
+		out, err := cpu.Step2(sks, k, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !out.Graph.Equal(prev) {
+			t.Fatalf("graph changed with %d threads", threads)
+		}
+		prev = out.Graph
+	}
+}
+
+func TestCPUVirtualTimeScalesWithThreads(t *testing.T) {
+	reads := testReads(t)
+	k, p := 27, 11
+	sks := gatherSuperkmers(t, reads, k, p)
+	cal := costmodel.DefaultCalibration()
+	t1, err := (&CPU{Threads: 1, Cal: cal}).Step2(sks, k, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := (&CPU{Threads: 8, Cal: cal}).Step2(sks, k, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t1.Seconds / t8.Seconds
+	if ratio < 7.9 || ratio > 8.1 {
+		t.Errorf("1->8 thread speedup = %.2f, want 8", ratio)
+	}
+}
+
+func TestCPUValidation(t *testing.T) {
+	cpu := &CPU{Threads: 0, Cal: costmodel.DefaultCalibration()}
+	if _, err := cpu.Step1(nil, 27, 11); err == nil {
+		t.Error("threads=0 accepted in Step1")
+	}
+	if _, err := cpu.Step2(nil, 27, 16); err == nil {
+		t.Error("threads=0 accepted in Step2")
+	}
+}
+
+func TestProcessorNames(t *testing.T) {
+	cpu := &CPU{Threads: 1}
+	if cpu.Name() != "CPU" || cpu.Kind() != KindCPU {
+		t.Error("CPU identity broken")
+	}
+	gpu := &GPU{Index: 1}
+	if gpu.Name() != "GPU1" || gpu.Kind() != KindGPU {
+		t.Error("GPU identity broken")
+	}
+}
+
+func TestEmptyPartition(t *testing.T) {
+	cal := costmodel.DefaultCalibration()
+	cpu := &CPU{Threads: 2, Cal: cal}
+	out, err := cpu.Step2(nil, 27, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Graph.NumVertices() != 0 || out.Kmers != 0 {
+		t.Error("empty partition should build empty graph")
+	}
+	gpu := &GPU{Cal: cal}
+	gout, err := gpu.Step2(nil, 27, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gout.Graph.NumVertices() != 0 || gout.WarpDivergence != 0 {
+		t.Error("empty GPU partition should be empty with no divergence")
+	}
+}
+
+func TestGPUDeviceMemoryLimit(t *testing.T) {
+	reads := testReads(t)
+	sks := gatherSuperkmers(t, reads, 27, 11)
+	gpu := &GPU{Cal: costmodel.DefaultCalibration(), MemoryBytes: 1024}
+	_, err := gpu.Step2(sks, 27, 1<<16)
+	if !errors.Is(err, ErrDeviceMemory) {
+		t.Fatalf("expected ErrDeviceMemory, got %v", err)
+	}
+	// A sufficient budget succeeds.
+	gpu.MemoryBytes = 1 << 30
+	if _, err := gpu.Step2(sks, 27, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateHost(t *testing.T) {
+	cal := CalibrateHost(4)
+	if err := cal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cal.CPUThreads != 4 {
+		t.Errorf("threads = %d", cal.CPUThreads)
+	}
+	// Measured throughputs must be sane: a modern CPU scans at least a few
+	// Mbases/s and hashes at least a few hundred k kmers/s per thread.
+	if cal.CPUThreadStep1BasesPerSec < 1e6 {
+		t.Errorf("implausible Step1 throughput %.0f bases/s", cal.CPUThreadStep1BasesPerSec)
+	}
+	if cal.CPUThreadStep2KmersPerSec < 1e5 {
+		t.Errorf("implausible Step2 throughput %.0f kmers/s", cal.CPUThreadStep2KmersPerSec)
+	}
+	// GPU constants keep the paper's relative speeds.
+	ref := costmodel.DefaultCalibration()
+	wantRatio := ref.GPUStep2KmersPerSec / ref.CPUThreadStep2KmersPerSec
+	gotRatio := cal.GPUStep2KmersPerSec / cal.CPUThreadStep2KmersPerSec
+	if gotRatio < wantRatio*0.99 || gotRatio > wantRatio*1.01 {
+		t.Errorf("GPU/CPU ratio drifted: %.2f vs %.2f", gotRatio, wantRatio)
+	}
+	if CalibrateHost(0).CPUThreads != 1 {
+		t.Error("threads floor broken")
+	}
+}

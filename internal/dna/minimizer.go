@@ -1,0 +1,116 @@
+package dna
+
+// This file implements P-minimum-substrings (Definition 1 of the paper) and
+// the per-k-mer minimizer values used by the Minimum Substring Partitioning
+// step. A minimizer is represented as the packed 2-bit value of its P bases
+// in a uint64 (so P <= MaxP); integer order equals lexicographic order.
+//
+// ParaHash builds a bi-directed graph on canonical k-mers, so the minimizer
+// of a k-mer is taken over the length-P substrings of both the k-mer and its
+// reverse complement. This guarantees that a k-mer and its reverse
+// complement occurring anywhere in the input share the same minimizer and
+// therefore land in the same superkmer partition.
+
+// MaxP is the largest minimizer length representable in a packed uint64.
+const MaxP = 31
+
+// PmerMask returns the mask covering a packed length-p value.
+func PmerMask(p int) uint64 {
+	return (uint64(1) << (2 * p)) - 1
+}
+
+// CanonicalPmers computes, for every position j in 0..len(read)-p, the
+// canonical p-mer value at j: the smaller of the packed p-mer and the packed
+// reverse complement of that p-mer. The result is appended to dst.
+func CanonicalPmers(dst []uint64, read []Base, p int) []uint64 {
+	n := len(read) - p + 1
+	if n <= 0 {
+		return dst
+	}
+	if cap(dst)-len(dst) < n {
+		grown := make([]uint64, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	mask := PmerMask(p)
+	rcShift := uint(2 * (p - 1))
+	var fwd, rc uint64
+	for j := 0; j < len(read); j++ {
+		b := uint64(read[j] & 3)
+		fwd = (fwd<<2 | b) & mask
+		rc = rc>>2 | (b^3)<<rcShift
+		if j >= p-1 {
+			if rc < fwd {
+				dst = append(dst, rc)
+			} else {
+				dst = append(dst, fwd)
+			}
+		}
+	}
+	return dst
+}
+
+// Minimizers computes the minimizer (the canonical P-minimum-substring
+// value) of every k-mer in the read: result[i] is the minimum canonical
+// p-mer value over offsets i..i+k-p. The result is appended to dst.
+//
+// The computation uses a monotonic-deque sliding-window minimum, so a read
+// of length L costs O(L) rather than the O(L*K*P) naive rescan.
+func Minimizers(dst []uint64, read []Base, k, p int) []uint64 {
+	if p > k {
+		panic("dna: minimizer length P exceeds K")
+	}
+	nk := len(read) - k + 1
+	if nk <= 0 {
+		return dst
+	}
+	pmers := CanonicalPmers(nil, read, p)
+	w := k - p + 1 // window: each k-mer spans w consecutive p-mers
+
+	// deque holds indices into pmers with non-decreasing values.
+	deque := make([]int, 0, w)
+	for j := 0; j < len(pmers); j++ {
+		for len(deque) > 0 && pmers[deque[len(deque)-1]] > pmers[j] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, j)
+		if start := j - w + 1; start >= 0 {
+			if deque[0] < start {
+				deque = deque[1:]
+			}
+			dst = append(dst, pmers[deque[0]])
+		}
+	}
+	return dst
+}
+
+// MinimizersNaive is the direct O(L*K) re-scan implementation of Minimizers,
+// kept as a test oracle for the deque version.
+func MinimizersNaive(dst []uint64, read []Base, k, p int) []uint64 {
+	nk := len(read) - k + 1
+	if nk <= 0 {
+		return dst
+	}
+	pmers := CanonicalPmers(nil, read, p)
+	w := k - p + 1
+	for i := 0; i < nk; i++ {
+		min := pmers[i]
+		for j := i + 1; j < i+w; j++ {
+			if pmers[j] < min {
+				min = pmers[j]
+			}
+		}
+		dst = append(dst, min)
+	}
+	return dst
+}
+
+// PmerString renders a packed p-mer value as its base string.
+func PmerString(v uint64, p int) string {
+	buf := make([]byte, p)
+	for i := p - 1; i >= 0; i-- {
+		buf[i] = Base(v & 3).Char()
+		v >>= 2
+	}
+	return string(buf)
+}

@@ -1,0 +1,231 @@
+// Package exps regenerates every table and figure of the ParaHash paper's
+// evaluation section (§V) on the simulated substrate. Each experiment is a
+// named runner producing a Report whose rows mirror the series the paper
+// plots; EXPERIMENTS.md records the qualitative claims each one must
+// reproduce (orderings, ratios, crossovers) next to the measured values.
+package exps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"parahash/internal/fastq"
+	"parahash/internal/simulate"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies the dataset profile sizes (1 = the repo's scaled
+	// defaults). Quick test runs use a fraction.
+	Scale float64
+	// Verbose adds explanatory notes to reports.
+	Verbose bool
+}
+
+// scale resolves the effective dataset scale.
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment name ("table1", "fig7", ...).
+	ID string
+	// Title describes what the paper artefact shows.
+	Title string
+	// Header and Rows carry the tabular data.
+	Header []string
+	Rows   [][]string
+	// Notes carries qualitative observations (the paper-vs-measured
+	// comparison hooks recorded in EXPERIMENTS.md).
+	Notes []string
+}
+
+// Format renders the report as an aligned text table.
+func (r Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner regenerates one experiment.
+type Runner func(Options) (Report, error)
+
+// Registry maps each paper artefact id to its runner. The ids follow the
+// per-experiment index in DESIGN.md.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":     Table1,
+		"table2":     Table2,
+		"table3":     Table3,
+		"fig6":       Fig6,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig9":       Fig9,
+		"fig10":      Fig10,
+		"fig11":      Fig11,
+		"fig12":      Fig12,
+		"fig13":      Fig13,
+		"fig14":      Fig14,
+		"contention": Contention,
+
+		// Ablations of the paper's design choices (DESIGN.md §4).
+		"ablation-divergence": AblationDivergence,
+		"ablation-locking":    AblationLocking,
+		"ablation-encoding":   AblationEncoding,
+		"ablation-presize":    AblationPresize,
+		"ablation-extensions": AblationExtensions,
+	}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (Report, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return Report{}, fmt.Errorf("exps: unknown experiment %q (have %s)",
+			id, strings.Join(List(), ", "))
+	}
+	return r(opts)
+}
+
+// List returns the registered experiment ids, sorted.
+func List() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// datasetCache memoises generated datasets per (profile name, scale).
+var (
+	datasetMu    sync.Mutex
+	datasetCache = map[string][]fastq.Read{}
+)
+
+// chr14Reads returns the scaled Human Chr14 stand-in reads.
+func chr14Reads(opts Options) ([]fastq.Read, simulate.Profile, error) {
+	p := simulate.HumanChr14Profile().Scale(opts.scale())
+	reads, err := cachedReads(p)
+	return reads, p, err
+}
+
+// bumblebeeReads returns the scaled Bumblebee stand-in reads.
+func bumblebeeReads(opts Options) ([]fastq.Read, simulate.Profile, error) {
+	p := simulate.BumblebeeProfile().Scale(opts.scale())
+	reads, err := cachedReads(p)
+	return reads, p, err
+}
+
+func cachedReads(p simulate.Profile) ([]fastq.Read, error) {
+	key := fmt.Sprintf("%s/%d/%d", p.Name, p.GenomeSize, p.NumReads)
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	if reads, ok := datasetCache[key]; ok {
+		return reads, nil
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	datasetCache[key] = d.Reads
+	return d.Reads, nil
+}
+
+// Formatting helpers shared by the experiment files.
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fs formats a duration in seconds adaptively: scaled datasets produce
+// millisecond-range virtual times that %.3f would flatten to zero.
+func fs(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case av >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+func millions(n int64) string { return fmt.Sprintf("%.2f", float64(n)/1e6) }
+
+func megabytes(n int64) string { return fmt.Sprintf("%.1f", float64(n)/(1<<20)) }
+
+// CSV renders the report as comma-separated values for plotting tools.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (r Report) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

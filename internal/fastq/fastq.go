@@ -1,0 +1,327 @@
+// Package fastq parses FASTA and FASTQ sequencing files into reads, and
+// splits inputs into equal-size partitions, which is how ParaHash Step 1
+// distributes the raw input across processors.
+//
+// The parser is streaming: it never materialises the whole file, matching
+// the paper's requirement that inputs larger than memory be processed
+// partition by partition.
+package fastq
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"parahash/internal/dna"
+)
+
+// Read is one sequencing read: an identifier and its 2-bit encoded bases.
+// Quality strings are not retained — De Bruijn graph construction uses only
+// the base calls.
+type Read struct {
+	// ID is the record identifier without the leading '@' or '>'.
+	ID string
+	// Bases is the 2-bit encoded sequence; unknown characters become 'A'.
+	Bases []dna.Base
+}
+
+// Format identifies the flavour of an input file.
+type Format int
+
+// Supported input formats.
+const (
+	FormatUnknown Format = iota
+	FormatFASTQ
+	FormatFASTA
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatFASTQ:
+		return "fastq"
+	case FormatFASTA:
+		return "fasta"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBadRecord reports a structurally invalid FASTA/FASTQ record.
+var ErrBadRecord = errors.New("fastq: malformed record")
+
+// Reader streams reads from a FASTA or FASTQ source. The format is sniffed
+// from the first record marker.
+type Reader struct {
+	br     *bufio.Reader
+	format Format
+	n      int // records delivered, for error context
+}
+
+// NewReader wraps r in a streaming FASTA/FASTQ parser.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Format returns the detected input format, valid after the first Next call.
+func (r *Reader) Format() Format { return r.format }
+
+// sniff determines the format from the first non-empty line's marker byte.
+func (r *Reader) sniff() error {
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case '\n', '\r':
+			continue
+		case '@':
+			r.format = FormatFASTQ
+		case '>':
+			r.format = FormatFASTA
+		default:
+			return fmt.Errorf("%w: input starts with %q, want '@' or '>'", ErrBadRecord, b)
+		}
+		return r.br.UnreadByte()
+	}
+}
+
+// readLine returns the next line without the trailing newline or CR.
+func (r *Reader) readLine() (string, error) {
+	line, err := r.br.ReadString('\n')
+	if err != nil && (line == "" || err != io.EOF) {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Next returns the next read, or io.EOF at end of input.
+func (r *Reader) Next() (Read, error) {
+	if r.format == FormatUnknown {
+		if err := r.sniff(); err != nil {
+			return Read{}, err
+		}
+	}
+	switch r.format {
+	case FormatFASTQ:
+		return r.nextFASTQ()
+	default:
+		return r.nextFASTA()
+	}
+}
+
+func (r *Reader) nextFASTQ() (Read, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Read{}, err
+	}
+	for header == "" {
+		if header, err = r.readLine(); err != nil {
+			return Read{}, err
+		}
+	}
+	if !strings.HasPrefix(header, "@") {
+		return Read{}, fmt.Errorf("%w: record %d header %q", ErrBadRecord, r.n, header)
+	}
+	seq, err := r.readLine()
+	if err != nil {
+		return Read{}, fmt.Errorf("%w: record %d truncated after header", ErrBadRecord, r.n)
+	}
+	plus, err := r.readLine()
+	if err != nil || !strings.HasPrefix(plus, "+") {
+		return Read{}, fmt.Errorf("%w: record %d missing '+' separator", ErrBadRecord, r.n)
+	}
+	if _, err := r.readLine(); err != nil { // quality line, discarded
+		return Read{}, fmt.Errorf("%w: record %d missing quality line", ErrBadRecord, r.n)
+	}
+	r.n++
+	return Read{ID: header[1:], Bases: dna.EncodeSeq(nil, seq)}, nil
+}
+
+func (r *Reader) nextFASTA() (Read, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Read{}, err
+	}
+	for header == "" {
+		if header, err = r.readLine(); err != nil {
+			return Read{}, err
+		}
+	}
+	if !strings.HasPrefix(header, ">") {
+		return Read{}, fmt.Errorf("%w: record %d header %q", ErrBadRecord, r.n, header)
+	}
+	var bases []dna.Base
+	for {
+		peek, err := r.br.Peek(1)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Read{}, err
+		}
+		if peek[0] == '>' {
+			break
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return Read{}, err
+		}
+		bases = dna.EncodeSeq(bases, line)
+	}
+	if len(bases) == 0 {
+		return Read{}, fmt.Errorf("%w: record %d has empty sequence", ErrBadRecord, r.n)
+	}
+	r.n++
+	return Read{ID: header[1:], Bases: bases}, nil
+}
+
+// ReadAll consumes the reader and returns every read.
+func ReadAll(r io.Reader) ([]Read, error) {
+	fr := NewReader(r)
+	var reads []Read
+	for {
+		rd, err := fr.Next()
+		if err == io.EOF {
+			return reads, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		reads = append(reads, rd)
+	}
+}
+
+// WriteFASTQ writes reads in FASTQ format with a constant quality line,
+// suitable for feeding other tools or re-parsing in tests.
+func WriteFASTQ(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, rd := range reads {
+		seq := dna.DecodeSeq(rd.Bases)
+		qual := strings.Repeat("I", len(seq))
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rd.ID, seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTA writes reads in single-line FASTA format.
+func WriteFASTA(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, rd := range reads {
+		if _, err := fmt.Fprintf(bw, ">%s\n%s\n", rd.ID, dna.DecodeSeq(rd.Bases)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// PartitionReads splits reads into n nearly equal-size groups by position,
+// mirroring ParaHash's equal-size input partitioning in Step 1. Every group
+// is non-overlapping and their concatenation is the input order.
+func PartitionReads(reads []Read, n int) [][]Read {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(reads) && len(reads) > 0 {
+		n = len(reads)
+	}
+	parts := make([][]Read, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(reads) / n
+		hi := (i + 1) * len(reads) / n
+		parts = append(parts, reads[lo:hi])
+	}
+	return parts
+}
+
+// TotalBases sums the base count across reads.
+func TotalBases(reads []Read) int {
+	total := 0
+	for _, rd := range reads {
+		total += len(rd.Bases)
+	}
+	return total
+}
+
+// CountKmers returns the number of k-mers the reads generate:
+// sum over reads of max(0, L-K+1) — the N(L-K+1) of the paper for
+// uniform-length reads.
+func CountKmers(reads []Read, k int) int {
+	total := 0
+	for _, rd := range reads {
+		if n := len(rd.Bases) - k + 1; n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+// sizeOfRead approximates a read's on-disk FASTQ footprint: header + seq +
+// '+' + qualities + newlines. Used by partition planners.
+func sizeOfRead(rd Read) int { return len(rd.ID) + 2*len(rd.Bases) + 8 }
+
+// ApproxFASTQBytes approximates the reads' on-disk FASTQ footprint, the
+// byte volume IO accounting charges for reading raw input.
+func ApproxFASTQBytes(reads []Read) int64 {
+	var n int64
+	for _, rd := range reads {
+		n += int64(sizeOfRead(rd))
+	}
+	return n
+}
+
+// PartitionBySize splits reads into groups whose approximate FASTQ byte
+// sizes are balanced, for inputs with heterogeneous read lengths.
+func PartitionBySize(reads []Read, n int) [][]Read {
+	if n <= 1 || len(reads) == 0 {
+		return [][]Read{reads}
+	}
+	total := 0
+	for _, rd := range reads {
+		total += sizeOfRead(rd)
+	}
+	target := (total + n - 1) / n
+	parts := make([][]Read, 0, n)
+	start, acc := 0, 0
+	for i, rd := range reads {
+		acc += sizeOfRead(rd)
+		if acc >= target && len(parts) < n-1 {
+			parts = append(parts, reads[start:i+1])
+			start, acc = i+1, 0
+		}
+	}
+	parts = append(parts, reads[start:])
+	return parts
+}
+
+// Validate sanity-checks a parsed read set against construction parameters
+// and returns a descriptive error for unusable inputs.
+func Validate(reads []Read, k int) error {
+	if k < 2 || k > dna.MaxK {
+		return fmt.Errorf("fastq: k=%d out of range [2,%d]", k, dna.MaxK)
+	}
+	usable := 0
+	for _, rd := range reads {
+		if len(rd.Bases) >= k {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return fmt.Errorf("fastq: no read is at least k=%d bases long", k)
+	}
+	return nil
+}
+
+// SprintStats renders a short human-readable summary of a read set.
+func SprintStats(reads []Read, k int) string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "reads=%d bases=%d kmers(K=%d)=%d",
+		len(reads), TotalBases(reads), k, CountKmers(reads, k))
+	return sb.String()
+}

@@ -1,0 +1,273 @@
+package fastq
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+const sampleFASTQ = `@read1
+ACGTACGT
++
+IIIIIIII
+@read2 extra info
+TTTTNGGG
++
+!!!!!!!!
+`
+
+const sampleFASTA = `>seq1 description
+ACGTACGT
+ACGT
+>seq2
+GGGG
+`
+
+func TestParseFASTQ(t *testing.T) {
+	reads, err := ReadAll(strings.NewReader(sampleFASTQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("got %d reads, want 2", len(reads))
+	}
+	if reads[0].ID != "read1" || dna.DecodeSeq(reads[0].Bases) != "ACGTACGT" {
+		t.Errorf("read1 parsed wrong: %+v", reads[0])
+	}
+	// N normalised to A.
+	if got := dna.DecodeSeq(reads[1].Bases); got != "TTTTAGGG" {
+		t.Errorf("read2 bases = %q, want TTTTAGGG", got)
+	}
+}
+
+func TestParseFASTA(t *testing.T) {
+	reads, err := ReadAll(strings.NewReader(sampleFASTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("got %d reads, want 2", len(reads))
+	}
+	// Multi-line sequences concatenate.
+	if got := dna.DecodeSeq(reads[0].Bases); got != "ACGTACGTACGT" {
+		t.Errorf("seq1 = %q", got)
+	}
+	if reads[1].ID != "seq2" {
+		t.Errorf("seq2 id = %q", reads[1].ID)
+	}
+}
+
+func TestFormatSniffing(t *testing.T) {
+	r := NewReader(strings.NewReader(sampleFASTQ))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Format() != FormatFASTQ {
+		t.Errorf("format = %v, want fastq", r.Format())
+	}
+	r2 := NewReader(strings.NewReader(sampleFASTA))
+	if _, err := r2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Format() != FormatFASTA {
+		t.Errorf("format = %v, want fasta", r2.Format())
+	}
+	if FormatUnknown.String() != "unknown" || FormatFASTQ.String() != "fastq" || FormatFASTA.String() != "fasta" {
+		t.Error("Format.String broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"garbage\n",
+		"@r1\nACGT\nACGT\nIIII\n", // missing '+'
+		"@r1\nACGT\n",             // truncated
+	}
+	for _, in := range cases {
+		_, err := ReadAll(strings.NewReader(in))
+		if !errors.Is(err, ErrBadRecord) {
+			t.Errorf("input %q: err = %v, want ErrBadRecord", in, err)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	reads, err := ReadAll(strings.NewReader(""))
+	if err != nil || len(reads) != 0 {
+		t.Errorf("empty input: reads=%d err=%v", len(reads), err)
+	}
+}
+
+func TestWriteFASTQRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	orig := make([]Read, 25)
+	letters := "ACGT"
+	for i := range orig {
+		n := 50 + rng.Intn(60)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(letters[rng.Intn(4)])
+		}
+		orig[i] = Read{ID: "r" + string(rune('a'+i%26)), Bases: dna.EncodeSeq(nil, sb.String())}
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip count %d != %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		if parsed[i].ID != orig[i].ID || dna.DecodeSeq(parsed[i].Bases) != dna.DecodeSeq(orig[i].Bases) {
+			t.Fatalf("read %d differs after round trip", i)
+		}
+	}
+}
+
+func TestWriteFASTARoundTrip(t *testing.T) {
+	orig := []Read{
+		{ID: "a", Bases: dna.EncodeSeq(nil, "ACGTACGTT")},
+		{ID: "b", Bases: dna.EncodeSeq(nil, "GGGCCC")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || dna.DecodeSeq(parsed[1].Bases) != "GGGCCC" {
+		t.Fatalf("fasta round trip broken: %+v", parsed)
+	}
+}
+
+func TestPartitionReads(t *testing.T) {
+	reads := make([]Read, 10)
+	parts := PartitionReads(reads, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+		if len(p) < 3 || len(p) > 4 {
+			t.Errorf("unbalanced part size %d", len(p))
+		}
+	}
+	if total != 10 {
+		t.Errorf("partition lost reads: %d", total)
+	}
+	// More partitions than reads collapses to one read per part.
+	parts = PartitionReads(reads[:2], 5)
+	if len(parts) != 2 {
+		t.Errorf("over-partitioning: got %d parts", len(parts))
+	}
+	// n <= 0 falls back to a single partition.
+	if got := PartitionReads(reads, 0); len(got) != 1 || len(got[0]) != 10 {
+		t.Errorf("n=0 partitioning wrong: %d parts", len(got))
+	}
+}
+
+func TestPartitionBySize(t *testing.T) {
+	reads := []Read{
+		{ID: "big", Bases: make([]dna.Base, 1000)},
+		{ID: "s1", Bases: make([]dna.Base, 10)},
+		{ID: "s2", Bases: make([]dna.Base, 10)},
+		{ID: "s3", Bases: make([]dna.Base, 10)},
+	}
+	parts := PartitionBySize(reads, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	if len(parts[0]) != 1 || parts[0][0].ID != "big" {
+		t.Errorf("size-based split should isolate the big read: %+v", parts[0])
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(reads) {
+		t.Errorf("lost reads: %d of %d", total, len(reads))
+	}
+}
+
+func TestCountKmersAndTotalBases(t *testing.T) {
+	reads := []Read{
+		{Bases: make([]dna.Base, 101)},
+		{Bases: make([]dna.Base, 101)},
+		{Bases: make([]dna.Base, 10)}, // shorter than K -> 0 kmers
+	}
+	if got := CountKmers(reads, 27); got != 2*(101-27+1) {
+		t.Errorf("CountKmers = %d", got)
+	}
+	if got := TotalBases(reads); got != 212 {
+		t.Errorf("TotalBases = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	reads := []Read{{Bases: make([]dna.Base, 30)}}
+	if err := Validate(reads, 27); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+	if err := Validate(reads, 64); err == nil {
+		t.Error("k > MaxK accepted")
+	}
+	if err := Validate(reads, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if err := Validate([]Read{{Bases: make([]dna.Base, 5)}}, 27); err == nil {
+		t.Error("all-short input accepted")
+	}
+}
+
+func TestSprintStats(t *testing.T) {
+	reads := []Read{{Bases: make([]dna.Base, 101)}}
+	s := SprintStats(reads, 27)
+	if !strings.Contains(s, "reads=1") || !strings.Contains(s, "kmers(K=27)=75") {
+		t.Errorf("stats string = %q", s)
+	}
+}
+
+func TestReaderCRLF(t *testing.T) {
+	in := "@r1\r\nACGT\r\n+\r\nIIII\r\n"
+	reads, err := ReadAll(strings.NewReader(in))
+	if err != nil || len(reads) != 1 || dna.DecodeSeq(reads[0].Bases) != "ACGT" {
+		t.Errorf("CRLF parsing failed: %v %+v", err, reads)
+	}
+}
+
+func TestReaderLargeStream(t *testing.T) {
+	// Verify streaming over a bigger-than-buffer input.
+	var buf bytes.Buffer
+	want := 3000
+	seq := strings.Repeat("ACGT", 30)
+	for i := 0; i < want; i++ {
+		buf.WriteString("@r\n" + seq + "\n+\n" + strings.Repeat("I", len(seq)) + "\n")
+	}
+	r := NewReader(&buf)
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("streamed %d reads, want %d", n, want)
+	}
+}

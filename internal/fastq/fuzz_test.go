@@ -1,0 +1,62 @@
+package fastq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAll checks the parser never panics and that whatever parses also
+// re-serialises and re-parses to the same base strings.
+func FuzzReadAll(f *testing.F) {
+	f.Add([]byte(sampleFASTQ))
+	f.Add([]byte(sampleFASTA))
+	f.Add([]byte("@r\nACGT\n+\nIIII\n"))
+	f.Add([]byte(">s\nACGT\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("@r\r\nACGT\r\n+\r\nIIII\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reads, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round trip: what parsed must survive re-serialisation.
+		var buf bytes.Buffer
+		if err := WriteFASTQ(&buf, reads); err != nil {
+			t.Fatalf("re-serialise: %v", err)
+		}
+		again, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(again) != len(reads) {
+			t.Fatalf("round trip %d -> %d reads", len(reads), len(again))
+		}
+		for i := range reads {
+			if len(again[i].Bases) != len(reads[i].Bases) {
+				t.Fatalf("read %d length changed", i)
+			}
+		}
+	})
+}
+
+// FuzzReadAllAuto additionally exercises the gzip sniffing path.
+func FuzzReadAllAuto(f *testing.F) {
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	f.Add([]byte(sampleFASTQ))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadAllAuto(bytes.NewReader(data)) // must not panic
+	})
+}
+
+func TestFuzzSeedsParse(t *testing.T) {
+	// The well-formed seeds must actually parse.
+	for _, s := range []string{sampleFASTQ, sampleFASTA} {
+		if _, err := ReadAll(strings.NewReader(s)); err != nil {
+			t.Errorf("seed failed to parse: %v", err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package fastq
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Real-world sequencing archives ship gzip-compressed (.fastq.gz); this
+// file adds transparent decompression so every reader entry point accepts
+// either plain or gzipped streams.
+
+// gzipMagic is the two-byte gzip stream header.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// MaybeGzip wraps r with a gzip decompressor if the stream starts with the
+// gzip magic bytes, and returns it unchanged otherwise.
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<12)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Too short to be gzip; let the FASTA/FASTQ parser report EOF or
+		// a malformed record itself.
+		return br, nil
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("fastq: bad gzip stream: %w", err)
+	}
+	return zr, nil
+}
+
+// NewAutoReader returns a streaming FASTA/FASTQ parser over a plain or
+// gzip-compressed source.
+func NewAutoReader(r io.Reader) (*Reader, error) {
+	plain, err := MaybeGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(plain), nil
+}
+
+// ReadAllAuto consumes a plain or gzipped FASTA/FASTQ stream.
+func ReadAllAuto(r io.Reader) ([]Read, error) {
+	fr, err := NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var reads []Read
+	for {
+		rd, err := fr.Next()
+		if err == io.EOF {
+			return reads, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		reads = append(reads, rd)
+	}
+}
+
+// WriteFASTQGzip writes reads as gzip-compressed FASTQ.
+func WriteFASTQGzip(w io.Writer, reads []Read) error {
+	zw := gzip.NewWriter(w)
+	if err := WriteFASTQ(zw, reads); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}

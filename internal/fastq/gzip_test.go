@@ -1,0 +1,79 @@
+package fastq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+func TestReadAllAutoPlain(t *testing.T) {
+	reads, err := ReadAllAuto(strings.NewReader(sampleFASTQ))
+	if err != nil || len(reads) != 2 {
+		t.Fatalf("plain auto-read: %v, %d reads", err, len(reads))
+	}
+}
+
+func TestReadAllAutoGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(sampleFASTQ)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := ReadAllAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 || dna.DecodeSeq(reads[0].Bases) != "ACGTACGT" {
+		t.Fatalf("gzip auto-read wrong: %d reads", len(reads))
+	}
+}
+
+func TestWriteFASTQGzipRoundTrip(t *testing.T) {
+	orig := []Read{
+		{ID: "x", Bases: dna.EncodeSeq(nil, "ACGTACGTAA")},
+		{ID: "y", Bases: dna.EncodeSeq(nil, "TTTTGGGGCC")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTQGzip(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Must actually be gzip.
+	if buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatal("output is not gzip")
+	}
+	reads, err := ReadAllAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 || reads[1].ID != "y" {
+		t.Fatalf("round trip: %d reads", len(reads))
+	}
+}
+
+func TestReadAllAutoEmpty(t *testing.T) {
+	reads, err := ReadAllAuto(strings.NewReader(""))
+	if err != nil || len(reads) != 0 {
+		t.Fatalf("empty auto-read: %v, %d", err, len(reads))
+	}
+}
+
+func TestReadAllAutoCorruptGzip(t *testing.T) {
+	// Correct magic, garbage body.
+	if _, err := ReadAllAuto(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestReadAllAutoOneByte(t *testing.T) {
+	// A single '@' can't be peeked as gzip and should fall through to the
+	// parser (which reports a malformed record).
+	if _, err := ReadAllAuto(strings.NewReader("@")); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"parahash/internal/dna"
+)
+
+// This file implements unitig compaction: collapsing maximal non-branching
+// paths of the bi-directed De Bruijn graph into contig strings. The De
+// Bruijn graph construction the paper benchmarks is the input to exactly
+// this traversal in a full assembler, and the edge multiplicities ParaHash
+// records (unlike plain k-mer counters, §II-B) are what make the traversal
+// possible; the assembly example exercises it end to end.
+
+// oriented identifies a vertex plus the strand in which the walk passes it.
+type oriented struct {
+	idx int
+	fwd bool
+}
+
+// compacter holds walk state over a sorted subgraph.
+type compacter struct {
+	g       *Subgraph
+	visited []bool
+}
+
+// rightEdges lists the bases extending the walk to the right of an oriented
+// vertex: canonical right edges when forward, complemented left edges when
+// reversed. Edges whose target vertex is not in the graph are ignored —
+// after multiplicity filtering, counters may still reference removed error
+// vertices, and following them would fragment every unitig.
+func (c *compacter) rightEdges(o oriented) []dna.Base {
+	v := c.g.Vertices[o.idx]
+	var out []dna.Base
+	for b := dna.Base(0); b < 4; b++ {
+		var present bool
+		if o.fwd {
+			present = v.Count(Right, b) > 0
+		} else {
+			present = v.Count(Left, b.Complement()) > 0
+		}
+		if !present {
+			continue
+		}
+		target := c.orientedKmer(o).AppendBase(b, c.g.K)
+		if canon, _ := target.Canonical(c.g.K); c.indexOf(canon) >= 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// leftEdges lists bases extending to the left, symmetric to rightEdges.
+func (c *compacter) leftEdges(o oriented) []dna.Base {
+	v := c.g.Vertices[o.idx]
+	var out []dna.Base
+	for b := dna.Base(0); b < 4; b++ {
+		var present bool
+		if o.fwd {
+			present = v.Count(Left, b) > 0
+		} else {
+			present = v.Count(Right, b.Complement()) > 0
+		}
+		if !present {
+			continue
+		}
+		target := c.orientedKmer(o).PrependBase(b, c.g.K)
+		if canon, _ := target.Canonical(c.g.K); c.indexOf(canon) >= 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// orientedKmer returns the k-mer as read in the walk direction.
+func (c *compacter) orientedKmer(o oriented) dna.Kmer {
+	km := c.g.Vertices[o.idx].Kmer
+	if o.fwd {
+		return km
+	}
+	return km.ReverseComplement(c.g.K)
+}
+
+// step follows the unique right edge of o, returning the successor and
+// whether the step is unambiguous on both endpoints (out-degree 1 at o,
+// in-degree 1 at the successor).
+func (c *compacter) step(o oriented) (next oriented, base dna.Base, ok bool) {
+	edges := c.rightEdges(o)
+	if len(edges) != 1 {
+		return oriented{}, 0, false
+	}
+	b := edges[0]
+	raw := c.orientedKmer(o).AppendBase(b, c.g.K)
+	canon, fwd := raw.Canonical(c.g.K)
+	i := c.indexOf(canon)
+	if i < 0 {
+		return oriented{}, 0, false
+	}
+	succ := oriented{idx: i, fwd: fwd}
+	if len(c.leftEdges(succ)) != 1 {
+		return succ, b, false
+	}
+	return succ, b, true
+}
+
+func (c *compacter) indexOf(km dna.Kmer) int {
+	lo, hi := 0, len(c.g.Vertices)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.g.Vertices[mid].Kmer.Less(km) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.g.Vertices) && c.g.Vertices[lo].Kmer == km {
+		return lo
+	}
+	return -1
+}
+
+// Unitigs compacts the subgraph into maximal non-branching path strings.
+// The subgraph must be sorted. Every vertex appears in exactly one unitig;
+// a unitig of m vertices is a string of K+m-1 bases. Output order is
+// deterministic (by starting vertex index).
+func (g *Subgraph) Unitigs() []string {
+	c := &compacter{g: g, visited: make([]bool, len(g.Vertices))}
+	var unitigs []string
+	for i := range g.Vertices {
+		if c.visited[i] {
+			continue
+		}
+		unitigs = append(unitigs, c.walkFrom(i))
+	}
+	return unitigs
+}
+
+// walkFrom builds the maximal unitig through vertex i: it first retreats
+// left while steps are unambiguous, then emits bases walking right.
+func (c *compacter) walkFrom(i int) string {
+	seq, _ := c.walkPathFrom(i)
+	return seq
+}

@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parahash/internal/simulate"
+)
+
+func linearGraph(t *testing.T) (*Subgraph, simulate.Profile) {
+	t.Helper()
+	p := simulate.Profile{
+		Name: "gfa-linear", GenomeSize: 2000, ReadLength: 100, NumReads: 600,
+		ErrorLambda: 0, Seed: 21,
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildNaive(d.Reads, 27), p
+}
+
+func TestCompactLinearGenome(t *testing.T) {
+	g, p := linearGraph(t)
+	cg := g.Compact()
+	if len(cg.Unitigs) == 0 {
+		t.Fatal("no unitigs")
+	}
+	// Total vertices conserved.
+	total := 0
+	longest := 0
+	for _, u := range cg.Unitigs {
+		total += len(u.Seq) - cg.K + 1
+		if len(u.Seq) > longest {
+			longest = len(u.Seq)
+		}
+		if u.Coverage <= 0 {
+			t.Errorf("unitig %d has non-positive coverage", u.ID)
+		}
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("compacted %d vertices, graph has %d", total, g.NumVertices())
+	}
+	if longest < p.GenomeSize/2 {
+		t.Errorf("longest unitig %d bp on an error-free genome of %d bp", longest, p.GenomeSize)
+	}
+}
+
+func TestCompactLinksConnectUnitigs(t *testing.T) {
+	// A genome with a repeat forces branching, producing several unitigs
+	// whose ends must be linked consistently.
+	p := simulate.Profile{
+		Name: "gfa-branch", GenomeSize: 4000, ReadLength: 100, NumReads: 2500,
+		ErrorLambda: 0.8, Seed: 22,
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildNaive(d.Reads, 27)
+	g.FilterByMultiplicity(6)
+	cg := g.Compact()
+	for _, l := range cg.Links {
+		if l.From < 0 || l.From >= len(cg.Unitigs) || l.To < 0 || l.To >= len(cg.Unitigs) {
+			t.Fatalf("link references bogus unitig: %+v", l)
+		}
+	}
+	// Every link must correspond to an actual (K-1)-overlap between the
+	// linked unitig ends.
+	k := cg.K
+	endSeq := func(id int, fwd bool, tail bool) string {
+		seq := cg.Unitigs[id].Seq
+		if !fwd {
+			seq = revCompString(seq)
+		}
+		if tail {
+			return seq[len(seq)-(k-1):]
+		}
+		return seq[:k-1]
+	}
+	for _, l := range cg.Links {
+		from := endSeq(l.From, l.FromFwd, true)
+		to := endSeq(l.To, l.ToFwd, false)
+		if from != to {
+			t.Fatalf("link %+v: overlap mismatch %s vs %s", l, from, to)
+		}
+	}
+}
+
+func revCompString(s string) string {
+	comp := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[len(s)-1-i] = comp[s[i]]
+	}
+	return string(out)
+}
+
+func TestCompactNoDuplicateLinks(t *testing.T) {
+	p := simulate.Profile{
+		Name: "gfa-dup", GenomeSize: 3000, ReadLength: 90, NumReads: 2000,
+		ErrorLambda: 1, Seed: 23,
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildNaive(d.Reads, 27)
+	g.FilterByMultiplicity(6)
+	cg := g.Compact()
+	seen := make(map[Link]bool)
+	for _, l := range cg.Links {
+		if seen[l] {
+			t.Fatalf("duplicate link %+v", l)
+		}
+		seen[l] = true
+		flipped := Link{From: l.To, To: l.From, FromFwd: !l.ToFwd, ToFwd: !l.FromFwd}
+		if seen[flipped] && flipped != l {
+			t.Fatalf("both orientations of link %+v present", l)
+		}
+		seen[flipped] = true
+	}
+}
+
+func TestWriteGFA(t *testing.T) {
+	g, _ := linearGraph(t)
+	cg := g.Compact()
+	var buf bytes.Buffer
+	if err := cg.WriteGFA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "H\tVN:Z:1.0\n") {
+		t.Error("missing GFA header")
+	}
+	sLines := strings.Count(out, "\nS\t") + boolToInt(strings.HasPrefix(out, "S\t"))
+	if sLines != len(cg.Unitigs) {
+		t.Errorf("%d S lines for %d unitigs", sLines, len(cg.Unitigs))
+	}
+	lLines := strings.Count(out, "\nL\t")
+	if lLines != len(cg.Links) {
+		t.Errorf("%d L lines for %d links", lLines, len(cg.Links))
+	}
+	if len(cg.Links) > 0 && !strings.Contains(out, "\t26M\n") {
+		t.Error("links missing (K-1)M CIGAR")
+	}
+	if !strings.Contains(out, "KC:i:") {
+		t.Error("segments missing KC coverage tag")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := linearGraph(t)
+	cg := g.Compact()
+	var buf bytes.Buffer
+	if err := cg.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph dbg {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("malformed DOT output")
+	}
+	if !strings.Contains(out, "u0") {
+		t.Error("DOT missing unitig nodes")
+	}
+}
+
+func TestCompactMatchesUnitigs(t *testing.T) {
+	g, _ := linearGraph(t)
+	unitigs := g.Unitigs()
+	cg := g.Compact()
+	if len(unitigs) != len(cg.Unitigs) {
+		t.Fatalf("Unitigs()=%d vs Compact()=%d", len(unitigs), len(cg.Unitigs))
+	}
+	for i := range unitigs {
+		if unitigs[i] != cg.Unitigs[i].Seq {
+			t.Fatalf("unitig %d sequence differs between Unitigs and Compact", i)
+		}
+	}
+}
+
+func TestSpectrumAndAutoFilter(t *testing.T) {
+	p := simulate.Profile{
+		Name: "spectrum", GenomeSize: 5000, ReadLength: 100, NumReads: 2500,
+		ErrorLambda: 1, Seed: 24,
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildNaive(d.Reads, 27)
+	spec := g.ComputeSpectrum()
+	if spec.TotalVertices() != int64(g.NumVertices()) {
+		t.Fatalf("spectrum totals %d, graph has %d", spec.TotalVertices(), g.NumVertices())
+	}
+	th := spec.ErrorThreshold()
+	if th < 2 || th > 20 {
+		t.Errorf("threshold = %d, expected a small valley", th)
+	}
+	// Coverage peak should be near the k-mer coverage:
+	// coverage * (L-K+1)/L = 50 * 74/100 = 37.
+	peak := spec.CoveragePeak(th)
+	if peak < 25 || peak > 50 {
+		t.Errorf("coverage peak = %d, want ~37", peak)
+	}
+	// Genuine vertex estimate should approximate the genome's kmer count.
+	genuine := spec.GenuineVertices(th)
+	want := int64(p.GenomeSize - 27 + 1)
+	if genuine < want*85/100 || genuine > want*115/100 {
+		t.Errorf("genuine vertices = %d, want ~%d", genuine, want)
+	}
+	// Auto filtering should land near the genome size too.
+	threshold, removed := g.FilterAuto()
+	if threshold != th {
+		t.Errorf("FilterAuto threshold %d != spectrum threshold %d", threshold, th)
+	}
+	if removed == 0 {
+		t.Error("auto filter removed nothing")
+	}
+	after := int64(g.NumVertices())
+	if after < want*80/100 || after > want*120/100 {
+		t.Errorf("after auto filter: %d vertices, want ~%d", after, want)
+	}
+}
+
+func TestSpectrumErrorFree(t *testing.T) {
+	// Without errors there is no error peak; the valley threshold must
+	// stay small so filtering barely touches the graph.
+	g, _ := linearGraph(t)
+	before := g.NumVertices()
+	spec := g.ComputeSpectrum()
+	if th := spec.ErrorThreshold(); th > 5 {
+		t.Errorf("error-free threshold = %d, want small", th)
+	}
+	g.FilterAuto()
+	if after := g.NumVertices(); after < before*95/100 {
+		t.Errorf("auto filter removed %d of %d vertices on clean data", before-after, before)
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	v := Vertex{Counts: [8]uint32{3, 0, 0, 0, 4, 0, 0, 0}}
+	if got := v.Occurrences(); got != 4 {
+		t.Errorf("Occurrences = %d, want 4", got)
+	}
+	empty := Vertex{}
+	if empty.Occurrences() != 0 {
+		t.Error("empty vertex should have 0 occurrences")
+	}
+}
+
+func TestAssemblyMetrics(t *testing.T) {
+	contigs := []string{
+		strings.Repeat("A", 100),
+		strings.Repeat("C", 60),
+		strings.Repeat("G", 40),
+	}
+	m := ComputeAssemblyMetrics(contigs, 250)
+	if m.Contigs != 3 || m.TotalBases != 200 || m.Longest != 100 {
+		t.Fatalf("basics wrong: %+v", m)
+	}
+	// N50: sorted 100,60,40; half of 200 is 100 -> first contig reaches it.
+	if m.N50 != 100 {
+		t.Errorf("N50 = %d, want 100", m.N50)
+	}
+	// NG50 against 250: need 125; 100+60=160 >= 125 -> 60.
+	if m.NG50 != 60 {
+		t.Errorf("NG50 = %d, want 60", m.NG50)
+	}
+	if m.MeanLength < 66 || m.MeanLength > 67 {
+		t.Errorf("mean = %f", m.MeanLength)
+	}
+	empty := ComputeAssemblyMetrics(nil, 100)
+	if empty.Contigs != 0 || empty.N50 != 0 {
+		t.Errorf("empty metrics: %+v", empty)
+	}
+	// Assembly shorter than half the genome: NG50 undefined -> 0.
+	short := ComputeAssemblyMetrics([]string{strings.Repeat("T", 10)}, 1000)
+	if short.NG50 != 0 {
+		t.Errorf("unreachable NG50 = %d", short.NG50)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two disconnected regions -> two components.
+	p := simulate.Profile{Name: "cc", GenomeSize: 600, ReadLength: 80, NumReads: 0, Seed: 25}
+	genome := simulate.Genome(p)
+	r1 := coveringReads(genome[:280], 80, 7, 3)
+	r2 := coveringReads(genome[320:], 80, 7, 3)
+	g := BuildNaive(append(r1, r2...), 27)
+	cg := g.Compact()
+	count, largest := cg.ConnectedComponents()
+	if count != 2 {
+		t.Errorf("components = %d, want 2", count)
+	}
+	if largest < 1 {
+		t.Errorf("largest = %d", largest)
+	}
+	var empty CompactedGraph
+	if c, l := empty.ConnectedComponents(); c != 0 || l != 0 {
+		t.Errorf("empty graph components = %d/%d", c, l)
+	}
+}

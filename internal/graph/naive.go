@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"parahash/internal/dna"
+	"parahash/internal/fastq"
+)
+
+// BuildNaive constructs the full De Bruijn graph from reads with a plain
+// map and no partitioning, superkmers, or concurrency. It is the
+// independent reference implementation: every pipeline in this repository
+// must produce a graph Equal to BuildNaive's on the same input.
+func BuildNaive(reads []fastq.Read, k int) *Subgraph {
+	counts := make(map[dna.Kmer]*[8]uint32)
+	for _, rd := range reads {
+		addReadNaive(counts, rd.Bases, k)
+	}
+	g := &Subgraph{K: k, Vertices: make([]Vertex, 0, len(counts))}
+	for km, c := range counts {
+		g.Vertices = append(g.Vertices, Vertex{Kmer: km, Counts: *c})
+	}
+	g.Sort()
+	return g
+}
+
+// addReadNaive walks a read's k-mers directly: for the instance at position
+// i, the preceding base (if any) is a left observation and the following
+// base (if any) a right observation, both flipped to the canonical strand.
+func addReadNaive(counts map[dna.Kmer]*[8]uint32, read []dna.Base, k int) {
+	nk := len(read) - k + 1
+	if nk <= 0 {
+		return
+	}
+	km := dna.KmerFromBases(read, k)
+	for i := 0; i < nk; i++ {
+		if i > 0 {
+			km = km.AppendBase(read[i+k-1], k)
+		}
+		canon, fwd := km.Canonical(k)
+		c := counts[canon]
+		if c == nil {
+			c = &[8]uint32{}
+			counts[canon] = c
+		}
+		hasPrev, hasNext := i > 0, i < nk-1
+		var prev, next dna.Base
+		if hasPrev {
+			prev = read[i-1]
+		}
+		if hasNext {
+			next = read[i+k]
+		}
+		if fwd {
+			if hasPrev {
+				c[prev]++
+			}
+			if hasNext {
+				c[4+next]++
+			}
+		} else {
+			if hasNext {
+				c[next.Complement()]++
+			}
+			if hasPrev {
+				c[4+prev.Complement()]++
+			}
+		}
+	}
+}

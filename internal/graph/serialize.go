@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary subgraph format (little-endian):
+//
+//	magic   "PHDG"        4 bytes
+//	version 1             1 byte
+//	k                     1 byte
+//	count                 8 bytes
+//	vertex records        count × (Hi 8 + Lo 8 + counts 8×4) = 48 bytes each
+//
+// This is the Step 2 output ParaHash writes partition by partition; the
+// fixed record size makes the output pipeline's IO accounting exact.
+
+var magic = [4]byte{'P', 'H', 'D', 'G'}
+
+const formatVersion = 1
+
+// VertexRecordBytes is the serialized size of one vertex.
+const VertexRecordBytes = 48
+
+// ErrBadFormat reports an unreadable subgraph stream.
+var ErrBadFormat = errors.New("graph: bad subgraph format")
+
+// SerializedSize returns the exact byte size of a subgraph's serialization.
+func SerializedSize(numVertices int) int64 {
+	return int64(4+1+1+8) + int64(numVertices)*VertexRecordBytes
+}
+
+// Write serialises the subgraph.
+func (g *Subgraph) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(g.K)); err != nil {
+		return err
+	}
+	var buf [VertexRecordBytes]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(g.Vertices)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for _, v := range g.Vertices {
+		binary.LittleEndian.PutUint64(buf[0:], v.Kmer.Hi)
+		binary.LittleEndian.PutUint64(buf[8:], v.Kmer.Lo)
+		for j, c := range v.Counts {
+			binary.LittleEndian.PutUint32(buf[16+4*j:], c)
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSubgraph parses a serialised subgraph.
+func ReadSubgraph(r io.Reader) (*Subgraph, error) {
+	br := bufio.NewReaderSize(r, 1<<15)
+	var head [14]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if [4]byte(head[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if head[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, head[4])
+	}
+	k := int(head[5])
+	count := binary.LittleEndian.Uint64(head[6:14])
+	if count > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible vertex count %d", ErrBadFormat, count)
+	}
+	g := &Subgraph{K: k, Vertices: make([]Vertex, count)}
+	var buf [VertexRecordBytes]byte
+	for i := range g.Vertices {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: vertex %d: %v", ErrBadFormat, i, err)
+		}
+		g.Vertices[i].Kmer.Hi = binary.LittleEndian.Uint64(buf[0:])
+		g.Vertices[i].Kmer.Lo = binary.LittleEndian.Uint64(buf[8:])
+		for j := range g.Vertices[i].Counts {
+			g.Vertices[i].Counts[j] = binary.LittleEndian.Uint32(buf[16+4*j:])
+		}
+	}
+	return g, nil
+}

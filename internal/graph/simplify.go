@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"parahash/internal/dna"
+)
+
+// This file implements the two standard De Bruijn graph simplifications an
+// assembler applies after construction and multiplicity filtering: tip
+// clipping (removing short dead-end spurs left by read-end errors) and
+// bubble popping (collapsing short parallel paths left by heterozygosity
+// or systematic errors). They operate on the compacted unitig structure
+// and remove vertices from the subgraph in place; callers re-run Compact
+// afterwards.
+
+// unitigVertices enumerates the canonical vertices along a unitig string.
+func unitigVertices(seq string, k int) []dna.Kmer {
+	bases := dna.EncodeSeq(nil, seq)
+	n := len(bases) - k + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]dna.Kmer, 0, n)
+	km := dna.KmerFromBases(bases, k)
+	for i := 0; ; i++ {
+		canon, _ := km.Canonical(k)
+		out = append(out, canon)
+		if i+1 >= n {
+			return out
+		}
+		km = km.AppendBase(bases[i+k], k)
+	}
+}
+
+// removeVertices deletes the given canonical k-mers from the subgraph.
+func (g *Subgraph) removeVertices(victims map[dna.Kmer]bool) int {
+	if len(victims) == 0 {
+		return 0
+	}
+	kept := g.Vertices[:0]
+	removed := 0
+	for _, v := range g.Vertices {
+		if victims[v.Kmer] {
+			removed++
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	g.Vertices = kept
+	return removed
+}
+
+// endLinkCounts tallies how many links touch each (unitig, end) pair.
+// end index 0 is the unitig's left (reverse) end, 1 its right (forward).
+func endLinkCounts(cg *CompactedGraph) [][2]int {
+	counts := make([][2]int, len(cg.Unitigs))
+	touch := func(id int, fwd bool) {
+		if fwd {
+			counts[id][1]++
+		} else {
+			counts[id][0]++
+		}
+	}
+	for _, l := range cg.Links {
+		touch(l.From, l.FromFwd)
+		// The link enters To at its left end when ToFwd (so its
+		// continuation uses To's right end); the *attachment* is the left
+		// end. For symmetric accounting we track the attachment points.
+		if l.ToFwd {
+			counts[l.To][0]++
+		} else {
+			counts[l.To][1]++
+		}
+	}
+	return counts
+}
+
+// ClipTips removes tip unitigs: maximal paths no longer than maxLen bases
+// that are connected to the rest of the graph at exactly one end (the
+// other end dead). These spurs are the signature of sequencing errors near
+// read ends. Returns the number of vertices removed.
+func (g *Subgraph) ClipTips(maxLen int) int {
+	cg := g.Compact()
+	if len(cg.Unitigs) <= 1 {
+		return 0
+	}
+	counts := endLinkCounts(cg)
+	victims := make(map[dna.Kmer]bool)
+	for _, u := range cg.Unitigs {
+		if len(u.Seq) > maxLen {
+			continue
+		}
+		left, right := counts[u.ID][0], counts[u.ID][1]
+		deadEnds := 0
+		if left == 0 {
+			deadEnds++
+		}
+		if right == 0 {
+			deadEnds++
+		}
+		// A tip dangles: exactly one dead end. (Isolated unitigs — two
+		// dead ends — are standalone contigs, not tips.)
+		if deadEnds != 1 {
+			continue
+		}
+		for _, km := range unitigVertices(u.Seq, g.K) {
+			victims[km] = true
+		}
+	}
+	return g.removeVertices(victims)
+}
+
+// PopBubbles collapses simple bubbles: pairs of unitigs no longer than
+// maxLen bases that connect the same two endpoints in the same
+// orientations. The lower-coverage branch is removed — the standard
+// treatment of SNP/heterozygosity bubbles. Returns vertices removed.
+func (g *Subgraph) PopBubbles(maxLen int) int {
+	cg := g.Compact()
+	if len(cg.Unitigs) <= 2 {
+		return 0
+	}
+	// For every unitig with exactly one link at each end, build an
+	// endpoint signature: the unordered pair of (neighbour unitig,
+	// neighbour end) its two ends attach to. Parallel branches of a bubble
+	// attach to the same neighbour ends regardless of their own internal
+	// orientation, so they share signatures.
+	type endpoint struct {
+		id       int
+		rightEnd bool // which end of the neighbour the link attaches to
+	}
+	type signature struct{ a, b endpoint }
+	ends := make(map[int][2][]endpoint) // unitig -> attachments per own end
+	for _, l := range cg.Links {
+		fromEnd, toEnd := 1, 0
+		if !l.FromFwd {
+			fromEnd = 0
+		}
+		if !l.ToFwd {
+			toEnd = 1
+		}
+		e := ends[l.From]
+		e[fromEnd] = append(e[fromEnd], endpoint{l.To, !l.ToFwd})
+		ends[l.From] = e
+		e = ends[l.To]
+		e[toEnd] = append(e[toEnd], endpoint{l.From, l.FromFwd})
+		ends[l.To] = e
+	}
+
+	less := func(a, b endpoint) bool {
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return !a.rightEnd && b.rightEnd
+	}
+	groups := make(map[signature][]int)
+	for _, u := range cg.Unitigs {
+		if len(u.Seq) > maxLen {
+			continue
+		}
+		att := ends[u.ID]
+		if len(att[0]) != 1 || len(att[1]) != 1 {
+			continue
+		}
+		sig := signature{att[0][0], att[1][0]}
+		if less(sig.b, sig.a) {
+			sig.a, sig.b = sig.b, sig.a
+		}
+		// Self-loops attach a unitig to itself; not a bubble branch.
+		if sig.a.id == u.ID || sig.b.id == u.ID {
+			continue
+		}
+		groups[sig] = append(groups[sig], u.ID)
+	}
+
+	victims := make(map[dna.Kmer]bool)
+	for _, ids := range groups {
+		if len(ids) < 2 {
+			continue
+		}
+		// Keep the best-covered branch, pop the rest.
+		best := ids[0]
+		for _, id := range ids[1:] {
+			if cg.Unitigs[id].Coverage > cg.Unitigs[best].Coverage {
+				best = id
+			}
+		}
+		for _, id := range ids {
+			if id == best {
+				continue
+			}
+			for _, km := range unitigVertices(cg.Unitigs[id].Seq, g.K) {
+				victims[km] = true
+			}
+		}
+	}
+	return g.removeVertices(victims)
+}
+
+// Simplify applies the standard post-construction pipeline: multiplicity
+// filtering at the spectrum valley, tip clipping, and bubble popping, each
+// sized relative to K as assemblers conventionally do (2K for tips and
+// bubbles). It returns the total number of vertices removed.
+func (g *Subgraph) Simplify() int {
+	_, removed := g.FilterAuto()
+	removed += g.ClipTips(2 * g.K)
+	removed += g.PopBubbles(2 * g.K)
+	return removed
+}

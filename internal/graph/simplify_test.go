@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"parahash/internal/dna"
+	"parahash/internal/fastq"
+	"parahash/internal/simulate"
+)
+
+// coveringReads tiles a sequence with overlapping reads at the given
+// depth so every adjacency is well observed.
+func coveringReads(seq []dna.Base, readLen, step, depth int) []fastq.Read {
+	var reads []fastq.Read
+	for d := 0; d < depth; d++ {
+		for i := 0; i+readLen <= len(seq); i += step {
+			reads = append(reads, fastq.Read{ID: "c", Bases: seq[i : i+readLen]})
+		}
+		// Ensure the tail is covered.
+		if len(seq) >= readLen {
+			reads = append(reads, fastq.Read{ID: "t", Bases: seq[len(seq)-readLen:]})
+		}
+	}
+	return reads
+}
+
+func TestClipTipsRemovesSpur(t *testing.T) {
+	p := simulate.Profile{Name: "tip", GenomeSize: 1200, ReadLength: 100, NumReads: 0, Seed: 31}
+	genome := simulate.Genome(p)
+	k := 27
+
+	reads := coveringReads(genome, 100, 10, 4)
+	// Inject a tip: reads that follow the genome then diverge for a short
+	// spur of novel sequence.
+	spur := append([]dna.Base(nil), genome[500:560]...)
+	for i := 40; i < 60; i++ {
+		spur[i] = spur[i].Complement() // diverge after 40 matching bases
+	}
+	reads = append(reads, fastq.Read{ID: "spur", Bases: spur})
+	reads = append(reads, fastq.Read{ID: "spur2", Bases: spur})
+
+	g := BuildNaive(reads, k)
+	before := len(g.Unitigs())
+	if before < 2 {
+		t.Fatalf("expected a branched graph, got %d unitigs", before)
+	}
+	removed := g.ClipTips(2 * k)
+	if removed == 0 {
+		t.Fatal("no tip removed")
+	}
+	after := g.Unitigs()
+	longest := 0
+	for _, u := range after {
+		if len(u) > longest {
+			longest = len(u)
+		}
+	}
+	if longest < p.GenomeSize*9/10 {
+		t.Errorf("after clipping, longest unitig %d of %d bp genome", longest, p.GenomeSize)
+	}
+}
+
+func TestClipTipsKeepsIsolatedContigs(t *testing.T) {
+	// Two disconnected short contigs are standalone sequences, not tips.
+	p := simulate.Profile{Name: "iso", GenomeSize: 400, ReadLength: 80, NumReads: 0, Seed: 32}
+	genome := simulate.Genome(p)
+	reads := coveringReads(genome[:180], 80, 7, 3)
+	reads = append(reads, coveringReads(genome[220:], 80, 7, 3)...)
+	g := BuildNaive(reads, 27)
+	if removed := g.ClipTips(1000); removed != 0 {
+		t.Fatalf("clipped %d vertices from isolated contigs", removed)
+	}
+}
+
+func TestPopBubblesKeepsMajorAllele(t *testing.T) {
+	p := simulate.Profile{Name: "bubble", GenomeSize: 1500, ReadLength: 100, NumReads: 0, Seed: 33}
+	genome := simulate.Genome(p)
+	k := 27
+
+	// Variant haplotype: one SNP mid-genome.
+	variant := append([]dna.Base(nil), genome...)
+	variant[750] = variant[750].Complement()
+
+	reads := coveringReads(genome, 100, 10, 6)                   // major allele 6x
+	reads = append(reads, coveringReads(variant, 100, 10, 2)...) // minor 2x
+
+	g := BuildNaive(reads, k)
+	if len(g.Unitigs()) < 3 {
+		t.Fatalf("expected a bubble (>=3 unitigs), got %d", len(g.Unitigs()))
+	}
+	removed := g.PopBubbles(3 * k)
+	if removed == 0 {
+		t.Fatal("no bubble popped")
+	}
+	unitigs := g.Unitigs()
+	longest := ""
+	for _, u := range unitigs {
+		if len(u) > len(longest) {
+			longest = u
+		}
+	}
+	if len(longest) < p.GenomeSize*9/10 {
+		t.Fatalf("after popping, longest unitig %d of %d bp", len(longest), p.GenomeSize)
+	}
+	// The surviving branch must carry the major allele: the longest contig
+	// equals the major haplotype (either strand), not the variant.
+	major := dna.DecodeSeq(genome)
+	rcb := append([]dna.Base(nil), genome...)
+	dna.ReverseComplementSeq(rcb)
+	if !strings.Contains(major, longest) && !strings.Contains(dna.DecodeSeq(rcb), longest) {
+		t.Error("surviving branch is not the major haplotype")
+	}
+}
+
+func TestSimplifyEndToEnd(t *testing.T) {
+	// Noisy realistic input: Simplify (filter + clip + pop) should leave a
+	// nearly single-contig assembly.
+	p := simulate.Profile{
+		Name: "simplify", GenomeSize: 6000, ReadLength: 100, NumReads: 3000,
+		ErrorLambda: 1.2, Seed: 34,
+	}
+	d, err := simulate.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildNaive(d.Reads, 27)
+	noisy := g.NumVertices()
+	removed := g.Simplify()
+	if removed == 0 {
+		t.Fatal("Simplify removed nothing on noisy data")
+	}
+	if g.NumVertices() >= noisy {
+		t.Fatal("vertex count did not shrink")
+	}
+	unitigs := g.Unitigs()
+	longest := 0
+	for _, u := range unitigs {
+		if len(u) > longest {
+			longest = len(u)
+		}
+	}
+	if longest < p.GenomeSize*8/10 {
+		t.Errorf("after Simplify, longest contig %d of %d bp", longest, p.GenomeSize)
+	}
+}
+
+func TestSimplifyIdempotentOnCleanGraph(t *testing.T) {
+	g, _ := linearGraph(t)
+	g.Simplify()
+	before := g.NumVertices()
+	if removed := g.ClipTips(54) + g.PopBubbles(54); removed != 0 {
+		t.Fatalf("second pass removed %d vertices", removed)
+	}
+	if g.NumVertices() != before {
+		t.Fatal("vertex count changed without removals")
+	}
+}

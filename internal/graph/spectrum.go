@@ -1,0 +1,101 @@
+package graph
+
+// This file implements k-mer spectrum analysis on a constructed graph: the
+// multiplicity histogram, the valley-based error threshold the paper's
+// post-construction filtering needs ("erroneous vertices can only be
+// filtered by the number of their occurrences after the graph is
+// constructed", §III-C1), and the standard coverage / genome-size
+// estimates derived from the spectrum.
+
+// Occurrences estimates how many times the vertex's k-mer occurred in the
+// reads. Each occurrence contributes up to two adjacency observations (one
+// per side), so half the total multiplicity, rounded up, is a robust
+// occurrence proxy that is exact for mid-read occurrences.
+func (v Vertex) Occurrences() int {
+	return (v.Multiplicity() + 1) / 2
+}
+
+// Spectrum is a histogram of vertex occurrence counts: Counts[m] is the
+// number of distinct vertices occurring m times (index 0 unused).
+type Spectrum struct {
+	// Counts[m] is the number of vertices with m occurrences; the slice is
+	// truncated at the largest observed multiplicity.
+	Counts []int64
+}
+
+// ComputeSpectrum builds the occurrence histogram of the graph.
+func (g *Subgraph) ComputeSpectrum() Spectrum {
+	var counts []int64
+	for _, v := range g.Vertices {
+		m := v.Occurrences()
+		for len(counts) <= m {
+			counts = append(counts, 0)
+		}
+		counts[m]++
+	}
+	return Spectrum{Counts: counts}
+}
+
+// ErrorThreshold locates the valley of the spectrum: the occurrence count
+// at the first local minimum between the error peak (low counts, from
+// sequencing errors) and the coverage peak (around 2x.. the sequencing
+// depth). Vertices below the returned threshold are likely erroneous.
+// It returns 2 if the spectrum has no interior valley (error-free data).
+func (s Spectrum) ErrorThreshold() int {
+	c := s.Counts
+	if len(c) < 4 {
+		return 2
+	}
+	// Walk down from m=1 while the histogram decreases, then the first
+	// rise marks the valley.
+	m := 1
+	for m+1 < len(c) && c[m+1] <= c[m] {
+		m++
+	}
+	if m+1 >= len(c) {
+		// Monotone decreasing: no coverage peak separate from the error
+		// slope; fall back to the minimal filter.
+		return 2
+	}
+	return m + 1
+}
+
+// CoveragePeak returns the occurrence count with the most vertices at or
+// above the threshold — the k-mer coverage depth estimate.
+func (s Spectrum) CoveragePeak(threshold int) int {
+	best, bestCount := 0, int64(-1)
+	for m := threshold; m < len(s.Counts); m++ {
+		if s.Counts[m] > bestCount {
+			best, bestCount = m, s.Counts[m]
+		}
+	}
+	return best
+}
+
+// GenuineVertices counts the vertices at or above the threshold — the
+// genome-size estimate in distinct k-mers.
+func (s Spectrum) GenuineVertices(threshold int) int64 {
+	var total int64
+	for m := threshold; m < len(s.Counts); m++ {
+		total += s.Counts[m]
+	}
+	return total
+}
+
+// TotalVertices counts all distinct vertices in the spectrum.
+func (s Spectrum) TotalVertices() int64 {
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	return total
+}
+
+// FilterAuto filters the graph at the spectrum's valley threshold and
+// returns the threshold used and the number of vertices removed.
+func (g *Subgraph) FilterAuto() (threshold, removed int) {
+	threshold = g.ComputeSpectrum().ErrorThreshold()
+	// Threshold is in occurrences; multiplicity is ~2x occurrences.
+	removed = g.FilterByMultiplicity(2*threshold - 1)
+	return threshold, removed
+}

@@ -1,0 +1,115 @@
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parahash/internal/dna"
+	"parahash/internal/msp"
+)
+
+// MutexTable is the whole-entry-locking baseline the paper's state-transfer
+// mechanism is designed against: every key access — insert, duplicate
+// lookup, and counter update — takes a stripe lock, so memory "is accessed
+// sequentially by threads" (§III-C3). It exists for the locking ablation
+// benchmark; ParaHash itself uses Table.
+type MutexTable struct {
+	k       int
+	mask    uint64
+	full    []bool
+	keysHi  []uint64
+	keysLo  []uint64
+	counts  []uint32
+	stripes []sync.Mutex
+	smask   uint64
+
+	distinct atomic.Int64
+	locks    atomic.Int64
+}
+
+// numStripes is the lock-stripe count; a power of two well above typical
+// thread counts so stripe collisions, not the locking itself, stay rare.
+const numStripes = 1024
+
+// NewMutexTable creates a whole-entry-locking table with at least the given
+// slot capacity.
+func NewMutexTable(k, capacity int) (*MutexTable, error) {
+	base, err := New(k, capacity)
+	if err != nil {
+		return nil, err
+	}
+	n := base.Capacity()
+	return &MutexTable{
+		k:       k,
+		mask:    uint64(n - 1),
+		full:    make([]bool, n),
+		keysHi:  make([]uint64, n),
+		keysLo:  make([]uint64, n),
+		counts:  make([]uint32, n*countersPerSlot),
+		stripes: make([]sync.Mutex, numStripes),
+		smask:   numStripes - 1,
+	}, nil
+}
+
+// Capacity returns the number of slots.
+func (t *MutexTable) Capacity() int { return len(t.full) }
+
+// Len returns the number of distinct vertices.
+func (t *MutexTable) Len() int { return int(t.distinct.Load()) }
+
+// LockAcquisitions returns how many stripe locks the table has taken —
+// with whole-entry locking this is one per probe touch, the quantity the
+// state-transfer design reduces by ~80%.
+func (t *MutexTable) LockAcquisitions() int64 { return t.locks.Load() }
+
+// InsertEdge records one canonical k-mer observation, locking the slot's
+// stripe for every examined slot.
+func (t *MutexTable) InsertEdge(e msp.KmerEdge) error {
+	km := e.Canon
+	h := km.Hash()
+	for i := uint64(0); i <= t.mask; i++ {
+		idx := (h + i) & t.mask
+		stripe := &t.stripes[idx&t.smask]
+		stripe.Lock()
+		t.locks.Add(1)
+		if !t.full[idx] {
+			t.full[idx] = true
+			t.keysHi[idx] = km.Hi
+			t.keysLo[idx] = km.Lo
+			t.bump(idx, e)
+			stripe.Unlock()
+			t.distinct.Add(1)
+			return nil
+		}
+		if t.keysHi[idx] == km.Hi && t.keysLo[idx] == km.Lo {
+			t.bump(idx, e)
+			stripe.Unlock()
+			return nil
+		}
+		stripe.Unlock()
+	}
+	return ErrTableFull
+}
+
+func (t *MutexTable) bump(idx uint64, e msp.KmerEdge) {
+	base := int(idx) * countersPerSlot
+	if e.Left != msp.NoBase {
+		t.counts[base+int(e.Left)]++
+	}
+	if e.Right != msp.NoBase {
+		t.counts[base+4+int(e.Right)]++
+	}
+}
+
+// ForEach visits every occupied entry; not safe concurrently with writers.
+func (t *MutexTable) ForEach(fn func(Entry)) {
+	for idx := range t.full {
+		if !t.full[idx] {
+			continue
+		}
+		var e Entry
+		e.Kmer = dna.Kmer{Hi: t.keysHi[idx], Lo: t.keysLo[idx]}
+		copy(e.Counts[:], t.counts[idx*countersPerSlot:(idx+1)*countersPerSlot])
+		fn(e)
+	}
+}

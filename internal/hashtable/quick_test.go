@@ -1,0 +1,112 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parahash/internal/dna"
+	"parahash/internal/msp"
+)
+
+func TestQuickTableMatchesMap(t *testing.T) {
+	// Property: for any sequence of canonical k-mer edge observations, the
+	// concurrent table's final state equals a reference map's.
+	f := func(keys [][27]uint8, picks []uint8, sides []uint8) bool {
+		if len(keys) == 0 || len(picks) == 0 {
+			return true
+		}
+		pool := make([]dna.Kmer, len(keys))
+		for i, raw := range keys {
+			bases := make([]dna.Base, 27)
+			for j, b := range raw {
+				bases[j] = dna.Base(b % 4)
+			}
+			pool[i], _ = dna.KmerFromBases(bases, 27).Canonical(27)
+		}
+		tab, err := New(27, 4*len(picks)+16)
+		if err != nil {
+			return false
+		}
+		ref := make(map[dna.Kmer]*[8]uint32)
+		for i, pick := range picks {
+			km := pool[int(pick)%len(pool)]
+			var side uint8
+			if i < len(sides) {
+				side = sides[i]
+			}
+			e := msp.KmerEdge{Canon: km, Left: msp.NoBase, Right: msp.NoBase}
+			if side&1 != 0 {
+				e.Left = int8(side >> 1 & 3)
+			}
+			if side&8 != 0 {
+				e.Right = int8(side >> 4 & 3)
+			}
+			if tab.InsertEdge(e) != nil {
+				return false
+			}
+			c := ref[km]
+			if c == nil {
+				c = &[8]uint32{}
+				ref[km] = c
+			}
+			if e.Left != msp.NoBase {
+				c[e.Left]++
+			}
+			if e.Right != msp.NoBase {
+				c[4+e.Right]++
+			}
+		}
+		if tab.Len() != len(ref) {
+			return false
+		}
+		ok := true
+		tab.ForEach(func(e Entry) {
+			want, present := ref[e.Kmer]
+			if !present || *want != e.Counts {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGrowPreservesContents(t *testing.T) {
+	// Property: Grow carries every entry and its counters across.
+	f := func(keys [][27]uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		tab, err := New(27, len(keys)*2+8)
+		if err != nil {
+			return false
+		}
+		for _, raw := range keys {
+			bases := make([]dna.Base, 27)
+			for j, b := range raw {
+				bases[j] = dna.Base(b % 4)
+			}
+			canon, _ := dna.KmerFromBases(bases, 27).Canonical(27)
+			if tab.InsertEdge(msp.KmerEdge{Canon: canon, Left: 1, Right: 2}) != nil {
+				return false
+			}
+		}
+		grown, err := tab.Grow()
+		if err != nil || grown.Len() != tab.Len() {
+			return false
+		}
+		ok := true
+		tab.ForEach(func(e Entry) {
+			g, present := grown.Lookup(e.Kmer)
+			if !present || g.Counts != e.Counts {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

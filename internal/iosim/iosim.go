@@ -1,0 +1,182 @@
+// Package iosim provides an in-memory partition store with exact byte
+// accounting, standing in for the disk and memory-cached files of the
+// paper's evaluation. Experiments charge IO time against the store's byte
+// counters using costmodel bandwidths, so the Case 1 (memory-cached,
+// IO ≪ compute) and Case 2 (disk, IO > compute) regimes of §IV-B reproduce
+// deterministically on any host.
+package iosim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"parahash/internal/costmodel"
+)
+
+// Store is a named collection of in-memory files with byte accounting.
+// All methods are safe for concurrent use.
+type Store struct {
+	// Medium tags the store with the IO device it models.
+	Medium costmodel.Medium
+
+	mu           sync.Mutex
+	files        map[string]*bytes.Buffer
+	bytesRead    int64
+	bytesWritten int64
+	writeFaults  map[string]error
+	readFaults   map[string]error
+}
+
+// NewStore creates an empty store modelling the given medium.
+func NewStore(m costmodel.Medium) *Store {
+	return &Store{Medium: m, files: make(map[string]*bytes.Buffer)}
+}
+
+// Create opens a named file for writing, truncating any previous content.
+// The returned writer counts written bytes; Close is a no-op flush.
+func (s *Store) Create(name string) io.WriteCloser {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := &bytes.Buffer{}
+	s.files[name] = buf
+	return &countingWriter{store: s, buf: buf, name: name}
+}
+
+// Open returns a reader over a file's current content. The content is
+// copied at open time, so concurrent writers do not disturb readers.
+func (s *Store) Open(name string) (io.Reader, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.readFaults[name]; err != nil {
+		return nil, fmt.Errorf("iosim: reading %q: %w", name, err)
+	}
+	buf, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("iosim: no such file %q", name)
+	}
+	data := make([]byte, buf.Len())
+	copy(data, buf.Bytes())
+	s.bytesRead += int64(len(data))
+	return bytes.NewReader(data), nil
+}
+
+// Size returns a file's byte size, or an error if absent.
+func (s *Store) Size(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("iosim: no such file %q", name)
+	}
+	return int64(buf.Len()), nil
+}
+
+// Remove deletes a file if present.
+func (s *Store) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, name)
+}
+
+// List returns the stored file names, sorted.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the sum of all file sizes.
+func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, buf := range s.files {
+		total += int64(buf.Len())
+	}
+	return total
+}
+
+// BytesRead returns the cumulative bytes served to readers.
+func (s *Store) BytesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRead
+}
+
+// BytesWritten returns the cumulative bytes accepted from writers.
+func (s *Store) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+// ReadSeconds charges the given byte volume as a read on this medium.
+func (s *Store) ReadSeconds(cal costmodel.Calibration, bytes int64) float64 {
+	return cal.ReadSeconds(s.Medium, bytes)
+}
+
+// WriteSeconds charges the given byte volume as a write on this medium.
+func (s *Store) WriteSeconds(cal costmodel.Calibration, bytes int64) float64 {
+	return cal.WriteSeconds(s.Medium, bytes)
+}
+
+type countingWriter struct {
+	store *Store
+	buf   *bytes.Buffer
+	name  string
+}
+
+// Write appends to the file under the store lock.
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	if err := w.store.writeFaults[w.name]; err != nil {
+		return 0, fmt.Errorf("iosim: writing %q: %w", w.name, err)
+	}
+	n, err := w.buf.Write(p)
+	w.store.bytesWritten += int64(n)
+	return n, err
+}
+
+// Close implements io.Closer; in-memory files need no flushing.
+func (w *countingWriter) Close() error { return nil }
+
+// Fault injection: experiments and tests use these hooks to verify that
+// pipeline stages surface IO failures cleanly instead of wedging.
+
+// FailWritesOn makes every Write to the named file (existing or future)
+// return err. Passing a nil error clears the fault.
+func (s *Store) FailWritesOn(name string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writeFaults == nil {
+		s.writeFaults = make(map[string]error)
+	}
+	if err == nil {
+		delete(s.writeFaults, name)
+		return
+	}
+	s.writeFaults[name] = err
+}
+
+// FailReadsOn makes every Open of the named file return err.
+func (s *Store) FailReadsOn(name string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readFaults == nil {
+		s.readFaults = make(map[string]error)
+	}
+	if err == nil {
+		delete(s.readFaults, name)
+		return
+	}
+	s.readFaults[name] = err
+}

@@ -1,0 +1,148 @@
+package msp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"parahash/internal/dna"
+)
+
+// The on-disk superkmer record format (all values little-endian):
+//
+//	uvarint  n      — number of bases in the superkmer (n >= K)
+//	byte     flags  — bit0 HasLeft, bit1 HasRight,
+//	                  bits 2-3 Left base, bits 4-5 Right base
+//	bytes    packed — ceil(n/4) bytes of 2-bit bases, 4 per byte, the
+//	                  first base in the two most significant bits
+//
+// This is the paper's encoded output: compared to one character per base it
+// cuts partition storage to roughly 1/4 (§III-B), which the encoding
+// ablation benchmark verifies.
+
+// ErrCorrupt reports a structurally invalid superkmer stream.
+var ErrCorrupt = errors.New("msp: corrupt superkmer stream")
+
+// EncodedSize returns the exact record size in bytes for a superkmer with n
+// bases (varint + flags + packed payload).
+func EncodedSize(n int) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], uint64(n)) + 1 + (n+3)/4
+}
+
+// Encoder writes 2-bit encoded superkmer records to a stream.
+type Encoder struct {
+	w       *bufio.Writer
+	scratch []byte
+	// Bytes counts the encoded payload written, for IO accounting.
+	Bytes int64
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriterSize(w, 1<<15)}
+}
+
+// Encode appends one superkmer record.
+func (e *Encoder) Encode(sk Superkmer) error {
+	n := len(sk.Bases)
+	need := binary.MaxVarintLen64 + 1 + (n+3)/4
+	if cap(e.scratch) < need {
+		e.scratch = make([]byte, need)
+	}
+	buf := e.scratch[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(n))]...)
+
+	var flags byte
+	if sk.HasLeft {
+		flags |= 1 | byte(sk.Left&3)<<2
+	}
+	if sk.HasRight {
+		flags |= 2 | byte(sk.Right&3)<<4
+	}
+	buf = append(buf, flags)
+
+	var acc byte
+	for i, b := range sk.Bases {
+		acc = acc<<2 | byte(b&3)
+		if i%4 == 3 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if n%4 != 0 {
+		acc <<= 2 * (4 - uint(n%4))
+		buf = append(buf, acc)
+	}
+	e.Bytes += int64(len(buf))
+	_, err := e.w.Write(buf)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// Decoder streams superkmer records produced by Encoder.
+type Decoder struct {
+	r     *bufio.Reader
+	bases []dna.Base
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 1<<15)}
+}
+
+// Next decodes the next record. The returned superkmer's Bases slice is
+// owned by the Decoder and overwritten by the next call; copy it to retain.
+// The Minimizer field is not stored on disk and is returned as zero.
+// It returns io.EOF at a clean end of stream.
+func (d *Decoder) Next() (Superkmer, error) {
+	n64, err := binary.ReadUvarint(d.r)
+	if err == io.EOF {
+		return Superkmer{}, io.EOF
+	}
+	if err != nil {
+		return Superkmer{}, fmt.Errorf("%w: bad length: %v", ErrCorrupt, err)
+	}
+	n := int(n64)
+	if n <= 0 || n > 1<<30 {
+		return Superkmer{}, fmt.Errorf("%w: implausible superkmer length %d", ErrCorrupt, n)
+	}
+	flags, err := d.r.ReadByte()
+	if err != nil {
+		return Superkmer{}, fmt.Errorf("%w: missing flags", ErrCorrupt)
+	}
+	if cap(d.bases) < n {
+		d.bases = make([]dna.Base, n)
+	}
+	bases := d.bases[:n]
+	packed := (n + 3) / 4
+	for i := 0; i < packed; i++ {
+		bb, err := d.r.ReadByte()
+		if err != nil {
+			return Superkmer{}, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+		}
+		for j := 0; j < 4 && i*4+j < n; j++ {
+			bases[i*4+j] = dna.Base(bb >> (6 - 2*uint(j)) & 3)
+		}
+	}
+	sk := Superkmer{Bases: bases}
+	if flags&1 != 0 {
+		sk.HasLeft = true
+		sk.Left = dna.Base(flags >> 2 & 3)
+	}
+	if flags&2 != 0 {
+		sk.HasRight = true
+		sk.Right = dna.Base(flags >> 4 & 3)
+	}
+	return sk, nil
+}
+
+// PlainEncodedSize returns the record size of the non-encoded (one character
+// per base) representation used by the original MSP implementation, for the
+// encoding-ablation comparison: bases + flags + separator.
+func PlainEncodedSize(n int) int { return n + 4 }

@@ -1,0 +1,253 @@
+package msp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var want []Superkmer
+	for i := 0; i < 200; i++ {
+		n := 27 + rng.Intn(80)
+		sk := Superkmer{Bases: randomRead(rng, n)}
+		if rng.Intn(2) == 1 {
+			sk.HasLeft, sk.Left = true, dna.Base(rng.Intn(4))
+		}
+		if rng.Intn(2) == 1 {
+			sk.HasRight, sk.Right = true, dna.Base(rng.Intn(4))
+		}
+		want = append(want, sk)
+		if err := enc.Encode(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if dna.DecodeSeq(got.Bases) != dna.DecodeSeq(w.Bases) {
+			t.Fatalf("record %d: bases differ", i)
+		}
+		if got.HasLeft != w.HasLeft || got.HasRight != w.HasRight ||
+			(got.HasLeft && got.Left != w.Left) || (got.HasRight && got.Right != w.Right) {
+			t.Fatalf("record %d: extensions differ: %+v vs %+v", i, got, w)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEncodedSizeMatchesActual(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{27, 28, 29, 30, 31, 100, 1000} {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		sk := Superkmer{Bases: randomRead(rng, n), HasLeft: true, Left: dna.C}
+		if err := enc.Encode(sk); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != EncodedSize(n) {
+			t.Errorf("n=%d: actual %d bytes, EncodedSize says %d", n, buf.Len(), EncodedSize(n))
+		}
+		if enc.Bytes != int64(buf.Len()) {
+			t.Errorf("n=%d: Bytes counter %d, want %d", n, enc.Bytes, buf.Len())
+		}
+	}
+}
+
+func TestEncodingQuartersStorage(t *testing.T) {
+	// The paper: encoded output is ~1/4 of the plain representation.
+	n := 101
+	enc, plain := EncodedSize(n), PlainEncodedSize(n)
+	ratio := float64(enc) / float64(plain)
+	if ratio > 0.35 {
+		t.Errorf("encoded/plain = %.2f, want <= ~0.27", ratio)
+	}
+}
+
+func TestDecoderCorruptStream(t *testing.T) {
+	cases := [][]byte{
+		{0x80}, // unterminated varint
+		{5},    // length without flags
+		{5, 0}, // flags but truncated payload
+		{0, 0}, // zero length
+		append([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}, 0), // implausible length
+	}
+	for i, in := range cases {
+		dec := NewDecoder(bytes.NewReader(in))
+		_, err := dec.Next()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestDecoderEmptyStream(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader(nil))
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestPartitionWriterRoutesAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	k, p, np := 27, 9, 8
+	bufs := make([]*bytes.Buffer, np)
+	w, err := NewPartitionWriter(k, np, func(i int) (io.WriteCloser, error) {
+		bufs[i] = &bytes.Buffer{}
+		return nopCloser{bufs[i]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &Scanner{K: k, P: p}
+	var scratch []Superkmer
+	totalKmers := 0
+	for i := 0; i < 100; i++ {
+		read := randomRead(rng, 101)
+		totalKmers += len(read) - k + 1
+		if scratch, err = w.WriteRead(sc, read, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := w.Stats()
+	summary := SummarizeStats(stats)
+	if summary.TotalKmers != int64(totalKmers) {
+		t.Errorf("stats kmers = %d, want %d", summary.TotalKmers, totalKmers)
+	}
+
+	// Decode every partition; every record must decode cleanly and the
+	// total superkmer count must match stats.
+	decoded := int64(0)
+	for i := 0; i < np; i++ {
+		dec := NewDecoder(bufs[i])
+		for {
+			_, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("partition %d: %v", i, err)
+			}
+			decoded++
+		}
+	}
+	if decoded != summary.TotalSuperkmers {
+		t.Errorf("decoded %d superkmers, stats say %d", decoded, summary.TotalSuperkmers)
+	}
+}
+
+func TestPartitionWriterDuplicatesSamePartition(t *testing.T) {
+	// Two occurrences of the same sequence (one reverse-complemented) must
+	// produce superkmers landing in identical partitions.
+	rng := rand.New(rand.NewSource(43))
+	k, p, np := 27, 9, 16
+	read := randomRead(rng, 101)
+	rc := make([]dna.Base, len(read))
+	copy(rc, read)
+	dna.ReverseComplementSeq(rc)
+
+	part := func(r []dna.Base) map[int]int {
+		m := make(map[int]int)
+		for _, sk := range SuperkmersFromRead(nil, r, k, p) {
+			m[Partition(sk.Minimizer, np)] += sk.NumKmers(k)
+		}
+		return m
+	}
+	a, b := part(read), part(rc)
+	if len(a) != len(b) {
+		t.Fatalf("partition key sets differ: %v vs %v", a, b)
+	}
+	for idx, n := range a {
+		if b[idx] != n {
+			t.Fatalf("partition %d: %d vs %d kmers", idx, n, b[idx])
+		}
+	}
+}
+
+func TestNewPartitionWriterErrors(t *testing.T) {
+	if _, err := NewPartitionWriter(27, 0, nil); err == nil {
+		t.Error("np=0 accepted")
+	}
+	boom := errors.New("boom")
+	_, err := NewPartitionWriter(27, 4, func(i int) (io.WriteCloser, error) {
+		if i == 2 {
+			return nil, boom
+		}
+		return nopCloser{&bytes.Buffer{}}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("open error not propagated: %v", err)
+	}
+}
+
+func TestSummarizeStatsEmpty(t *testing.T) {
+	s := SummarizeStats(nil)
+	if s.TotalKmers != 0 || s.KmerVariance != 0 {
+		t.Errorf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeStatsVariance(t *testing.T) {
+	stats := []PartitionStats{{Kmers: 10}, {Kmers: 20}, {Kmers: 30}}
+	s := SummarizeStats(stats)
+	if s.MeanKmers != 20 {
+		t.Errorf("mean = %f", s.MeanKmers)
+	}
+	if s.KmerVariance != 200.0/3.0 {
+		t.Errorf("variance = %f", s.KmerVariance)
+	}
+	if s.MaxKmers != 30 {
+		t.Errorf("max = %d", s.MaxKmers)
+	}
+}
+
+func BenchmarkSuperkmerGeneration(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	read := randomRead(rng, 101)
+	sc := &Scanner{K: 27, P: 11}
+	var scratch []Superkmer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch = sc.Superkmers(scratch[:0], read)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	sk := Superkmer{Bases: randomRead(rng, 40), HasLeft: true, HasRight: true}
+	enc := NewEncoder(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package msp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder checks the superkmer record decoder never panics or
+// over-reads on arbitrary byte streams.
+func FuzzDecoder(f *testing.F) {
+	// Seed with a valid two-record stream.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	_ = enc.Encode(Superkmer{Bases: basesFromBytes([]byte{0, 1, 2, 3, 0, 1})})
+	_ = enc.Encode(Superkmer{Bases: basesFromBytes([]byte{3, 3, 3}), HasLeft: true, Left: 2})
+	_ = enc.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{5, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		records := 0
+		for {
+			sk, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // corrupt streams must error, not panic
+			}
+			if len(sk.Bases) == 0 {
+				t.Fatal("decoder produced empty superkmer")
+			}
+			records++
+			if records > len(data) {
+				t.Fatal("decoder produced more records than input bytes")
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode->decode identity on fuzz-shaped superkmers.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(3))
+	f.Add([]byte{1}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, flags uint8) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			return
+		}
+		sk := Superkmer{Bases: basesFromBytes(raw)}
+		if flags&1 != 0 {
+			sk.HasLeft, sk.Left = true, 0
+		}
+		if flags&2 != 0 {
+			sk.HasRight, sk.Right = true, 3
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.Encode(sk); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewDecoder(&buf).Next()
+		if err != nil {
+			t.Fatalf("valid record failed to decode: %v", err)
+		}
+		if len(got.Bases) != len(sk.Bases) {
+			t.Fatal("length changed")
+		}
+		for i := range got.Bases {
+			if got.Bases[i] != sk.Bases[i] {
+				t.Fatal("bases changed")
+			}
+		}
+	})
+}

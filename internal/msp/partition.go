@@ -1,0 +1,160 @@
+package msp
+
+import (
+	"fmt"
+	"io"
+
+	"parahash/internal/dna"
+)
+
+// PartitionStats accumulates the per-partition quantities the paper's
+// parameter study reports (Fig. 6, Table II): superkmer and k-mer counts,
+// base totals, and encoded byte sizes.
+type PartitionStats struct {
+	// Superkmers is the number of superkmer records in the partition.
+	Superkmers int64
+	// Kmers is the number of k-mers the partition's superkmers contain —
+	// the N^i_kmer of the paper, which drives the hash table size.
+	Kmers int64
+	// Bases is the total number of bases across superkmers.
+	Bases int64
+	// EncodedBytes is the partition's 2-bit-encoded byte size.
+	EncodedBytes int64
+	// PlainBytes is what the partition would occupy without bit-encoding
+	// (one character per base), for the encoding ablation.
+	PlainBytes int64
+}
+
+// Writer routes superkmers to per-partition encoders by minimizer hash.
+// It is not safe for concurrent use; Step 1 workers buffer superkmers and a
+// single output stage drains them, matching the paper's pipeline in which
+// the output stage is a distinct pipeline phase.
+type Writer struct {
+	k             int
+	numPartitions int
+	encoders      []*Encoder
+	closers       []io.Closer
+	stats         []PartitionStats
+}
+
+// NewPartitionWriter creates a Writer over numPartitions sinks; open is
+// called once per partition index to create its sink. The k parameter is
+// used only for k-mer accounting in stats.
+func NewPartitionWriter(k, numPartitions int, open func(i int) (io.WriteCloser, error)) (*Writer, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("msp: number of partitions %d must be positive", numPartitions)
+	}
+	w := &Writer{
+		k:             k,
+		numPartitions: numPartitions,
+		encoders:      make([]*Encoder, numPartitions),
+		closers:       make([]io.Closer, numPartitions),
+		stats:         make([]PartitionStats, numPartitions),
+	}
+	for i := 0; i < numPartitions; i++ {
+		sink, err := open(i)
+		if err != nil {
+			w.Close() // release the sinks already opened
+			return nil, fmt.Errorf("msp: opening partition %d: %w", i, err)
+		}
+		w.encoders[i] = NewEncoder(sink)
+		w.closers[i] = sink
+	}
+	return w, nil
+}
+
+// NumPartitions returns the partition count.
+func (w *Writer) NumPartitions() int { return w.numPartitions }
+
+// WriteSuperkmer encodes sk into its partition.
+func (w *Writer) WriteSuperkmer(sk Superkmer) error {
+	idx := Partition(sk.Minimizer, w.numPartitions)
+	if err := w.encoders[idx].Encode(sk); err != nil {
+		return fmt.Errorf("msp: writing partition %d: %w", idx, err)
+	}
+	st := &w.stats[idx]
+	st.Superkmers++
+	st.Kmers += int64(sk.NumKmers(w.k))
+	st.Bases += int64(len(sk.Bases))
+	st.EncodedBytes += int64(EncodedSize(len(sk.Bases)))
+	st.PlainBytes += int64(PlainEncodedSize(len(sk.Bases)))
+	return nil
+}
+
+// WriteRead scans a read with the scanner and writes all its superkmers.
+func (w *Writer) WriteRead(sc *Scanner, read []dna.Base, scratch []Superkmer) ([]Superkmer, error) {
+	scratch = sc.Superkmers(scratch[:0], read)
+	for _, sk := range scratch {
+		if err := w.WriteSuperkmer(sk); err != nil {
+			return scratch, err
+		}
+	}
+	return scratch, nil
+}
+
+// Stats returns a copy of the per-partition statistics.
+func (w *Writer) Stats() []PartitionStats {
+	out := make([]PartitionStats, len(w.stats))
+	copy(out, w.stats)
+	return out
+}
+
+// Close flushes every encoder and closes every sink, returning the first
+// error encountered while attempting all of them.
+func (w *Writer) Close() error {
+	var firstErr error
+	for i := range w.encoders {
+		if w.encoders[i] != nil {
+			if err := w.encoders[i].Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if w.closers[i] != nil {
+			if err := w.closers[i].Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// SummarizeStats aggregates per-partition stats into totals plus the
+// max/mean/variance figures used by the parameter study.
+type StatsSummary struct {
+	TotalSuperkmers int64
+	TotalKmers      int64
+	TotalBases      int64
+	TotalEncoded    int64
+	TotalPlain      int64
+	MaxKmers        int64
+	MeanKmers       float64
+	// KmerVariance is the variance of per-partition k-mer counts; Fig. 6
+	// tracks how it shrinks as the minimizer length P grows.
+	KmerVariance float64
+}
+
+// SummarizeStats computes a StatsSummary over per-partition stats.
+func SummarizeStats(stats []PartitionStats) StatsSummary {
+	var s StatsSummary
+	if len(stats) == 0 {
+		return s
+	}
+	for _, st := range stats {
+		s.TotalSuperkmers += st.Superkmers
+		s.TotalKmers += st.Kmers
+		s.TotalBases += st.Bases
+		s.TotalEncoded += st.EncodedBytes
+		s.TotalPlain += st.PlainBytes
+		if st.Kmers > s.MaxKmers {
+			s.MaxKmers = st.Kmers
+		}
+	}
+	s.MeanKmers = float64(s.TotalKmers) / float64(len(stats))
+	var acc float64
+	for _, st := range stats {
+		d := float64(st.Kmers) - s.MeanKmers
+		acc += d * d
+	}
+	s.KmerVariance = acc / float64(len(stats))
+	return s
+}

@@ -1,0 +1,116 @@
+package msp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"parahash/internal/dna"
+)
+
+// basesFromBytes maps arbitrary fuzz bytes onto the DNA alphabet.
+func basesFromBytes(raw []byte) []dna.Base {
+	bases := make([]dna.Base, len(raw))
+	for i, b := range raw {
+		bases[i] = dna.Base(b % 4)
+	}
+	return bases
+}
+
+func TestQuickSuperkmerCoverage(t *testing.T) {
+	// Property: for any read, the superkmers partition its k-mer sequence
+	// exactly — same count, same order, no gaps or overlaps.
+	f := func(raw []byte, kSeed, pSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		read := basesFromBytes(raw)
+		k := 5 + int(kSeed%23) // 5..27
+		p := 1 + int(pSeed)%k  // 1..k
+		if p > dna.MaxP {
+			p = dna.MaxP
+		}
+		nk := len(read) - k + 1
+		sks := SuperkmersFromRead(nil, read, k, p)
+		total := 0
+		for _, sk := range sks {
+			if sk.NumKmers(k) <= 0 {
+				return false
+			}
+			total += sk.NumKmers(k)
+		}
+		if nk <= 0 {
+			return total == 0
+		}
+		return total == nk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	// Property: any superkmer survives the binary record format.
+	f := func(raw []byte, flags uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sk := Superkmer{Bases: basesFromBytes(raw)}
+		if flags&1 != 0 {
+			sk.HasLeft, sk.Left = true, dna.Base(flags>>2&3)
+		}
+		if flags&2 != 0 {
+			sk.HasRight, sk.Right = true, dna.Base(flags>>4&3)
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if enc.Encode(sk) != nil || enc.Flush() != nil {
+			return false
+		}
+		dec := NewDecoder(&buf)
+		got, err := dec.Next()
+		if err != nil {
+			return false
+		}
+		if len(got.Bases) != len(sk.Bases) {
+			return false
+		}
+		for i := range got.Bases {
+			if got.Bases[i] != sk.Bases[i] {
+				return false
+			}
+		}
+		return got.HasLeft == sk.HasLeft && got.HasRight == sk.HasRight &&
+			(!sk.HasLeft || got.Left == sk.Left) &&
+			(!sk.HasRight || got.Right == sk.Right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPartitionStrandInvariance(t *testing.T) {
+	// Property: a read and its reverse complement route every k-mer to the
+	// same partition.
+	f := func(raw []byte) bool {
+		if len(raw) < 27 {
+			return true
+		}
+		read := basesFromBytes(raw)
+		rc := make([]dna.Base, len(read))
+		copy(rc, read)
+		dna.ReverseComplementSeq(rc)
+		const k, p, np = 27, 9, 37
+		mf := dna.Minimizers(nil, read, k, p)
+		mr := dna.Minimizers(nil, rc, k, p)
+		for i := range mf {
+			if Partition(mf[i], np) != Partition(mr[len(mr)-1-i], np) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package msp
+
+import (
+	"math/rand"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+func randomRead(rng *rand.Rand, n int) []dna.Base {
+	read := make([]dna.Base, n)
+	for i := range read {
+		read[i] = dna.Base(rng.Intn(4))
+	}
+	return read
+}
+
+func TestSuperkmersCoverAllKmersExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 40; trial++ {
+		read := randomRead(rng, 40+rng.Intn(150))
+		k := 15 + rng.Intn(13)
+		p := 4 + rng.Intn(k-4)
+		sks := SuperkmersFromRead(nil, read, k, p)
+
+		// Collect k-mers from superkmers in order; they must equal the
+		// read's k-mer sequence.
+		var got []dna.Kmer
+		for _, sk := range sks {
+			km := dna.KmerFromBases(sk.Bases, k)
+			got = append(got, km)
+			for t2 := k; t2 < len(sk.Bases); t2++ {
+				km = km.AppendBase(sk.Bases[t2], k)
+				got = append(got, km)
+			}
+		}
+		nk := len(read) - k + 1
+		if len(got) != nk {
+			t.Fatalf("trial %d: superkmers contain %d kmers, want %d", trial, len(got), nk)
+		}
+		want := dna.KmerFromBases(read, k)
+		for i := 0; i < nk; i++ {
+			if i > 0 {
+				want = want.AppendBase(read[i+k-1], k)
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d: kmer %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestSuperkmerMinimizersAreShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	read := randomRead(rng, 200)
+	k, p := 27, 9
+	minims := dna.Minimizers(nil, read, k, p)
+	sks := SuperkmersFromRead(nil, read, k, p)
+	idx := 0
+	for _, sk := range sks {
+		for j := 0; j < sk.NumKmers(k); j++ {
+			if minims[idx] != sk.Minimizer {
+				t.Fatalf("kmer %d: minimizer %d != superkmer's %d", idx, minims[idx], sk.Minimizer)
+			}
+			idx++
+		}
+	}
+	// Adjacent superkmers must have different minimizers (maximality).
+	for i := 1; i < len(sks); i++ {
+		if sks[i].Minimizer == sks[i-1].Minimizer {
+			t.Fatalf("superkmers %d and %d share a minimizer; runs not maximal", i-1, i)
+		}
+	}
+}
+
+func TestSuperkmerExtensionBases(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	read := randomRead(rng, 150)
+	k, p := 21, 7
+	sks := SuperkmersFromRead(nil, read, k, p)
+	if len(sks) == 0 {
+		t.Fatal("no superkmers generated")
+	}
+	if sks[0].HasLeft {
+		t.Error("first superkmer should not have a left extension")
+	}
+	if sks[len(sks)-1].HasRight {
+		t.Error("last superkmer should not have a right extension")
+	}
+	// Interior boundaries carry the adjacent read bases.
+	pos := 0
+	for i, sk := range sks {
+		if i > 0 {
+			if !sk.HasLeft || sk.Left != read[pos-1] {
+				t.Fatalf("superkmer %d left extension wrong", i)
+			}
+		}
+		end := pos + len(sk.Bases)
+		if i < len(sks)-1 {
+			if !sk.HasRight || sk.Right != read[end] {
+				t.Fatalf("superkmer %d right extension wrong", i)
+			}
+		}
+		// Consecutive superkmers overlap by k-1 bases.
+		pos = end - (k - 1)
+	}
+}
+
+func TestSuperkmerShortRead(t *testing.T) {
+	read := randomRead(rand.New(rand.NewSource(33)), 10)
+	if sks := SuperkmersFromRead(nil, read, 27, 9); len(sks) != 0 {
+		t.Errorf("short read produced %d superkmers", len(sks))
+	}
+}
+
+func TestSuperkmerSingleKmerRead(t *testing.T) {
+	read := randomRead(rand.New(rand.NewSource(34)), 27)
+	sks := SuperkmersFromRead(nil, read, 27, 9)
+	if len(sks) != 1 || sks[0].NumKmers(27) != 1 {
+		t.Fatalf("got %d superkmers", len(sks))
+	}
+	if sks[0].HasLeft || sks[0].HasRight {
+		t.Error("lone kmer should have no extensions")
+	}
+}
+
+func TestPartitionInvariantAcrossStrands(t *testing.T) {
+	// A kmer occurring forward in one read and reverse-complemented in
+	// another must be assigned to the same partition, or duplicate vertices
+	// would not merge. We verify at the minimizer level across strands.
+	rng := rand.New(rand.NewSource(35))
+	k, p, np := 27, 9, 64
+	for trial := 0; trial < 50; trial++ {
+		read := randomRead(rng, 80)
+		rc := make([]dna.Base, len(read))
+		copy(rc, read)
+		dna.ReverseComplementSeq(rc)
+		mf := dna.Minimizers(nil, read, k, p)
+		mr := dna.Minimizers(nil, rc, k, p)
+		for i := range mf {
+			pf := Partition(mf[i], np)
+			pr := Partition(mr[len(mr)-1-i], np)
+			if pf != pr {
+				t.Fatalf("trial %d kmer %d: partitions differ across strands (%d vs %d)", trial, i, pf, pr)
+			}
+		}
+	}
+}
+
+func TestPartitionRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for _, np := range []int{1, 2, 16, 512, 960} {
+		for trial := 0; trial < 100; trial++ {
+			idx := Partition(rng.Uint64(), np)
+			if idx < 0 || idx >= np {
+				t.Fatalf("partition %d out of range [0,%d)", idx, np)
+			}
+		}
+	}
+}
+
+func TestForEachKmerEdgeStrandInvariance(t *testing.T) {
+	// The multiset of canonical KmerEdges from a read equals that from its
+	// reverse complement — the core property making the graph bi-directed.
+	rng := rand.New(rand.NewSource(37))
+	k, p := 21, 7
+	for trial := 0; trial < 30; trial++ {
+		read := randomRead(rng, 100)
+		rc := make([]dna.Base, len(read))
+		copy(rc, read)
+		dna.ReverseComplementSeq(rc)
+
+		collect := func(r []dna.Base) map[KmerEdge]int {
+			m := make(map[KmerEdge]int)
+			for _, sk := range SuperkmersFromRead(nil, r, k, p) {
+				ForEachKmerEdge(sk, k, func(e KmerEdge) { m[e]++ })
+			}
+			return m
+		}
+		a, b := collect(read), collect(rc)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: edge multiset sizes differ: %d vs %d", trial, len(a), len(b))
+		}
+		for e, n := range a {
+			if b[e] != n {
+				t.Fatalf("trial %d: edge %v count %d vs %d", trial, e, n, b[e])
+			}
+		}
+	}
+}
+
+func TestForEachKmerEdgeAdjacency(t *testing.T) {
+	// For each pair of adjacent kmers in a read, the left kmer must emit a
+	// right-side edge and the right kmer a left-side edge, consistent with
+	// the (K-1)-overlap definition.
+	read := dna.EncodeSeq(nil, "ACGTACGGTTACGTAACCGGTTAA")
+	k, p := 5, 3
+	type obs struct {
+		canon dna.Kmer
+		side  byte // 'L' or 'R'
+		base  int8
+	}
+	var seen []obs
+	for _, sk := range SuperkmersFromRead(nil, read, k, p) {
+		ForEachKmerEdge(sk, k, func(e KmerEdge) {
+			if e.Left != NoBase {
+				seen = append(seen, obs{e.Canon, 'L', e.Left})
+			}
+			if e.Right != NoBase {
+				seen = append(seen, obs{e.Canon, 'R', e.Right})
+			}
+		})
+	}
+	// Each of the nk-1 adjacencies contributes exactly 2 observations, plus
+	// none at the read ends.
+	nk := len(read) - k + 1
+	if len(seen) != 2*(nk-1) {
+		t.Fatalf("observations = %d, want %d", len(seen), 2*(nk-1))
+	}
+}
+
+func TestScannerReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	sc := &Scanner{K: 27, P: 11}
+	var scratch []Superkmer
+	for i := 0; i < 10; i++ {
+		read := randomRead(rng, 101)
+		scratch = sc.Superkmers(scratch[:0], read)
+		want := SuperkmersFromRead(nil, read, 27, 11)
+		if len(scratch) != len(want) {
+			t.Fatalf("iteration %d: %d superkmers, want %d", i, len(scratch), len(want))
+		}
+		for j := range want {
+			if scratch[j].Minimizer != want[j].Minimizer || len(scratch[j].Bases) != len(want[j].Bases) {
+				t.Fatalf("iteration %d superkmer %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSuperkmerString(t *testing.T) {
+	sk := Superkmer{Bases: dna.EncodeSeq(nil, "ACGTA"), HasLeft: true, Left: dna.T}
+	if got := sk.String(); got != "T[ACGTA]." {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSuperkmerCompaction(t *testing.T) {
+	// The paper's space argument: M kmers in one superkmer occupy M+K-1
+	// bases rather than M*K. Verify that total superkmer bases are far
+	// smaller than total kmer bases for realistic reads.
+	rng := rand.New(rand.NewSource(39))
+	k, p := 27, 11
+	var skBases, kmerBases int
+	for i := 0; i < 50; i++ {
+		read := randomRead(rng, 101)
+		for _, sk := range SuperkmersFromRead(nil, read, k, p) {
+			skBases += len(sk.Bases)
+			kmerBases += sk.NumKmers(k) * k
+		}
+	}
+	if skBases*3 > kmerBases {
+		t.Errorf("superkmers not compact: %d bases vs %d kmer bases", skBases, kmerBases)
+	}
+}

@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunProcessesAllPartitionsInOrder(t *testing.T) {
+	const n = 50
+	read := func(i int) (int, error) { return i, nil }
+	double := func(x int) (int, error) { return 2 * x, nil }
+	workers := []Worker[int, int]{double, double, double}
+
+	var got []int
+	write := func(i, o int) error {
+		if o != 2*i {
+			return fmt.Errorf("partition %d produced %d", i, o)
+		}
+		got = append(got, i)
+		return nil
+	}
+	assignment, err := Run(n, read, workers, write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("wrote %d partitions, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("output order broken at %d: %d", i, v)
+		}
+	}
+	if len(assignment) != n {
+		t.Fatalf("assignment has %d entries", len(assignment))
+	}
+	for i, w := range assignment {
+		if w < 0 || w >= len(workers) {
+			t.Fatalf("partition %d assigned to bogus worker %d", i, w)
+		}
+	}
+}
+
+func TestRunWorkStealing(t *testing.T) {
+	// With multiple workers and enough partitions, more than one worker
+	// should get work (they all steal from the same queue).
+	const n = 200
+	var perWorker [4]atomic.Int64
+	workers := make([]Worker[int, int], 4)
+	for w := range workers {
+		w := w
+		workers[w] = func(x int) (int, error) {
+			perWorker[w].Add(1)
+			return x, nil
+		}
+	}
+	_, err := Run(n, func(i int) (int, error) { return i, nil }, workers,
+		func(i, o int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for w := range perWorker {
+		total += perWorker[w].Load()
+	}
+	if total != n {
+		t.Fatalf("workers processed %d partitions, want %d", total, n)
+	}
+}
+
+func TestRunReadError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(10,
+		func(i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(i, o int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("read error not surfaced: %v", err)
+	}
+}
+
+func TestRunWorkerError(t *testing.T) {
+	boom := errors.New("kaput")
+	_, err := Run(10,
+		func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{func(x int) (int, error) {
+			if x == 5 {
+				return 0, boom
+			}
+			return x, nil
+		}},
+		func(i, o int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("worker error not surfaced: %v", err)
+	}
+}
+
+func TestRunWriteError(t *testing.T) {
+	boom := errors.New("disk full")
+	_, err := Run(10,
+		func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(i, o int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("write error not surfaced: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(-1, func(i int) (int, error) { return 0, nil },
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(int, int) error { return nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Run[int, int](5, func(i int) (int, error) { return 0, nil }, nil,
+		func(int, int) error { return nil }); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+func TestRunZeroPartitions(t *testing.T) {
+	_, err := Run(0, func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(i, o int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkParts(n int, in, out float64, costs ...float64) []Partition {
+	parts := make([]Partition, n)
+	for i := range parts {
+		cs := make([]float64, len(costs))
+		copy(cs, costs)
+		parts[i] = Partition{InputSeconds: in, OutputSeconds: out, ComputeSeconds: cs, WorkUnits: 1}
+	}
+	return parts
+}
+
+func TestSimulateSingleProcessor(t *testing.T) {
+	// 4 partitions: input 1s, compute 2s, output 1s. Pipelined on one
+	// processor: compute dominates; makespan = first input (1) + 4×2 + last
+	// output (1) = 10.
+	parts := mkParts(4, 1, 1, 2)
+	s, err := Simulate(parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Elapsed-10) > 1e-9 {
+		t.Errorf("elapsed = %.2f, want 10", s.Elapsed)
+	}
+	if math.Abs(s.NonPipelinedElapsed-16) > 1e-9 {
+		t.Errorf("non-pipelined = %.2f, want 16", s.NonPipelinedElapsed)
+	}
+}
+
+func TestSimulateIOBound(t *testing.T) {
+	// Input dominates: compute hides entirely inside input transfer.
+	parts := mkParts(10, 5, 1, 0.5)
+	s, err := Simulate(parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan ≈ 10×5 + 0.5 + 1 = 51.5.
+	if math.Abs(s.Elapsed-51.5) > 1e-9 {
+		t.Errorf("elapsed = %.2f, want 51.5", s.Elapsed)
+	}
+	// Pipelining should save roughly the compute+output time (Fig. 12's
+	// IO-dominated case saves half when in/out/compute are comparable).
+	if s.NonPipelinedElapsed <= s.Elapsed {
+		t.Error("pipelining should beat sequential stages")
+	}
+}
+
+func TestSimulateFasterProcessorGetsMoreWork(t *testing.T) {
+	// Processor 0 takes 4s per partition, processor 1 takes 1s: processor 1
+	// should end up with ~4x the partitions (work-stealing balance).
+	parts := mkParts(100, 0.01, 0.01, 4, 1)
+	s, err := Simulate(parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcParts[1] <= 2*s.ProcParts[0] {
+		t.Errorf("fast processor got %d parts vs slow %d; want ~4x", s.ProcParts[1], s.ProcParts[0])
+	}
+	shares := s.WorkloadShares()
+	ideal := IdealShares([]float64{400, 100}) // solo times
+	if math.Abs(shares[1]-ideal[1]) > 0.10 {
+		t.Errorf("fast share %.2f, ideal %.2f", shares[1], ideal[1])
+	}
+}
+
+func TestSimulateCoprocessingBeatsSolo(t *testing.T) {
+	parts := mkParts(64, 0.01, 0.01, 1, 1)
+	solo, err := Simulate(mkParts(64, 0.01, 0.01, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := Simulate(parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := solo.Elapsed / duo.Elapsed
+	if speedup < 1.8 || speedup > 2.05 {
+		t.Errorf("2-processor speedup = %.2f, want ~2", speedup)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, 0); err == nil {
+		t.Error("numProcs=0 accepted")
+	}
+	if _, err := Simulate(mkParts(1, 0, 0, 1), 2); err == nil {
+		t.Error("cost arity mismatch accepted")
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	s, err := Simulate(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Elapsed != 0 || s.NonPipelinedElapsed != 0 {
+		t.Errorf("empty schedule: %+v", s)
+	}
+	if shares := s.WorkloadShares(); shares[0] != 0 || shares[1] != 0 {
+		t.Error("empty shares should be zero")
+	}
+}
+
+func TestIdealShares(t *testing.T) {
+	shares := IdealShares([]float64{100, 50})
+	if math.Abs(shares[0]-1.0/3) > 1e-9 || math.Abs(shares[1]-2.0/3) > 1e-9 {
+		t.Errorf("shares = %v", shares)
+	}
+	zero := IdealShares([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("all-zero solo times should give zero shares")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	parts := mkParts(50, 0.3, 0.2, 2, 1.5, 1.1)
+	a, err := Simulate(parts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(parts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Error("simulation not deterministic")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}

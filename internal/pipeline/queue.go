@@ -1,0 +1,144 @@
+// Package pipeline implements ParaHash's work-stealing co-processing
+// pipeline (§III-E): a three-stage flow — input partitions, consuming and
+// producing, output partitions — synchronised by the four shared counters
+// the paper names srv, cns, prd and wrt.
+//
+//   - srv points at the tail of the input queue and is advanced only by the
+//     input stage as partitions become available.
+//   - cns hands out queuing ids to processors: a processor claims the next
+//     partition by atomically incrementing cns, and a partition is
+//     consumable when srv >= its id.
+//   - prd counts produced output partitions.
+//   - wrt points at the head of the output queue; the output stage writes
+//     partition wrt as soon as it has been produced (prd ordering is
+//     tracked per slot so out-of-order completions never block correctness).
+//
+// The package also provides Simulate, a deterministic virtual-time
+// scheduler over the same greedy idle-processor-takes-next policy, which
+// the experiment harness uses to regenerate the paper's co-processing and
+// pipelining figures on any host.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker consumes one input partition and produces one output partition.
+// A Worker models a processor in the consuming-and-producing stage; Run
+// invokes each worker from its own goroutine only, so workers may keep
+// unsynchronised internal state.
+type Worker[I, O any] func(item I) (O, error)
+
+// Run pipelines n partitions through three overlapped stages:
+//
+//	read(i)    — stage 1, called sequentially for i = 0..n-1;
+//	workers    — stage 2, each claiming partitions off the shared queue
+//	             (work stealing: whichever worker is idle takes the next);
+//	write(i,o) — stage 3, called sequentially in partition order.
+//
+// Run returns the first error from any stage, after all goroutines have
+// stopped. The assignment of partitions to workers is returned for
+// workload-distribution reporting.
+func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pipeline: negative partition count %d", n)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("pipeline: no workers")
+	}
+	var (
+		srv atomic.Int64 // input partitions made available
+		cns atomic.Int64 // queuing ids handed to processors
+		prd atomic.Int64 // output partitions produced
+		wrt int64        // output partitions written (single-writer)
+	)
+	inputs := make([]I, n)
+	outputs := make([]O, n)
+	outReady := make([]atomic.Bool, n)
+	assignment := make([]int, n)
+
+	var failed atomic.Bool
+	errCh := make(chan error, len(workers)+2)
+	fail := func(err error) {
+		failed.Store(true)
+		errCh <- err
+	}
+
+	var wg sync.WaitGroup
+
+	// Stage 1: input. Advances srv after each partition lands.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if failed.Load() {
+				return
+			}
+			item, err := read(i)
+			if err != nil {
+				fail(fmt.Errorf("pipeline: reading partition %d: %w", i, err))
+				return
+			}
+			inputs[i] = item
+			srv.Add(1)
+		}
+	}()
+
+	// Stage 2: processors. Each claims a queuing id via cns and waits for
+	// srv to reach it.
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				id := cns.Add(1) - 1
+				if id >= int64(n) {
+					return
+				}
+				for srv.Load() <= id {
+					if failed.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+				assignment[id] = w
+				out, err := workers[w](inputs[id])
+				if err != nil {
+					fail(fmt.Errorf("pipeline: worker %d on partition %d: %w", w, id, err))
+					return
+				}
+				outputs[id] = out
+				outReady[id].Store(true)
+				prd.Add(1)
+			}
+		}(w)
+	}
+
+	// Stage 3: output. Writes partition wrt as soon as it is produced.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ; wrt < int64(n); wrt++ {
+			for !outReady[wrt].Load() {
+				if failed.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+			if err := write(int(wrt), outputs[wrt]); err != nil {
+				fail(fmt.Errorf("pipeline: writing partition %d: %w", wrt, err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return assignment, err
+	}
+	return assignment, nil
+}

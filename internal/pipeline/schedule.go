@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Partition describes one unit of pipelined work in virtual time.
+type Partition struct {
+	// InputSeconds is the stage-1 transfer+parse time for this partition.
+	InputSeconds float64
+	// OutputSeconds is the stage-3 transfer time.
+	OutputSeconds float64
+	// ComputeSeconds[p] is the stage-2 time if processor p consumes the
+	// partition (indexes align with the processor list of the run).
+	ComputeSeconds []float64
+	// WorkUnits counts the partition's work (reads in Step 1, k-mers or
+	// distinct vertices in Step 2) for workload-share reporting (Fig. 11).
+	WorkUnits int64
+}
+
+// Schedule is the virtual-time outcome of pipelining a partition list.
+type Schedule struct {
+	// Elapsed is the pipelined makespan: the time the last output lands.
+	Elapsed float64
+	// Assignment maps each partition to the processor that consumed it.
+	Assignment []int
+	// ProcBusy is each processor's total compute time.
+	ProcBusy []float64
+	// ProcUnits is each processor's consumed work units.
+	ProcUnits []int64
+	// ProcParts is the number of partitions each processor consumed.
+	ProcParts []int
+	// SumInput and SumOutput are the total stage-1 and stage-3 times.
+	SumInput, SumOutput float64
+	// NonPipelinedElapsed is the same assignment run without stage
+	// overlap: sum of all inputs, then all computes, then all outputs —
+	// the "time breakdown without pipeline" bars of Fig. 12.
+	NonPipelinedElapsed float64
+}
+
+// Simulate runs the greedy work-stealing schedule in virtual time:
+// stage 1 makes partitions available sequentially; when a partition becomes
+// available it is consumed by the processor that can start it earliest
+// (the idle one, per §III-E), ties broken by earliest finish; stage 3
+// writes outputs sequentially as they are produced.
+func Simulate(parts []Partition, numProcs int) (Schedule, error) {
+	if numProcs <= 0 {
+		return Schedule{}, fmt.Errorf("pipeline: numProcs %d must be positive", numProcs)
+	}
+	for i, pt := range parts {
+		if len(pt.ComputeSeconds) != numProcs {
+			return Schedule{}, fmt.Errorf("pipeline: partition %d has %d compute costs, want %d",
+				i, len(pt.ComputeSeconds), numProcs)
+		}
+	}
+	s := Schedule{
+		Assignment: make([]int, len(parts)),
+		ProcBusy:   make([]float64, numProcs),
+		ProcUnits:  make([]int64, numProcs),
+		ProcParts:  make([]int, numProcs),
+	}
+	procFree := make([]float64, numProcs)
+	inputFree := 0.0
+	outputFree := 0.0
+	finishAt := make([]float64, len(parts))
+
+	for i, pt := range parts {
+		inputFree += pt.InputSeconds
+		s.SumInput += pt.InputSeconds
+		ready := inputFree
+
+		best, bestStart, bestFinish := -1, math.Inf(1), math.Inf(1)
+		for p := 0; p < numProcs; p++ {
+			start := math.Max(procFree[p], ready)
+			finish := start + pt.ComputeSeconds[p]
+			if start < bestStart || (start == bestStart && finish < bestFinish) {
+				best, bestStart, bestFinish = p, start, finish
+			}
+		}
+		s.Assignment[i] = best
+		procFree[best] = bestFinish
+		finishAt[i] = bestFinish
+		s.ProcBusy[best] += pt.ComputeSeconds[best]
+		s.ProcUnits[best] += pt.WorkUnits
+		s.ProcParts[best]++
+	}
+
+	// Stage 3 writes in partition order as soon as each output exists.
+	for i, pt := range parts {
+		start := math.Max(outputFree, finishAt[i])
+		outputFree = start + pt.OutputSeconds
+		s.SumOutput += pt.OutputSeconds
+	}
+	s.Elapsed = outputFree
+	if len(parts) == 0 {
+		s.Elapsed = 0
+	}
+
+	var computeTotal float64
+	for i, pt := range parts {
+		computeTotal += pt.ComputeSeconds[s.Assignment[i]]
+	}
+	s.NonPipelinedElapsed = s.SumInput + computeTotal + s.SumOutput
+	return s, nil
+}
+
+// WorkloadShares returns each processor's fraction of total work units —
+// the measured workload distribution of Fig. 11.
+func (s Schedule) WorkloadShares() []float64 {
+	var total int64
+	for _, u := range s.ProcUnits {
+		total += u
+	}
+	shares := make([]float64, len(s.ProcUnits))
+	if total == 0 {
+		return shares
+	}
+	for i, u := range s.ProcUnits {
+		shares[i] = float64(u) / float64(total)
+	}
+	return shares
+}
+
+// IdealShares computes the workload distribution processors would get if
+// work were split exactly proportionally to their speeds: share_p ∝
+// 1/soloSeconds_p, where soloSeconds_p is the processor's time to run the
+// whole step alone — the dotted "ideal" lines of Fig. 11.
+func IdealShares(soloSeconds []float64) []float64 {
+	shares := make([]float64, len(soloSeconds))
+	var sum float64
+	for _, t := range soloSeconds {
+		if t > 0 {
+			sum += 1 / t
+		}
+	}
+	if sum == 0 {
+		return shares
+	}
+	for i, t := range soloSeconds {
+		if t > 0 {
+			shares[i] = (1 / t) / sum
+		}
+	}
+	return shares
+}

@@ -1,0 +1,252 @@
+// Package simulate generates synthetic genomes and sequencing reads with a
+// Poisson per-read error model. It substitutes for the GAGE datasets (Human
+// Chr14, Bumblebee) used in the ParaHash paper: the phenomena the paper's
+// evaluation depends on — coverage-driven duplicate ratios, error-driven
+// distinct-vertex inflation (Property 1), and the ~10x relative scale gap
+// between the two datasets — are all controlled by the profile parameters
+// reproduced here, scaled to laptop size.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parahash/internal/dna"
+	"parahash/internal/fastq"
+)
+
+// Profile describes a synthetic dataset in the same terms as Table I of the
+// paper: genome size Ge, read length L, read count N, and the average number
+// of sequencing errors per read λ (the paper cites λ = 1–2 for real data).
+type Profile struct {
+	// Name labels the dataset in reports.
+	Name string
+	// GenomeSize is Ge, the number of base pairs in the reference genome.
+	GenomeSize int
+	// ReadLength is L.
+	ReadLength int
+	// NumReads is N.
+	NumReads int
+	// ErrorLambda is λ, the Poisson mean of per-read substitution errors.
+	ErrorLambda float64
+	// NRate is the fraction of bases reported as unknown ('N'). Assemblers
+	// (and this library's parser) normalise N to 'A', so the generator
+	// applies that normalisation directly; N runs create spurious poly-A
+	// k-mers exactly as they would in real pipelines.
+	NRate float64
+	// PairedEnd generates reads in mate pairs: for each fragment of
+	// InsertSize bases, one read from its start and one reverse-complement
+	// read from its end, named "/1" and "/2". NumReads counts single
+	// reads, so NumReads/2 fragments are drawn.
+	PairedEnd bool
+	// InsertSize is the paired-end fragment length (>= ReadLength).
+	InsertSize int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// HumanChr14Profile mirrors GAGE Human Chr14 (88 Mbp genome, L=101,
+// 37 M reads, 9.4 GB FASTQ) scaled down 1000x.
+func HumanChr14Profile() Profile {
+	return Profile{
+		Name:        "HumanChr14",
+		GenomeSize:  88_000,
+		ReadLength:  101,
+		NumReads:    37_000,
+		ErrorLambda: 1.0,
+		Seed:        1,
+	}
+}
+
+// BumblebeeProfile mirrors GAGE Bumblebee (250 Mbp genome, L=124,
+// 303 M reads, 92 GB FASTQ) scaled down so that it remains ~5-10x the
+// Chr14 profile in input size and graph size, which is the relationship the
+// paper's big-data experiments rely on.
+func BumblebeeProfile() Profile {
+	return Profile{
+		Name:        "Bumblebee",
+		GenomeSize:  250_000,
+		ReadLength:  124,
+		NumReads:    150_000,
+		ErrorLambda: 1.5,
+		Seed:        2,
+	}
+}
+
+// TinyProfile is a fast profile for tests and the quickstart example.
+func TinyProfile() Profile {
+	return Profile{
+		Name:        "Tiny",
+		GenomeSize:  2_000,
+		ReadLength:  80,
+		NumReads:    500,
+		ErrorLambda: 0.5,
+		Seed:        3,
+	}
+}
+
+// Scale returns a copy of the profile with genome size and read count
+// multiplied by f (read length and error rate unchanged), preserving
+// coverage. Useful for data-size sweeps.
+func (p Profile) Scale(f float64) Profile {
+	q := p
+	q.Name = fmt.Sprintf("%s(x%.3g)", p.Name, f)
+	q.GenomeSize = int(math.Max(1, float64(p.GenomeSize)*f))
+	q.NumReads = int(math.Max(1, float64(p.NumReads)*f))
+	return q
+}
+
+// Coverage returns the sequencing depth N*L/Ge.
+func (p Profile) Coverage() float64 {
+	if p.GenomeSize == 0 {
+		return 0
+	}
+	return float64(p.NumReads) * float64(p.ReadLength) / float64(p.GenomeSize)
+}
+
+// FASTQBytes estimates the on-disk FASTQ footprint of the dataset:
+// per read, a header, the sequence, '+', qualities, and four newlines.
+func (p Profile) FASTQBytes() int {
+	perRead := 2*p.ReadLength + 12
+	return p.NumReads * perRead
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.GenomeSize <= 0:
+		return fmt.Errorf("simulate: genome size %d must be positive", p.GenomeSize)
+	case p.ReadLength <= 0:
+		return fmt.Errorf("simulate: read length %d must be positive", p.ReadLength)
+	case p.ReadLength > p.GenomeSize:
+		return fmt.Errorf("simulate: read length %d exceeds genome size %d", p.ReadLength, p.GenomeSize)
+	case p.NumReads < 0:
+		return fmt.Errorf("simulate: read count %d must be non-negative", p.NumReads)
+	case p.ErrorLambda < 0:
+		return fmt.Errorf("simulate: error lambda %g must be non-negative", p.ErrorLambda)
+	case p.NRate < 0 || p.NRate >= 1:
+		return fmt.Errorf("simulate: N rate %g out of [0,1)", p.NRate)
+	case p.PairedEnd && p.InsertSize < p.ReadLength:
+		return fmt.Errorf("simulate: insert size %d below read length %d", p.InsertSize, p.ReadLength)
+	case p.PairedEnd && p.InsertSize > p.GenomeSize:
+		return fmt.Errorf("simulate: insert size %d exceeds genome size %d", p.InsertSize, p.GenomeSize)
+	}
+	return nil
+}
+
+// Genome generates the deterministic random reference genome for the profile.
+func Genome(p Profile) []dna.Base {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := make([]dna.Base, p.GenomeSize)
+	for i := range g {
+		g[i] = dna.Base(rng.Intn(4))
+	}
+	return g
+}
+
+// Dataset is a generated genome together with its sampled reads.
+type Dataset struct {
+	Profile Profile
+	Genome  []dna.Base
+	Reads   []fastq.Read
+}
+
+// Generate builds the full synthetic dataset for the profile: a uniform
+// random genome and NumReads reads sampled uniformly from both strands with
+// Poisson(λ) substitution errors per read.
+func Generate(p Profile) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	genome := Genome(p)
+	rng := rand.New(rand.NewSource(p.Seed + 0x5eed))
+	var reads []fastq.Read
+	if p.PairedEnd {
+		reads = make([]fastq.Read, 0, p.NumReads)
+		for len(reads) < p.NumReads {
+			r1, r2 := samplePair(rng, genome, p, len(reads)/2)
+			reads = append(reads, r1)
+			if len(reads) < p.NumReads {
+				reads = append(reads, r2)
+			}
+		}
+	} else {
+		reads = make([]fastq.Read, p.NumReads)
+		for i := range reads {
+			reads[i] = sampleRead(rng, genome, p, i)
+		}
+	}
+	return &Dataset{Profile: p, Genome: genome, Reads: reads}, nil
+}
+
+// samplePair draws one paired-end fragment and returns its two mates.
+func samplePair(rng *rand.Rand, genome []dna.Base, p Profile, idx int) (fastq.Read, fastq.Read) {
+	start := rng.Intn(len(genome) - p.InsertSize + 1)
+	fragment := genome[start : start+p.InsertSize]
+
+	r1 := make([]dna.Base, p.ReadLength)
+	copy(r1, fragment[:p.ReadLength])
+	r2 := make([]dna.Base, p.ReadLength)
+	copy(r2, fragment[p.InsertSize-p.ReadLength:])
+	dna.ReverseComplementSeq(r2)
+
+	applyNoise(rng, r1, p)
+	applyNoise(rng, r2, p)
+	return fastq.Read{ID: fmt.Sprintf("%s.%d/1", p.Name, idx), Bases: r1},
+		fastq.Read{ID: fmt.Sprintf("%s.%d/2", p.Name, idx), Bases: r2}
+}
+
+// sampleRead draws one read: a uniform start position, a uniform strand,
+// and Poisson(λ) substitution errors at uniform positions.
+func sampleRead(rng *rand.Rand, genome []dna.Base, p Profile, idx int) fastq.Read {
+	start := rng.Intn(len(genome) - p.ReadLength + 1)
+	bases := make([]dna.Base, p.ReadLength)
+	copy(bases, genome[start:start+p.ReadLength])
+	if rng.Intn(2) == 1 {
+		dna.ReverseComplementSeq(bases)
+	}
+	applyNoise(rng, bases, p)
+	return fastq.Read{ID: fmt.Sprintf("%s.%d", p.Name, idx), Bases: bases}
+}
+
+// applyNoise injects substitution errors (Poisson λ per read) and unknown
+// bases (NRate per base, normalised to 'A').
+func applyNoise(rng *rand.Rand, bases []dna.Base, p Profile) {
+	for e := poisson(rng, p.ErrorLambda); e > 0; e-- {
+		pos := rng.Intn(len(bases))
+		// Substitute with one of the three other bases.
+		bases[pos] = (bases[pos] + dna.Base(1+rng.Intn(3))) & 3
+	}
+	if p.NRate > 0 {
+		for i := range bases {
+			if rng.Float64() < p.NRate {
+				bases[i] = dna.A // 'N', normalised as assemblers do
+			}
+		}
+	}
+}
+
+// poisson samples a Poisson(λ) variate with Knuth's product method; λ in
+// this domain is 0–2, far below the method's numerical limits.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := math.Exp(-lambda)
+	n, prod := 0, rng.Float64()
+	for prod > limit {
+		n++
+		prod *= rng.Float64()
+	}
+	return n
+}
+
+// ExpectedDistinctVertices evaluates Property 1 of the paper: the expected
+// number of distinct vertices in the De Bruijn graph is Θ(λLN/4 + Ge).
+// The constant is 1 here (the paper's bound is asymptotic); callers that
+// size hash tables apply their load-factor margin on top.
+func ExpectedDistinctVertices(p Profile) int {
+	errKmers := p.ErrorLambda / 4 * float64(p.ReadLength) * float64(p.NumReads)
+	return int(errKmers) + p.GenomeSize
+}

@@ -1,0 +1,114 @@
+// Package parahash is a from-scratch Go reproduction of ParaHash (Qiu &
+// Luo, "Parallelizing Big De Bruijn Graph Construction on Heterogeneous
+// Processors", ICDCS 2017): partition-by-partition De Bruijn graph
+// construction that combines Minimum Substring Partitioning (Step 1) with
+// concurrent state-transfer hashing (Step 2), pipelined across a
+// multi-threaded CPU and (simulated) GPUs with work stealing.
+//
+// Quickstart:
+//
+//	dataset, _ := parahash.GenerateDataset(parahash.TinyProfile())
+//	cfg := parahash.DefaultConfig()
+//	res, err := parahash.Build(dataset.Reads, cfg)
+//	// res.Graph is the bi-directed De Bruijn graph with edge multiplicities.
+//
+// The heavy lifting lives in the internal packages (dna, msp, hashtable,
+// graph, pipeline, device, costmodel); this package re-exports the stable
+// public surface. See DESIGN.md for the system inventory and the simulated
+// substitutions for GPU hardware and GAGE datasets.
+package parahash
+
+import (
+	"io"
+
+	"parahash/internal/core"
+	"parahash/internal/costmodel"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/simulate"
+)
+
+// Config parameterises a construction run; see core.Config for the fields.
+type Config = core.Config
+
+// Result is a completed construction: the merged graph, the per-partition
+// subgraphs, and the run's statistics.
+type Result = core.Result
+
+// Stats aggregates a run's measurements (virtual-time performance, memory,
+// graph size).
+type Stats = core.Stats
+
+// StepStats records one pipeline step's performance.
+type StepStats = core.StepStats
+
+// Read is one sequencing read.
+type Read = fastq.Read
+
+// Graph is a De Bruijn (sub)graph: canonical k-mer vertices with eight
+// edge-multiplicity counters each.
+type Graph = graph.Subgraph
+
+// Vertex is one graph vertex with its adjacency counters.
+type Vertex = graph.Vertex
+
+// Profile describes a synthetic dataset in Table I terms.
+type Profile = simulate.Profile
+
+// Dataset is a generated genome plus its reads.
+type Dataset = simulate.Dataset
+
+// Calibration holds the virtual-time cost model constants.
+type Calibration = costmodel.Calibration
+
+// IO media for the performance model's two regimes.
+const (
+	// MediumMemCached models the paper's Case 1 (IO ≪ compute).
+	MediumMemCached = costmodel.MediumMemCached
+	// MediumDisk models Case 2 (IO > compute).
+	MediumDisk = costmodel.MediumDisk
+)
+
+// DefaultConfig returns the paper's default configuration (K=27, P=11,
+// λ=2, α=0.65, 20 CPU threads + 2 GPUs, memory-cached IO).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultCalibration models the paper's evaluation machine
+// (2× Xeon E5-2660 + 2× Tesla K40m).
+func DefaultCalibration() Calibration { return costmodel.DefaultCalibration() }
+
+// Build constructs the De Bruijn graph of the reads with the full ParaHash
+// two-step pipeline.
+func Build(reads []Read, cfg Config) (*Result, error) { return core.Build(reads, cfg) }
+
+// BuildFromReader constructs the graph from a plain or gzip-compressed
+// FASTA/FASTQ stream without materialising the full read set: Step 1 holds
+// one chunk of reads at a time, matching the paper's out-of-core operation.
+func BuildFromReader(r io.Reader, cfg Config) (*Result, error) {
+	return core.BuildFromReader(r, cfg, 0)
+}
+
+// BuildNaive constructs the graph with the single-threaded reference
+// implementation — useful for validating custom pipelines on small inputs.
+func BuildNaive(reads []Read, k int) *Graph { return graph.BuildNaive(reads, k) }
+
+// ParseReads parses FASTA or FASTQ input (format auto-detected).
+func ParseReads(r io.Reader) ([]Read, error) { return fastq.ReadAll(r) }
+
+// WriteFASTQ writes reads as FASTQ.
+func WriteFASTQ(w io.Writer, reads []Read) error { return fastq.WriteFASTQ(w, reads) }
+
+// GenerateDataset builds a synthetic dataset for a profile.
+func GenerateDataset(p Profile) (*Dataset, error) { return simulate.Generate(p) }
+
+// HumanChr14Profile is the scaled GAGE Human Chr14 stand-in.
+func HumanChr14Profile() Profile { return simulate.HumanChr14Profile() }
+
+// BumblebeeProfile is the scaled GAGE Bumblebee stand-in.
+func BumblebeeProfile() Profile { return simulate.BumblebeeProfile() }
+
+// TinyProfile is a fast dataset for demos and tests.
+func TinyProfile() Profile { return simulate.TinyProfile() }
+
+// ReadGraph parses a serialised subgraph produced by Graph.Write.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadSubgraph(r) }

@@ -1,0 +1,133 @@
+package parahash_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parahash"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dataset, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parahash.DefaultConfig()
+	cfg.NumPartitions = 8
+	res, err := parahash.Build(dataset.Reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parahash.BuildNaive(dataset.Reads, cfg.K)
+	if !res.Graph.Equal(want) {
+		t.Fatal("public Build differs from public BuildNaive")
+	}
+	if res.Stats.TotalSeconds <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestPublicProfiles(t *testing.T) {
+	for _, p := range []parahash.Profile{
+		parahash.TinyProfile(),
+		parahash.HumanChr14Profile(),
+		parahash.BumblebeeProfile(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Coverage() <= 1 {
+			t.Errorf("%s: coverage %.1f too low for assembly", p.Name, p.Coverage())
+		}
+	}
+	if parahash.DefaultCalibration().Validate() != nil {
+		t.Error("default calibration invalid")
+	}
+}
+
+func TestPublicReadRoundTrip(t *testing.T) {
+	dataset, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := parahash.WriteFASTQ(&buf, dataset.Reads[:50]); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := parahash.ParseReads(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 50 {
+		t.Fatalf("parsed %d reads, want 50", len(parsed))
+	}
+}
+
+func TestPublicGraphSerialization(t *testing.T) {
+	dataset, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parahash.BuildNaive(dataset.Reads, 27)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parahash.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("graph serialization round trip failed")
+	}
+}
+
+func TestPublicMediumConstants(t *testing.T) {
+	cfg := parahash.DefaultConfig()
+	cfg.Medium = parahash.MediumDisk
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("disk medium rejected: %v", err)
+	}
+	cfg.Medium = parahash.MediumMemCached
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("mem medium rejected: %v", err)
+	}
+}
+
+func TestPublicUnitigsOnFilteredGraph(t *testing.T) {
+	p := parahash.Profile{
+		Name: "pub-asm", GenomeSize: 3000, ReadLength: 90, NumReads: 1200,
+		ErrorLambda: 0.8, Seed: 5,
+	}
+	dataset, err := parahash.GenerateDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parahash.DefaultConfig()
+	cfg.NumPartitions = 8
+	res, err := parahash.Build(dataset.Reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Graph.FilterByMultiplicity(8)
+	unitigs := res.Graph.Unitigs()
+	longest := 0
+	for _, u := range unitigs {
+		if len(u) > longest {
+			longest = len(u)
+		}
+	}
+	if longest < p.GenomeSize/2 {
+		t.Errorf("longest unitig %d bp; expected to recover most of the %d bp genome",
+			longest, p.GenomeSize)
+	}
+}
+
+func TestPublicParseFASTA(t *testing.T) {
+	in := ">a\nACGTACGT\n>b\nGGGG\n"
+	reads, err := parahash.ParseReads(strings.NewReader(in))
+	if err != nil || len(reads) != 2 {
+		t.Fatalf("fasta parse: %v, %d reads", err, len(reads))
+	}
+}
