@@ -44,6 +44,9 @@ func run(args []string, stdout io.Writer) error {
 		lambda     = fs.Float64("lambda", 2, "Property 1 λ: expected errors per read, for table sizing")
 		alpha      = fs.Float64("alpha", 0.65, "hash table load ratio α")
 		hostCal    = fs.Bool("host-calibration", false, "measure this machine's kernel throughput so virtual times predict local wall-clock instead of the paper's hardware")
+
+		maxAttempts = fs.Int("max-attempts", 3, "per-partition attempt budget per pipeline stage (1 = fail fast)")
+		quarantine  = fs.Int("quarantine-after", 2, "consecutive failures before a processor is quarantined (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +61,8 @@ func run(args []string, stdout io.Writer) error {
 	cfg.UseCPU = !*noCPU
 	cfg.Lambda = *lambda
 	cfg.Alpha = *alpha
+	cfg.Resilience.MaxAttempts = *maxAttempts
+	cfg.Resilience.QuarantineAfter = *quarantine
 	if *hostCal {
 		cfg.Calibration = device.CalibrateHost(*threads)
 	}
@@ -162,5 +167,12 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 			parts = append(parts, fmt.Sprintf("%s %.0f%%", name, 100*shares[i]))
 		}
 		fmt.Fprintf(w, "  step %d workload: %s\n", si+1, strings.Join(parts, ", "))
+	}
+	if s.Degraded() {
+		fmt.Fprintf(w, "degraded mode: %d retries, %d requeues", s.TotalRetries(), s.TotalRequeues())
+		if q := s.QuarantinedProcessors(); len(q) > 0 {
+			fmt.Fprintf(w, "; quarantined: %s", strings.Join(q, ", "))
+		}
+		fmt.Fprintln(w)
 	}
 }

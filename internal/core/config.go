@@ -11,11 +11,31 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"parahash/internal/costmodel"
+	"parahash/internal/device"
 	"parahash/internal/dna"
+	"parahash/internal/iosim"
+	"parahash/internal/pipeline"
 )
+
+// ResilienceConfig tunes the fault-tolerant pipeline runtime. Zero values
+// select fail-fast behaviour (a single attempt, no quarantine), so a
+// zero-valued Config still runs — DefaultConfig enables the full policy.
+type ResilienceConfig struct {
+	// MaxAttempts is the per-partition attempt budget for each pipeline
+	// stage; values below 1 are treated as 1 (no retries).
+	MaxAttempts int
+	// QuarantineAfter removes a processor from the pipeline after this
+	// many consecutive failures, re-queueing its partitions onto the
+	// survivors; 0 disables quarantine.
+	QuarantineAfter int
+	// BackoffSeconds is the virtual-time backoff base charged per retry
+	// (doubling per attempt); it is accounting only, never a real sleep.
+	BackoffSeconds float64
+}
 
 // Config parameterises a ParaHash run in the paper's terms.
 type Config struct {
@@ -73,6 +93,15 @@ type Config struct {
 	// complete graph; only the serialised output (and its IO accounting)
 	// shrinks.
 	OutputFilterMin int
+
+	// Resilience tunes partition retries, processor quarantine and
+	// virtual-time backoff for both pipeline steps.
+	Resilience ResilienceConfig
+
+	// procWrap, when set, post-processes the instantiated processor slice
+	// before each pipeline step; fault-injection tests use it to script
+	// device drop-outs without touching the public surface.
+	procWrap func([]device.Processor) []device.Processor
 }
 
 // DefaultConfig returns the paper's default configuration, scaled-dataset
@@ -91,6 +120,11 @@ func DefaultConfig() Config {
 		Medium:        costmodel.MediumMemCached,
 		Calibration:   costmodel.DefaultCalibration(),
 		KeepSubgraphs: true,
+		Resilience: ResilienceConfig{
+			MaxAttempts:     3,
+			QuarantineAfter: 2,
+			BackoffSeconds:  0.05,
+		},
 	}
 }
 
@@ -117,8 +151,32 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: NumGPUs=%d must be non-negative", c.NumGPUs)
 	case c.Medium != costmodel.MediumMemCached && c.Medium != costmodel.MediumDisk:
 		return fmt.Errorf("core: unknown IO medium %d", c.Medium)
+	case c.Resilience.MaxAttempts < 0:
+		return fmt.Errorf("core: Resilience.MaxAttempts=%d must be non-negative", c.Resilience.MaxAttempts)
+	case c.Resilience.QuarantineAfter < 0:
+		return fmt.Errorf("core: Resilience.QuarantineAfter=%d must be non-negative", c.Resilience.QuarantineAfter)
+	case c.Resilience.BackoffSeconds < 0:
+		return fmt.Errorf("core: Resilience.BackoffSeconds=%g must be non-negative", c.Resilience.BackoffSeconds)
 	}
 	return c.Calibration.Validate()
+}
+
+// resiliencePolicy maps the resilience config onto the pipeline policy.
+func (c Config) resiliencePolicy() pipeline.Policy {
+	return pipeline.Policy{
+		MaxAttempts:     c.Resilience.MaxAttempts,
+		QuarantineAfter: c.Resilience.QuarantineAfter,
+		BackoffSeconds:  c.Resilience.BackoffSeconds,
+		Retryable:       retryableIOFault,
+	}
+}
+
+// retryableIOFault classifies read/write-stage errors for the resilient
+// runner. Corruption (detected by the msp integrity footer) and generic IO
+// faults are transient — a re-read serves fresh bytes — but a missing file
+// is deterministic and retrying it is pointless.
+func retryableIOFault(err error) bool {
+	return !errors.Is(err, iosim.ErrNotFound)
 }
 
 // NumProcessors returns the configured compute device count.

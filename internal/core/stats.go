@@ -29,6 +29,25 @@ type StepStats struct {
 	SoloSeconds []float64
 	// Partitions is the step's partition count.
 	Partitions int
+
+	// Resilience counters, all zero on a fault-free run.
+
+	// Retries counts retried partition attempts (read, compute and write
+	// stages combined).
+	Retries int
+	// Requeues counts partitions re-queued from a quarantined processor.
+	Requeues int
+	// Quarantined lists processors quarantined during the step, in
+	// quarantine order.
+	Quarantined []string
+	// BackoffSeconds is the virtual retry backoff charged into Seconds.
+	BackoffSeconds float64
+}
+
+// Degraded reports whether the step hit any fault handled by the resilient
+// runtime.
+func (s StepStats) Degraded() bool {
+	return s.Retries > 0 || s.Requeues > 0 || len(s.Quarantined) > 0
 }
 
 // WorkloadShares returns each processor's measured fraction of work units.
@@ -70,6 +89,29 @@ type Stats struct {
 	// Superkmers summarises the Step 1 partition statistics.
 	Superkmers msp.StatsSummary
 }
+
+// TotalRetries sums both steps' retried partition attempts.
+func (s Stats) TotalRetries() int { return s.Step1.Retries + s.Step2.Retries }
+
+// TotalRequeues sums both steps' quarantine re-queues.
+func (s Stats) TotalRequeues() int { return s.Step1.Requeues + s.Step2.Requeues }
+
+// QuarantinedProcessors returns the processors quarantined in either step,
+// deduplicated, in first-quarantine order.
+func (s Stats) QuarantinedProcessors() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, name := range append(append([]string(nil), s.Step1.Quarantined...), s.Step2.Quarantined...) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Degraded reports whether either step ran in degraded mode.
+func (s Stats) Degraded() bool { return s.Step1.Degraded() || s.Step2.Degraded() }
 
 // Result is a completed construction.
 type Result struct {

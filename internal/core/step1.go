@@ -18,7 +18,9 @@ func superkmerFile(i int) string { return fmt.Sprintf("superkmers/%04d", i) }
 func subgraphFile(i int) string { return fmt.Sprintf("subgraphs/%04d", i) }
 
 // processors instantiates the configured compute devices. Index 0 is the
-// CPU when enabled, followed by the GPUs.
+// CPU when enabled, followed by the GPUs. A configured procWrap (fault
+// injection) is applied last, so each step scripts its faults on a fresh
+// device slice.
 func processors(cfg Config) []device.Processor {
 	procs := make([]device.Processor, 0, cfg.NumProcessors())
 	if cfg.UseCPU {
@@ -31,7 +33,23 @@ func processors(cfg Config) []device.Processor {
 			MemoryBytes: cfg.GPUMemoryBytes,
 		})
 	}
+	if cfg.procWrap != nil {
+		procs = cfg.procWrap(procs)
+	}
 	return procs
+}
+
+// applyReport folds a resilient run's fault accounting into the step's
+// stats: counters, quarantined processor names, and the virtual backoff
+// (which is charged into the step's elapsed time).
+func applyReport(st *StepStats, rep pipeline.Report, procs []device.Processor) {
+	st.Retries = rep.Retries
+	st.Requeues = rep.Requeues
+	st.BackoffSeconds = rep.BackoffSeconds
+	st.Seconds += rep.BackoffSeconds
+	for _, w := range rep.Quarantined {
+		st.Quarantined = append(st.Quarantined, procs[w].Name())
+	}
 }
 
 // step1Work records one input chunk's measured work for virtual timing.
@@ -71,22 +89,27 @@ func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.Partiti
 	}
 
 	read := func(i int) ([]fastq.Read, error) { return chunks[i], nil }
+	// written tracks each chunk's routed superkmer count so a retried
+	// write resumes where it left off instead of double-routing records.
+	written := make([]int, len(chunks))
 	write := func(i int, out device.Step1Output) error {
 		w := &works[i]
 		w.reads = int64(len(chunks[i]))
 		w.bases = out.Bases
 		w.fastqBytes = fastqBytesOf(chunks[i])
-		for _, sk := range out.Superkmers {
+		for _, sk := range out.Superkmers[written[i]:] {
 			if err := writer.WriteSuperkmer(sk); err != nil {
 				return err
 			}
+			written[i]++
 			w.superkmers++
 			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
 		}
 		return nil
 	}
 
-	if _, err := pipeline.Run(len(chunks), read, workers, write); err != nil {
+	report, err := pipeline.RunResilient(len(chunks), read, workers, write, cfg.resiliencePolicy())
+	if err != nil {
 		writer.Close()
 		return nil, StepStats{}, err
 	}
@@ -98,6 +121,7 @@ func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.Partiti
 	if err != nil {
 		return nil, StepStats{}, err
 	}
+	applyReport(&stats, report, procs)
 	return writer.Stats(), stats, nil
 }
 

@@ -14,6 +14,16 @@ import (
 	"parahash/internal/pipeline"
 )
 
+// ErrResizeExhausted reports a partition whose hash table still overflows
+// after the bounded number of doublings; a pathological partition must
+// surface a typed error instead of resizing forever.
+var ErrResizeExhausted = errors.New("core: hash table resize attempts exhausted")
+
+// maxTableResizes bounds the Step 2 fallback resize loop. Property 1
+// pre-sizing is normally within a factor of two, so 16 doublings (a 65536×
+// under-estimate) only trips on genuinely pathological partitions.
+const maxTableResizes = 16
+
 // step2Work records one superkmer partition's measured work.
 type step2Work struct {
 	kmers      int64
@@ -24,13 +34,17 @@ type step2Work struct {
 }
 
 // loadPartition decodes a superkmer partition from the store, copying each
-// record out of the decoder's reuse buffer.
+// record out of the decoder's reuse buffer. The decoder demands the
+// integrity footer our own Step 1 always writes, so truncated or corrupted
+// partition bytes fail with a typed, retryable error instead of silently
+// mis-decoding.
 func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, error) {
 	r, err := store.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	dec := msp.NewDecoder(r)
+	dec.RequireFooter = true
 	var sks []msp.Superkmer
 	for {
 		sk, err := dec.Next()
@@ -63,22 +77,7 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 	for i, p := range procs {
 		p := p
 		workers[i] = func(sks []msp.Superkmer) (device.Step2Output, error) {
-			var kmers int64
-			for _, sk := range sks {
-				kmers += int64(sk.NumKmers(cfg.K))
-			}
-			slots := hashtable.SizeForKmers(kmers, cfg.Lambda, cfg.Alpha)
-			for {
-				out, err := p.Step2(sks, cfg.K, slots)
-				if errors.Is(err, hashtable.ErrTableFull) {
-					// Property 1 under-estimated this partition (possible
-					// for unusual inputs, e.g. coverage below 1); fall back
-					// to the resize path the pre-sizing normally avoids.
-					slots *= 2
-					continue
-				}
-				return out, err
-			}
+			return step2Construct(p, sks, cfg)
 		}
 	}
 
@@ -112,7 +111,8 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 		return nil
 	}
 
-	if _, err := pipeline.Run(np, read, workers, write); err != nil {
+	report, err := pipeline.RunResilient(np, read, workers, write, cfg.resiliencePolicy())
+	if err != nil {
 		return nil, nil, StepStats{}, err
 	}
 
@@ -120,7 +120,35 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 	if err != nil {
 		return nil, nil, StepStats{}, err
 	}
+	applyReport(&stats, report, procs)
 	return subgraphs, works, stats, nil
+}
+
+// step2Construct sizes the hash table for one partition and builds its
+// subgraph on processor p, doubling the table when Property 1's pre-sizing
+// under-estimated — but only maxTableResizes times, so a pathological
+// partition surfaces ErrResizeExhausted instead of looping forever.
+func step2Construct(p device.Processor, sks []msp.Superkmer, cfg Config) (device.Step2Output, error) {
+	var kmers int64
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(cfg.K))
+	}
+	slots := hashtable.SizeForKmers(kmers, cfg.Lambda, cfg.Alpha)
+	for resizes := 0; ; resizes++ {
+		out, err := p.Step2(sks, cfg.K, slots)
+		if !errors.Is(err, hashtable.ErrTableFull) {
+			return out, err
+		}
+		// Property 1 under-estimated this partition (possible for unusual
+		// inputs, e.g. coverage below 1); fall back to the resize path the
+		// pre-sizing normally avoids.
+		if resizes >= maxTableResizes {
+			return device.Step2Output{}, fmt.Errorf(
+				"%w: %d kmers still overflow %d slots after %d doublings",
+				ErrResizeExhausted, kmers, slots, resizes)
+		}
+		slots *= 2
+	}
 }
 
 // step2Cost returns processor p's virtual seconds for one partition.

@@ -228,6 +228,9 @@ func TestGPUDeviceMemoryLimit(t *testing.T) {
 }
 
 func TestCalibrateHost(t *testing.T) {
+	if raceEnabled {
+		t.Skip("host calibration measures wall-clock throughput; race instrumentation makes the plausibility floors meaningless")
+	}
 	cal := CalibrateHost(4)
 	if err := cal.Validate(); err != nil {
 		t.Fatal(err)

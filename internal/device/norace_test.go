@@ -1,0 +1,5 @@
+//go:build !race
+
+package device
+
+const raceEnabled = false

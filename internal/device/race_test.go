@@ -1,0 +1,7 @@
+//go:build race
+
+package device
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock throughput measurements are meaningless under its slowdown.
+const raceEnabled = true

@@ -1,0 +1,201 @@
+// Package faultinject provides deterministic, scripted fault plans for
+// exercising the resilient pipeline: transient and persistent IO faults,
+// served-byte corruption (wrappers around iosim.Store's fault hooks), and
+// processor faults — a device.Processor that drops out mid-run or fails a
+// scripted set of Step2 calls, modelling a GPU dying under load.
+//
+// Plans are deterministic: the same plan against the same input produces
+// the same fault sequence, so degraded-mode builds remain reproducible and
+// their recovered results can be compared byte-for-byte against fault-free
+// runs.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parahash/internal/device"
+	"parahash/internal/fastq"
+	"parahash/internal/iosim"
+	"parahash/internal/msp"
+)
+
+// ErrInjected is the default error carried by scripted faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrProcessorDead is returned by every call to a processor that has
+// dropped out.
+var ErrProcessorDead = errors.New("faultinject: processor dropped out")
+
+// StoreFault scripts one file's IO fault.
+type StoreFault struct {
+	// File is the store file name the fault attaches to.
+	File string
+	// Times is how many accesses fail (or serve corrupt bytes) before the
+	// file recovers; negative means every access.
+	Times int
+	// Err is the injected error; nil selects ErrInjected. Ignored for
+	// corruption faults.
+	Err error
+	// Corrupt, on a read fault, serves a bit-flipped copy instead of
+	// failing the open — the integrity footer must catch it downstream.
+	Corrupt bool
+}
+
+// ProcessorFault scripts one processor's misbehaviour.
+type ProcessorFault struct {
+	// Proc indexes the processor in the pipeline's device slice (0 is the
+	// CPU when enabled, then the GPUs).
+	Proc int
+	// DieAfter kills the processor permanently after this many successful
+	// Step1/Step2 calls: every later call returns ErrProcessorDead.
+	// 0 (the zero value) disables the drop-out; use DeadOnArrival for a
+	// processor that never works.
+	DieAfter int
+	// DeadOnArrival makes every call fail with ErrProcessorDead from the
+	// start.
+	DeadOnArrival bool
+	// FailStep2Calls lists 0-based Step2 call indices that fail once each
+	// with Err, modelling sporadic per-partition kernel failures.
+	FailStep2Calls []int
+	// Err overrides the injected error for FailStep2Calls; nil selects
+	// ErrInjected.
+	Err error
+}
+
+// Plan is a complete scripted fault scenario.
+type Plan struct {
+	// ReadFaults and WriteFaults script store-level IO faults.
+	ReadFaults, WriteFaults []StoreFault
+	// ProcessorFaults script compute-device faults.
+	ProcessorFaults []ProcessorFault
+}
+
+// ApplyStore installs the plan's IO faults on a store.
+func (p Plan) ApplyStore(s *iosim.Store) {
+	for _, f := range p.ReadFaults {
+		if f.Corrupt {
+			s.CorruptReadsNTimes(f.File, f.Times)
+			continue
+		}
+		if f.Times < 0 {
+			s.FailReadsOn(f.File, errOf(f.Err))
+		} else {
+			s.FailReadsNTimes(f.File, f.Times, errOf(f.Err))
+		}
+	}
+	for _, f := range p.WriteFaults {
+		if f.Times < 0 {
+			s.FailWritesOn(f.File, errOf(f.Err))
+		} else {
+			s.FailWritesNTimes(f.File, f.Times, errOf(f.Err))
+		}
+	}
+}
+
+// WrapProcessors returns a copy of procs with the plan's processor faults
+// wrapped around the scripted devices. Each call yields wrappers with fresh
+// fault state, so a plan applied to both pipeline steps scripts each step
+// independently.
+func (p Plan) WrapProcessors(procs []device.Processor) []device.Processor {
+	out := append([]device.Processor(nil), procs...)
+	for _, f := range p.ProcessorFaults {
+		if f.Proc < 0 || f.Proc >= len(out) {
+			continue
+		}
+		out[f.Proc] = NewFlaky(out[f.Proc], f)
+	}
+	return out
+}
+
+func errOf(err error) error {
+	if err == nil {
+		return ErrInjected
+	}
+	return err
+}
+
+// Flaky wraps a device.Processor with scripted failures. It is safe for
+// concurrent use, though the pipeline drives each processor from a single
+// goroutine.
+type Flaky struct {
+	inner device.Processor
+	err   error
+
+	mu         sync.Mutex
+	dieAfter   int // successful calls before drop-out; -1 = never
+	successes  int
+	step2Calls int
+	failStep2  map[int]bool
+}
+
+var _ device.Processor = (*Flaky)(nil)
+
+// NewFlaky builds the wrapper for one scripted processor fault.
+func NewFlaky(p device.Processor, f ProcessorFault) *Flaky {
+	fl := &Flaky{inner: p, err: errOf(f.Err), dieAfter: -1}
+	if f.DeadOnArrival {
+		fl.dieAfter = 0
+	} else if f.DieAfter > 0 {
+		fl.dieAfter = f.DieAfter
+	}
+	if len(f.FailStep2Calls) > 0 {
+		fl.failStep2 = make(map[int]bool, len(f.FailStep2Calls))
+		for _, c := range f.FailStep2Calls {
+			fl.failStep2[c] = true
+		}
+	}
+	return fl
+}
+
+// Name implements device.Processor.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// Kind implements device.Processor.
+func (f *Flaky) Kind() device.Kind { return f.inner.Kind() }
+
+// deadLocked reports whether the processor has dropped out.
+func (f *Flaky) deadLocked() bool { return f.dieAfter >= 0 && f.successes >= f.dieAfter }
+
+// Step1 implements device.Processor, honouring the drop-out script.
+func (f *Flaky) Step1(reads []fastq.Read, k, p int) (device.Step1Output, error) {
+	f.mu.Lock()
+	if f.deadLocked() {
+		f.mu.Unlock()
+		return device.Step1Output{}, fmt.Errorf("%s step1: %w", f.inner.Name(), ErrProcessorDead)
+	}
+	f.mu.Unlock()
+	out, err := f.inner.Step1(reads, k, p)
+	if err == nil {
+		f.mu.Lock()
+		f.successes++
+		f.mu.Unlock()
+	}
+	return out, err
+}
+
+// Step2 implements device.Processor, honouring the drop-out and
+// per-call failure scripts.
+func (f *Flaky) Step2(sks []msp.Superkmer, k, tableSlots int) (device.Step2Output, error) {
+	f.mu.Lock()
+	call := f.step2Calls
+	f.step2Calls++
+	if f.deadLocked() {
+		f.mu.Unlock()
+		return device.Step2Output{}, fmt.Errorf("%s step2 (call %d): %w", f.inner.Name(), call, ErrProcessorDead)
+	}
+	if f.failStep2[call] {
+		delete(f.failStep2, call)
+		f.mu.Unlock()
+		return device.Step2Output{}, fmt.Errorf("%s step2 (call %d): %w", f.inner.Name(), call, f.err)
+	}
+	f.mu.Unlock()
+	out, err := f.inner.Step2(sks, k, tableSlots)
+	if err == nil {
+		f.mu.Lock()
+		f.successes++
+		f.mu.Unlock()
+	}
+	return out, err
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"parahash/internal/dna"
@@ -21,22 +22,49 @@ import (
 // This is the paper's encoded output: compared to one character per base it
 // cuts partition storage to roughly 1/4 (§III-B), which the encoding
 // ablation benchmark verifies.
+//
+// A stream finalised with Encoder.Close carries an integrity footer:
+//
+//	byte     0x00   — footer marker (impossible as a record start, since
+//	                  record lengths are always >= 1)
+//	uint32   crc    — IEEE CRC32 of every record byte before the marker
+//
+// The Decoder verifies the footer when present and surfaces a mismatch as
+// ErrCorruptPartition, which the resilient pipeline treats as retryable.
+// Streams without a footer (written by Flush alone) still decode, so
+// pre-footer partition files remain readable; set Decoder.RequireFooter to
+// reject them, turning silent truncation at a record boundary into an
+// error.
 
 // ErrCorrupt reports a structurally invalid superkmer stream.
 var ErrCorrupt = errors.New("msp: corrupt superkmer stream")
 
+// ErrCorruptPartition reports a superkmer stream that failed its end-to-end
+// integrity check (CRC mismatch, damaged footer, or a missing footer when
+// one is required). It is distinct from ErrCorrupt so callers can tell
+// bit-level damage from structural damage; both are retryable faults for
+// the resilient pipeline.
+var ErrCorruptPartition = errors.New("msp: partition failed integrity check")
+
 // EncodedSize returns the exact record size in bytes for a superkmer with n
-// bases (varint + flags + packed payload).
+// bases (varint + flags + packed payload). The per-stream footer written by
+// Encoder.Close (FooterSize bytes) is not included.
 func EncodedSize(n int) int {
 	var tmp [binary.MaxVarintLen64]byte
 	return binary.PutUvarint(tmp[:], uint64(n)) + 1 + (n+3)/4
 }
 
+// FooterSize is the byte size of the integrity footer Close appends.
+const FooterSize = 5
+
 // Encoder writes 2-bit encoded superkmer records to a stream.
 type Encoder struct {
 	w       *bufio.Writer
 	scratch []byte
-	// Bytes counts the encoded payload written, for IO accounting.
+	crc     uint32
+	closed  bool
+	// Bytes counts the encoded bytes written, including the Close footer,
+	// for IO accounting.
 	Bytes int64
 }
 
@@ -77,18 +105,46 @@ func (e *Encoder) Encode(sk Superkmer) error {
 		acc <<= 2 * (4 - uint(n%4))
 		buf = append(buf, acc)
 	}
+	e.crc = crc32.Update(e.crc, crc32.IEEETable, buf)
 	e.Bytes += int64(len(buf))
 	_, err := e.w.Write(buf)
 	return err
 }
 
-// Flush flushes buffered records to the underlying writer.
+// Flush flushes buffered records to the underlying writer without
+// finalising the stream.
 func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// Close writes the integrity footer — marker byte plus the CRC32 of all
+// record bytes — and flushes. No records may be encoded after Close;
+// closing twice is a no-op.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var footer [FooterSize]byte
+	binary.LittleEndian.PutUint32(footer[1:], e.crc)
+	e.Bytes += FooterSize
+	if _, err := e.w.Write(footer[:]); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
 
 // Decoder streams superkmer records produced by Encoder.
 type Decoder struct {
-	r     *bufio.Reader
-	bases []dna.Base
+	// RequireFooter, when set, makes a stream that ends without a verified
+	// integrity footer fail with ErrCorruptPartition instead of returning
+	// a clean io.EOF. Enable it for streams known to be written by
+	// Encoder.Close so that truncation at a record boundary is detected.
+	RequireFooter bool
+
+	r       *bufio.Reader
+	bases   []dna.Base
+	scratch []byte
+	crc     uint32
+	done    bool // footer verified or terminal error delivered
 }
 
 // NewDecoder returns a Decoder reading from r.
@@ -99,33 +155,54 @@ func NewDecoder(r io.Reader) *Decoder {
 // Next decodes the next record. The returned superkmer's Bases slice is
 // owned by the Decoder and overwritten by the next call; copy it to retain.
 // The Minimizer field is not stored on disk and is returned as zero.
-// It returns io.EOF at a clean end of stream.
+// It returns io.EOF at a clean end of stream — after a verified footer, or
+// at a record boundary for footerless streams unless RequireFooter is set.
 func (d *Decoder) Next() (Superkmer, error) {
-	n64, err := binary.ReadUvarint(d.r)
+	if d.done {
+		return Superkmer{}, io.EOF
+	}
+	first, err := d.r.ReadByte()
 	if err == io.EOF {
+		d.done = true
+		if d.RequireFooter {
+			return Superkmer{}, fmt.Errorf("%w: stream ends without integrity footer", ErrCorruptPartition)
+		}
 		return Superkmer{}, io.EOF
 	}
 	if err != nil {
-		return Superkmer{}, fmt.Errorf("%w: bad length: %v", ErrCorrupt, err)
+		return Superkmer{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if first == 0 {
+		return Superkmer{}, d.verifyFooter()
+	}
+
+	// Re-read the record length byte by byte so the raw varint bytes feed
+	// the CRC.
+	n64, err := d.readUvarint(first)
+	if err != nil {
+		return Superkmer{}, err
 	}
 	n := int(n64)
 	if n <= 0 || n > 1<<30 {
 		return Superkmer{}, fmt.Errorf("%w: implausible superkmer length %d", ErrCorrupt, n)
 	}
-	flags, err := d.r.ReadByte()
-	if err != nil {
-		return Superkmer{}, fmt.Errorf("%w: missing flags", ErrCorrupt)
+	payload := 1 + (n+3)/4 // flags + packed bases
+	if cap(d.scratch) < payload {
+		d.scratch = make([]byte, payload)
 	}
+	body := d.scratch[:payload]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return Superkmer{}, fmt.Errorf("%w: truncated record (%d bases declared): %v", ErrCorrupt, n, err)
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, body)
+
+	flags, packed := body[0], body[1:]
 	if cap(d.bases) < n {
 		d.bases = make([]dna.Base, n)
 	}
 	bases := d.bases[:n]
-	packed := (n + 3) / 4
-	for i := 0; i < packed; i++ {
-		bb, err := d.r.ReadByte()
-		if err != nil {
-			return Superkmer{}, fmt.Errorf("%w: truncated payload", ErrCorrupt)
-		}
+	for i := range packed {
+		bb := packed[i]
 		for j := 0; j < 4 && i*4+j < n; j++ {
 			bases[i*4+j] = dna.Base(bb >> (6 - 2*uint(j)) & 3)
 		}
@@ -140,6 +217,53 @@ func (d *Decoder) Next() (Superkmer, error) {
 		sk.Right = dna.Base(flags >> 4 & 3)
 	}
 	return sk, nil
+}
+
+// readUvarint decodes a varint whose first byte has already been consumed,
+// folding the raw bytes into the running CRC.
+func (d *Decoder) readUvarint(first byte) (uint64, error) {
+	var raw [binary.MaxVarintLen64]byte
+	var x uint64
+	var shift uint
+	b := first
+	for i := 0; ; i++ {
+		raw[i] = b
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("%w: record length varint overflows", ErrCorrupt)
+			}
+			x |= uint64(b) << shift
+			d.crc = crc32.Update(d.crc, crc32.IEEETable, raw[:i+1])
+			return x, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+		if i+1 == binary.MaxVarintLen64 {
+			return 0, fmt.Errorf("%w: record length varint overflows", ErrCorrupt)
+		}
+		var err error
+		if b, err = d.r.ReadByte(); err != nil {
+			return 0, fmt.Errorf("%w: truncated record length", ErrCorrupt)
+		}
+	}
+}
+
+// verifyFooter checks the CRC footer (whose marker byte has been consumed)
+// against the running record CRC and enforces a clean end of stream.
+func (d *Decoder) verifyFooter() error {
+	d.done = true
+	var crcBytes [FooterSize - 1]byte
+	if _, err := io.ReadFull(d.r, crcBytes[:]); err != nil {
+		return fmt.Errorf("%w: truncated integrity footer", ErrCorruptPartition)
+	}
+	want := binary.LittleEndian.Uint32(crcBytes[:])
+	if want != d.crc {
+		return fmt.Errorf("%w: crc 0x%08x, footer says 0x%08x", ErrCorruptPartition, d.crc, want)
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after integrity footer", ErrCorruptPartition)
+	}
+	return io.EOF
 }
 
 // PlainEncodedSize returns the record size of the non-encoded (one character

@@ -92,7 +92,6 @@ func TestDecoderCorruptStream(t *testing.T) {
 		{0x80}, // unterminated varint
 		{5},    // length without flags
 		{5, 0}, // flags but truncated payload
-		{0, 0}, // zero length
 		append([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}, 0), // implausible length
 	}
 	for i, in := range cases {
@@ -101,6 +100,12 @@ func TestDecoderCorruptStream(t *testing.T) {
 		if !errors.Is(err, ErrCorrupt) {
 			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
 		}
+	}
+	// A leading zero byte is the integrity footer marker; a stream that
+	// ends inside the footer is integrity-corrupt, not structurally so.
+	dec := NewDecoder(bytes.NewReader([]byte{0, 0}))
+	if _, err := dec.Next(); !errors.Is(err, ErrCorruptPartition) {
+		t.Errorf("truncated footer: err = %v, want ErrCorruptPartition", err)
 	}
 }
 

@@ -1,0 +1,195 @@
+package msp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+// encodeClosed builds a footered stream of count random superkmers.
+func encodeClosed(t *testing.T, seed int64, count int) ([]byte, []Superkmer) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	var want []Superkmer
+	for i := 0; i < count; i++ {
+		sk := Superkmer{Bases: randomRead(rng, 27+rng.Intn(50))}
+		if rng.Intn(2) == 1 {
+			sk.HasLeft, sk.Left = true, dna.Base(rng.Intn(4))
+		}
+		want = append(want, sk)
+		if err := enc.Encode(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Bytes != int64(buf.Len()) {
+		t.Fatalf("Bytes counter %d, want %d (footer included)", enc.Bytes, buf.Len())
+	}
+	return buf.Bytes(), want
+}
+
+// drain decodes records until EOF or error.
+func drain(data []byte, requireFooter bool) (int, error) {
+	dec := NewDecoder(bytes.NewReader(data))
+	dec.RequireFooter = requireFooter
+	n := 0
+	for {
+		_, err := dec.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func TestEncoderCloseWritesVerifiableFooter(t *testing.T) {
+	data, want := encodeClosed(t, 50, 100)
+	n, err := drain(data, true)
+	if err != nil {
+		t.Fatalf("footered stream failed verification: %v", err)
+	}
+	if n != len(want) {
+		t.Fatalf("decoded %d records, want %d", n, len(want))
+	}
+}
+
+func TestEncoderCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Superkmer{Bases: randomRead(rand.New(rand.NewSource(51)), 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != size {
+		t.Fatal("second Close appended a second footer")
+	}
+}
+
+func TestEmptyClosedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != FooterSize {
+		t.Fatalf("empty closed stream is %d bytes, want FooterSize %d", buf.Len(), FooterSize)
+	}
+	if n, err := drain(buf.Bytes(), true); n != 0 || err != nil {
+		t.Fatalf("empty footered stream: n=%d err=%v", n, err)
+	}
+}
+
+func TestFooterDetectsEveryBitFlip(t *testing.T) {
+	data, _ := encodeClosed(t, 52, 20)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << uint(bit)
+			if _, err := drain(mut, true); err == nil {
+				t.Fatalf("flipping byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestFooterDetectsCRCDamage(t *testing.T) {
+	data, _ := encodeClosed(t, 53, 10)
+	// Damage each footer CRC byte specifically: these must surface as the
+	// typed integrity error, not a structural one.
+	for off := len(data) - FooterSize + 1; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xff
+		if _, err := drain(mut, false); !errors.Is(err, ErrCorruptPartition) {
+			t.Fatalf("CRC byte %d damage: err = %v, want ErrCorruptPartition", off, err)
+		}
+	}
+}
+
+func TestTruncationAtRecordBoundary(t *testing.T) {
+	data, _ := encodeClosed(t, 54, 5)
+	// Cut the whole footer: the stream now ends exactly at a record
+	// boundary — silent under the legacy format, detected when the footer
+	// is required.
+	cut := data[:len(data)-FooterSize]
+	if _, err := drain(cut, false); err != nil {
+		t.Fatalf("legacy-mode decode of footerless stream: %v", err)
+	}
+	if _, err := drain(cut, true); !errors.Is(err, ErrCorruptPartition) {
+		t.Fatalf("RequireFooter on truncated stream: err = %v, want ErrCorruptPartition", err)
+	}
+	// Cut inside the footer.
+	if _, err := drain(data[:len(data)-2], false); !errors.Is(err, ErrCorruptPartition) {
+		t.Fatalf("mid-footer truncation: err = %v, want ErrCorruptPartition", err)
+	}
+}
+
+func TestTrailingDataAfterFooter(t *testing.T) {
+	data, _ := encodeClosed(t, 55, 5)
+	for _, tail := range [][]byte{{0x01}, {0x00, 0x00, 0x00, 0x00, 0x00}} {
+		if _, err := drain(append(append([]byte(nil), data...), tail...), false); !errors.Is(err, ErrCorruptPartition) {
+			t.Fatalf("trailing %v: err = %v, want ErrCorruptPartition", tail, err)
+		}
+	}
+}
+
+func TestFooterlessStreamRejectedWhenRequired(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Superkmer{Bases: randomRead(rng, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drain(buf.Bytes(), false); err != nil {
+		t.Fatalf("legacy footerless stream must stay decodable: %v", err)
+	}
+	if _, err := drain(buf.Bytes(), true); !errors.Is(err, ErrCorruptPartition) {
+		t.Fatalf("RequireFooter on footerless stream: err = %v, want ErrCorruptPartition", err)
+	}
+}
+
+func TestPartitionWriterWritesFooters(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	k, np := 27, 4
+	bufs := make([]*bytes.Buffer, np)
+	w, err := NewPartitionWriter(k, np, func(i int) (io.WriteCloser, error) {
+		bufs[i] = &bytes.Buffer{}
+		return nopCloser{bufs[i]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scanner{K: k, P: 9}
+	var scratch []Superkmer
+	for i := 0; i < 50; i++ {
+		if scratch, err = w.WriteRead(sc, randomRead(rng, 101), scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < np; i++ {
+		if _, err := drain(bufs[i].Bytes(), true); err != nil {
+			t.Fatalf("partition %d: footer verification failed: %v", i, err)
+		}
+	}
+}

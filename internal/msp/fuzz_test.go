@@ -42,6 +42,38 @@ func FuzzDecoder(f *testing.F) {
 	})
 }
 
+// FuzzDecoderFooter checks the strict-integrity decode path (RequireFooter)
+// never panics and never accepts a stream whose bytes differ from a
+// well-formed footered stream's.
+func FuzzDecoderFooter(f *testing.F) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	_ = enc.Encode(Superkmer{Bases: basesFromBytes([]byte{0, 1, 2, 3, 0, 1})})
+	_ = enc.Encode(Superkmer{Bases: basesFromBytes([]byte{3, 3, 3}), HasRight: true, Right: 1})
+	_ = enc.Close()
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)-FooterSize]) // footer cut at a record boundary
+	f.Add(valid[:len(valid)-2])          // truncated mid-footer
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.RequireFooter = true
+		for {
+			_, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // damaged streams must error, not panic
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks encode->decode identity on fuzz-shaped superkmers.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3}, uint8(3))

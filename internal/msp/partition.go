@@ -99,13 +99,14 @@ func (w *Writer) Stats() []PartitionStats {
 	return out
 }
 
-// Close flushes every encoder and closes every sink, returning the first
-// error encountered while attempting all of them.
+// Close finalises every encoder — writing each partition's integrity
+// footer — and closes every sink, returning the first error encountered
+// while attempting all of them.
 func (w *Writer) Close() error {
 	var firstErr error
 	for i := range w.encoders {
 		if w.encoders[i] != nil {
-			if err := w.encoders[i].Flush(); err != nil && firstErr == nil {
+			if err := w.encoders[i].Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -1,0 +1,377 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file adds the fault-tolerant variant of Run. The paper's pipeline is
+// all-or-nothing: the first error from any stage aborts the whole build,
+// discarding every completed partition. Real heterogeneous deployments lose
+// processors mid-run and hit transient IO faults routinely, and ParaHash's
+// partition-granular construction makes per-partition recovery cheap: a
+// failed partition can simply be re-read or re-hashed, and a failed
+// processor's partitions re-queued onto the survivors. RunResilient
+// implements exactly that policy.
+
+// ErrNoHealthyWorkers reports that every worker was quarantined before the
+// run completed; the partitions that were not yet produced fail with it.
+var ErrNoHealthyWorkers = errors.New("pipeline: all workers quarantined")
+
+// Policy configures RunResilient's fault handling. The zero value retries
+// nothing and never quarantines, making RunResilient behave like Run except
+// that it aggregates every partition error instead of stopping at the first.
+type Policy struct {
+	// MaxAttempts is the per-partition attempt budget per stage (read,
+	// work, write). 1 — and, normalised, anything below 1 — means fail
+	// fast: no retries.
+	MaxAttempts int
+	// QuarantineAfter quarantines a worker once its consecutive-failure
+	// count reaches this threshold: the worker stops claiming partitions
+	// and its last partition is re-queued onto the survivors without
+	// charging the partition's attempt budget (the fault is the
+	// processor's, not the partition's). 0 disables quarantine.
+	QuarantineAfter int
+	// BackoffSeconds is the virtual-time backoff charged before retry k of
+	// a partition: BackoffSeconds * 2^(k-1). It is accounting only — no
+	// goroutine sleeps — so runs stay deterministic and host-independent.
+	BackoffSeconds float64
+	// Retryable classifies read- and write-stage errors; a non-retryable
+	// error fails the partition immediately without burning retries.
+	// Worker errors are always eligible for retry because another
+	// (heterogeneous) worker may well succeed where this one failed.
+	// nil treats every error as retryable.
+	Retryable func(error) bool
+}
+
+// PartitionError records one failed attempt at one partition. Recovered
+// attempts appear in Report.Faults; permanent failures are additionally
+// joined into RunResilient's returned error.
+type PartitionError struct {
+	// Partition is the partition index.
+	Partition int
+	// Stage is "read", "work" or "write".
+	Stage string
+	// Worker is the failing worker's index for stage "work", else -1.
+	Worker int
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int
+	// Err is the underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *PartitionError) Error() string {
+	if e.Stage == "work" {
+		return fmt.Sprintf("pipeline: worker %d on partition %d (attempt %d): %v",
+			e.Worker, e.Partition, e.Attempt, e.Err)
+	}
+	return fmt.Sprintf("pipeline: %s partition %d (attempt %d): %v",
+		e.Stage, e.Partition, e.Attempt, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PartitionError) Unwrap() error { return e.Err }
+
+// Report summarises a resilient run for degraded-mode accounting.
+type Report struct {
+	// Assignment is the worker that produced each partition (-1 if the
+	// partition was never produced).
+	Assignment []int
+	// Retries counts failed attempts that were retried (read, work and
+	// write stages combined).
+	Retries int
+	// Requeues counts partitions re-queued for free because their worker
+	// was quarantined mid-partition.
+	Requeues int
+	// Quarantined lists quarantined worker indices in quarantine order.
+	Quarantined []int
+	// BackoffSeconds is the total virtual backoff charged across retries.
+	BackoffSeconds float64
+	// Faults records every failed attempt, including ones that later
+	// recovered.
+	Faults []PartitionError
+	// FailedPartitions lists permanently failed partitions, sorted.
+	FailedPartitions []int
+}
+
+// runState is the shared mutable state of one RunResilient invocation,
+// guarded by mu.
+type runState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue       []int   // partitions ready for a worker to claim
+	produced    []bool  // partition has an output
+	failed      []error // permanent per-partition failure
+	attempts    []int   // charged failed attempts per partition
+	consec      []int   // consecutive failures per worker
+	quarantined []bool
+	healthy     int
+	abandoned   bool // all workers quarantined
+	writerDone  bool
+
+	pol         Policy
+	maxAttempts int
+	rep         *Report
+}
+
+// chargeRetryLocked books one retried attempt and its exponential virtual
+// backoff. attempt is the 1-based attempt that just failed.
+func (st *runState) chargeRetryLocked(attempt int) {
+	st.rep.Retries++
+	st.rep.BackoffSeconds += st.pol.BackoffSeconds * float64(int64(1)<<uint(attempt-1))
+}
+
+// failLocked marks a partition permanently failed (first failure wins).
+func (st *runState) failLocked(i int, err error) {
+	if st.failed[i] == nil {
+		st.failed[i] = err
+	}
+}
+
+// abandonLocked fails every partition that has no output yet; called when
+// the last healthy worker is quarantined. cause is the fault that retired
+// the final worker, kept in the chain so callers can still errors.Is the
+// underlying device error.
+func (st *runState) abandonLocked(cause error) {
+	st.abandoned = true
+	for i := range st.failed {
+		if !st.produced[i] && st.failed[i] == nil {
+			st.failed[i] = fmt.Errorf("pipeline: partition %d: %w (last worker fault: %w)",
+				i, ErrNoHealthyWorkers, cause)
+		}
+	}
+}
+
+// RunResilient pipelines n partitions through the same three overlapped
+// stages as Run — sequential read, work-stealing workers, sequential
+// in-order write — but applies pol's fault-handling on top:
+//
+//   - a failed read or write is retried up to pol.MaxAttempts times with
+//     deterministic virtual-time backoff;
+//   - a failed worker attempt re-queues the partition (any worker may pick
+//     it up) until the partition's attempt budget is exhausted;
+//   - a worker whose consecutive-failure count reaches pol.QuarantineAfter
+//     is quarantined — it stops claiming work and its partition is
+//     re-queued for free, so the build degrades gracefully onto the
+//     surviving processors and still succeeds with >= 1 healthy worker;
+//   - permanently failed partitions do not abort the run: the remaining
+//     partitions are still processed and written in order, and all
+//     permanent errors are aggregated (errors.Join) into the returned
+//     error.
+//
+// The Report is always valid, even when an error is returned.
+func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy) (Report, error) {
+	rep := Report{}
+	if n < 0 {
+		return rep, fmt.Errorf("pipeline: negative partition count %d", n)
+	}
+	if len(workers) == 0 {
+		return rep, fmt.Errorf("pipeline: no workers")
+	}
+	rep.Assignment = make([]int, n)
+	for i := range rep.Assignment {
+		rep.Assignment[i] = -1
+	}
+	if n == 0 {
+		return rep, nil
+	}
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	retryable := pol.Retryable
+	if retryable == nil {
+		retryable = func(error) bool { return true }
+	}
+
+	inputs := make([]I, n)
+	outputs := make([]O, n)
+
+	st := &runState{
+		produced:    make([]bool, n),
+		failed:      make([]error, n),
+		attempts:    make([]int, n),
+		consec:      make([]int, len(workers)),
+		quarantined: make([]bool, len(workers)),
+		healthy:     len(workers),
+		pol:         pol,
+		maxAttempts: pol.MaxAttempts,
+		rep:         &rep,
+	}
+	st.cond = sync.NewCond(&st.mu)
+
+	var wg sync.WaitGroup
+
+	// Stage 1: input. Reads partitions in order, retrying transient
+	// faults; a permanently unreadable partition is recorded and skipped.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			st.mu.Lock()
+			if st.abandoned {
+				st.mu.Unlock()
+				return
+			}
+			st.mu.Unlock()
+
+			item, ok := func() (I, bool) {
+				for attempt := 1; ; attempt++ {
+					item, err := read(i)
+					if err == nil {
+						return item, true
+					}
+					st.mu.Lock()
+					st.rep.Faults = append(st.rep.Faults,
+						PartitionError{Partition: i, Stage: "read", Worker: -1, Attempt: attempt, Err: err})
+					if attempt >= st.maxAttempts || !retryable(err) {
+						st.failLocked(i, fmt.Errorf("pipeline: reading partition %d (attempt %d/%d): %w",
+							i, attempt, st.maxAttempts, err))
+						st.cond.Broadcast()
+						st.mu.Unlock()
+						var zero I
+						return zero, false
+					}
+					st.chargeRetryLocked(attempt)
+					st.mu.Unlock()
+				}
+			}()
+			if !ok {
+				continue
+			}
+			st.mu.Lock()
+			if st.abandoned {
+				st.mu.Unlock()
+				return
+			}
+			inputs[i] = item
+			st.queue = append(st.queue, i)
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		}
+	}()
+
+	// Stage 2: workers. Each claims queued partitions until quarantined or
+	// the run completes. Failures re-queue the partition; crossing the
+	// quarantine threshold retires the worker.
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				st.mu.Lock()
+				for len(st.queue) == 0 && !st.writerDone && !st.quarantined[w] && !st.abandoned {
+					st.cond.Wait()
+				}
+				if st.writerDone || st.quarantined[w] || st.abandoned {
+					st.mu.Unlock()
+					return
+				}
+				id := st.queue[0]
+				st.queue = st.queue[1:]
+				st.mu.Unlock()
+
+				out, err := workers[w](inputs[id])
+
+				st.mu.Lock()
+				if err == nil {
+					st.consec[w] = 0
+					outputs[id] = out
+					st.produced[id] = true
+					st.rep.Assignment[id] = w
+					st.cond.Broadcast()
+					st.mu.Unlock()
+					continue
+				}
+				attempt := st.attempts[id] + 1
+				st.rep.Faults = append(st.rep.Faults,
+					PartitionError{Partition: id, Stage: "work", Worker: w, Attempt: attempt, Err: err})
+				st.consec[w]++
+				if st.pol.QuarantineAfter > 0 && st.consec[w] >= st.pol.QuarantineAfter {
+					st.quarantined[w] = true
+					st.rep.Quarantined = append(st.rep.Quarantined, w)
+					st.healthy--
+					if st.healthy > 0 {
+						// The processor is at fault, not the partition:
+						// re-queue without charging its attempt budget.
+						st.rep.Requeues++
+						st.queue = append(st.queue, id)
+					} else {
+						st.abandonLocked(err)
+					}
+					st.cond.Broadcast()
+					st.mu.Unlock()
+					return
+				}
+				st.attempts[id] = attempt
+				if attempt >= st.maxAttempts {
+					st.failLocked(id, fmt.Errorf("pipeline: worker %d on partition %d (attempt %d/%d): %w",
+						w, id, attempt, st.maxAttempts, err))
+				} else {
+					st.chargeRetryLocked(attempt)
+					st.queue = append(st.queue, id)
+				}
+				st.cond.Broadcast()
+				st.mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Stage 3: output. Writes produced partitions in order, skipping
+	// permanently failed ones so one bad partition never blocks the rest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			st.mu.Lock()
+			for !st.produced[i] && st.failed[i] == nil {
+				st.cond.Wait()
+			}
+			if st.failed[i] != nil {
+				st.mu.Unlock()
+				continue
+			}
+			out := outputs[i]
+			st.mu.Unlock()
+
+			for attempt := 1; ; attempt++ {
+				err := write(i, out)
+				if err == nil {
+					break
+				}
+				st.mu.Lock()
+				st.rep.Faults = append(st.rep.Faults,
+					PartitionError{Partition: i, Stage: "write", Worker: -1, Attempt: attempt, Err: err})
+				if attempt >= st.maxAttempts || !retryable(err) {
+					st.failLocked(i, fmt.Errorf("pipeline: writing partition %d (attempt %d/%d): %w",
+						i, attempt, st.maxAttempts, err))
+					st.mu.Unlock()
+					break
+				}
+				st.chargeRetryLocked(attempt)
+				st.mu.Unlock()
+			}
+		}
+		st.mu.Lock()
+		st.writerDone = true
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}()
+
+	wg.Wait()
+
+	var errs []error
+	for i, e := range st.failed {
+		if e != nil {
+			rep.FailedPartitions = append(rep.FailedPartitions, i)
+			errs = append(errs, e)
+		}
+	}
+	if len(errs) > 0 {
+		return rep, fmt.Errorf("pipeline: %d of %d partitions failed: %w",
+			len(errs), n, errors.Join(errs...))
+	}
+	return rep, nil
+}
