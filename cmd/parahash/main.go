@@ -17,6 +17,7 @@ import (
 
 	"parahash"
 	"parahash/internal/device"
+	"parahash/internal/obs"
 )
 
 func main() {
@@ -47,9 +48,35 @@ func run(args []string, stdout io.Writer) error {
 
 		maxAttempts = fs.Int("max-attempts", 3, "per-partition attempt budget per pipeline stage (1 = fail fast)")
 		quarantine  = fs.Int("quarantine-after", 2, "consecutive failures before a processor is quarantined (0 = never)")
+
+		metricsJSON = fs.String("metrics-json", "", "write the run's metrics registry (parahash.metrics/v1 JSON) to this file")
+		traceOut    = fs.String("trace-out", "", "write per-partition stage spans as Chrome trace-event JSON (open in Perfetto) to this file")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		bound, stop, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("starting pprof server: %w", err)
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "pprof server listening on http://%s/debug/pprof/\n", bound)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "parahash: closing CPU profile:", err)
+			}
+		}()
 	}
 
 	cfg := parahash.DefaultConfig()
@@ -73,6 +100,9 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Medium = parahash.MediumDisk
 	default:
 		return fmt.Errorf("unknown medium %q (want mem or disk)", *medium)
+	}
+	if *traceOut != "" {
+		cfg.Trace = parahash.NewTrace()
 	}
 
 	var res *parahash.Result
@@ -114,7 +144,50 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "graph written to %s\n", *outPath)
 	}
+
+	if *metricsJSON != "" {
+		if err := writeMetrics(*metricsJSON, res, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsJSON)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, cfg.Trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			return fmt.Errorf("writing heap profile: %w", err)
+		}
+		fmt.Fprintf(stdout, "heap profile written to %s\n", *memProfile)
+	}
 	return nil
+}
+
+func writeMetrics(path string, res *parahash.Result, cfg parahash.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := parahash.MetricsOf(res, cfg).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, tr *parahash.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadReads(inPath, profile string, scale float64) ([]parahash.Read, error) {
@@ -168,6 +241,25 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 		}
 		fmt.Fprintf(w, "  step %d workload: %s\n", si+1, strings.Join(parts, ", "))
 	}
+	fmt.Fprintf(w, "performance model (Eq. 1-2):\n")
+	for si, st := range []parahash.StepStats{s.Step1, s.Step2} {
+		fmt.Fprintf(w, "  step %d predicted %.4fs, measured %.4fs (error %+.1f%%)",
+			si+1, st.PredictedSeconds, st.Seconds, st.ModelErrorPct())
+		if st.PredictedCoprocessingSeconds > 0 {
+			fmt.Fprintf(w, "; ideal co-processing %.4fs", st.PredictedCoprocessingSeconds)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "hash table: %d inserts, %d updates (contention reduction %.2f), %.2f probes/access\n",
+		s.Hash.Inserts, s.Hash.Updates, s.Hash.ContentionReduction(),
+		probesPerAccess(s.Hash))
+	if s.Superkmers.TotalPlain > 0 {
+		fmt.Fprintf(w, "msp encoding: %d superkmers, %.1f MB encoded (%.0f%% of plain), %.1f MB decoded in step 2\n",
+			s.Superkmers.TotalSuperkmers,
+			float64(s.Superkmers.TotalEncoded)/(1<<20),
+			100*float64(s.Superkmers.TotalEncoded)/float64(s.Superkmers.TotalPlain),
+			float64(s.DecodedBytes)/(1<<20))
+	}
 	if s.Degraded() {
 		fmt.Fprintf(w, "degraded mode: %d retries, %d requeues", s.TotalRetries(), s.TotalRequeues())
 		if q := s.QuarantinedProcessors(); len(q) > 0 {
@@ -175,4 +267,11 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+func probesPerAccess(h parahash.HashStats) float64 {
+	if h.Inserts+h.Updates == 0 {
+		return 0
+	}
+	return float64(h.Probes) / float64(h.Inserts+h.Updates)
 }

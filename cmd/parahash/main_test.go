@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"parahash"
+	"parahash/internal/msp"
 )
 
 func TestRunProfile(t *testing.T) {
@@ -79,6 +81,134 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("case %d (%v): no error", i, args)
 		}
+	}
+}
+
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "tiny", "-partitions", "8", "-threads", "4",
+		"-gpus", "1",
+		"-metrics-json", metricsPath,
+		"-trace-out", tracePath,
+		"-memprofile", memPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"performance model", "predicted", "contention reduction",
+		"metrics written", "trace written", "heap profile written"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// Metrics file: parses, carries the schema, and has a plausible
+	// contention-reduction figure (§III-C3's ≈0.8 on duplicated k-mers)
+	// plus Eq. 1 predictions for both steps.
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m parahash.BuildMetrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if m.Schema != "parahash.metrics/v1" {
+		t.Errorf("schema = %q", m.Schema)
+	}
+	if m.HashTable.ContentionReduction <= 0 || m.HashTable.ContentionReduction >= 1 {
+		t.Errorf("contention reduction = %g, want in (0,1)", m.HashTable.ContentionReduction)
+	}
+	if len(m.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(m.Steps))
+	}
+	for _, st := range m.Steps {
+		if st.PredictedSeconds <= 0 {
+			t.Errorf("step %s predicted seconds = %g, want > 0", st.Name, st.PredictedSeconds)
+		}
+		if st.MeasuredSeconds <= 0 {
+			t.Errorf("step %s measured seconds = %g, want > 0", st.Name, st.MeasuredSeconds)
+		}
+		var measured int
+		for _, p := range st.Processors {
+			if p.BusySeconds < 0 {
+				t.Errorf("step %s processor %s busy %g", st.Name, p.Name, p.BusySeconds)
+			}
+			measured += p.MeasuredPartitions
+		}
+		if measured != st.Partitions {
+			t.Errorf("step %s measured partitions sum to %d, want %d", st.Name, measured, st.Partitions)
+		}
+	}
+	// A fault-free run decodes exactly what was encoded, plus one integrity
+	// footer per partition file (the written stat counts record bytes only).
+	wantRead := m.MSP.EncodedBytesWritten + int64(m.Run.Partitions)*msp.FooterSize
+	if m.MSP.EncodedBytesRead != wantRead {
+		t.Errorf("decoded %d bytes, want %d (encoded %d + %d footers)",
+			m.MSP.EncodedBytesRead, wantRead, m.MSP.EncodedBytesWritten, m.Run.Partitions)
+	}
+
+	// Trace file: valid Chrome trace JSON with one complete virtual-time
+	// read/compute/write span per step2 partition.
+	rawTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Partition *int   `json:"partition"`
+				Stage     string `json:"stage"`
+				Clock     string `json:"clock"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawTrace, &tr); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	step2Spans := map[string]map[int]int{} // stage -> partition -> count
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" || e.Cat != "step2" || e.Args.Clock != "virtual" {
+			continue
+		}
+		if step2Spans[e.Args.Stage] == nil {
+			step2Spans[e.Args.Stage] = map[int]int{}
+		}
+		if e.Args.Partition != nil {
+			step2Spans[e.Args.Stage][*e.Args.Partition]++
+		}
+	}
+	for _, stage := range []string{"read", "compute", "write"} {
+		perPart := step2Spans[stage]
+		if len(perPart) != 8 {
+			t.Errorf("step2 %s spans cover %d partitions, want 8", stage, len(perPart))
+		}
+		for part, c := range perPart {
+			if c != 1 {
+				t.Errorf("step2 %s partition %d has %d virtual spans, want 1", stage, part, c)
+			}
+		}
+	}
+
+	if st, err := os.Stat(memPath); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestRunPprofServer(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "tiny", "-partitions", "8", "-threads", "2",
+		"-pprof-addr", "127.0.0.1:0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof server listening on") {
+		t.Errorf("output missing pprof banner:\n%s", buf.String())
 	}
 }
 

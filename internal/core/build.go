@@ -97,11 +97,8 @@ func buildWithStore(reads []fastq.Read, cfg Config, store *iosim.Store) (*Result
 		}
 	}
 	peak = chunkBytes
-	for _, w := range works {
-		res.Stats.DistinctVertices += w.distinct
-		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
-			peak = resident
-		}
+	if p := foldStep2Works(&res.Stats, works); p > peak {
+		peak = p
 	}
 	res.Stats.PeakMemoryBytes = peak
 	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices

@@ -18,6 +18,7 @@ import (
 	"parahash/internal/device"
 	"parahash/internal/dna"
 	"parahash/internal/iosim"
+	"parahash/internal/obs"
 	"parahash/internal/pipeline"
 )
 
@@ -97,6 +98,11 @@ type Config struct {
 	// Resilience tunes partition retries, processor quarantine and
 	// virtual-time backoff for both pipeline steps.
 	Resilience ResilienceConfig
+
+	// Trace, when non-nil, records per-partition stage spans from both
+	// pipeline steps — wall-clock spans from the live run and virtual-time
+	// spans from the schedule — for Chrome trace-event export.
+	Trace *obs.Trace
 
 	// procWrap, when set, post-processes the instantiated processor slice
 	// before each pipeline step; fault-injection tests use it to script

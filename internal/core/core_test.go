@@ -10,6 +10,7 @@ import (
 	"parahash/internal/fastq"
 	"parahash/internal/graph"
 	"parahash/internal/iosim"
+	"parahash/internal/obs"
 	"parahash/internal/simulate"
 )
 
@@ -396,5 +397,89 @@ func TestBuildSurfacesSubgraphWriteFaults(t *testing.T) {
 	store.FailWritesOn(subgraphFile(2), boom)
 	if _, err := buildWithStore(reads, cfg, store); !errors.Is(err, boom) {
 		t.Fatalf("subgraph write fault not surfaced: %v", err)
+	}
+}
+
+func TestBuildObservability(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := tinyConfig()
+	cfg.Trace = obs.NewTrace()
+	res, err := Build(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hash counters must aggregate across partitions: every k-mer instance
+	// is either an insert or an update, and duplicates dominate on the tiny
+	// dataset (the paper's ~0.8 contention reduction).
+	h := res.Stats.Hash
+	if h.Inserts+h.Updates != res.Stats.TotalKmers {
+		t.Errorf("inserts+updates = %d, want %d total k-mers", h.Inserts+h.Updates, res.Stats.TotalKmers)
+	}
+	if h.Inserts != res.Stats.DistinctVertices {
+		t.Errorf("inserts = %d, want %d distinct vertices", h.Inserts, res.Stats.DistinctVertices)
+	}
+	if cr := h.ContentionReduction(); cr <= 0.5 || cr >= 1 {
+		t.Errorf("contention reduction = %.2f, want in (0.5,1)", cr)
+	}
+	if h.Probes < h.Inserts+h.Updates {
+		t.Errorf("probes = %d below access count %d", h.Probes, h.Inserts+h.Updates)
+	}
+	if res.Stats.DecodedBytes <= res.Stats.Superkmers.TotalEncoded {
+		t.Errorf("decoded bytes = %d, want > encoded %d (footers included)",
+			res.Stats.DecodedBytes, res.Stats.Superkmers.TotalEncoded)
+	}
+
+	// Eq. 1 predictions exist for both steps and are near the simulated
+	// elapsed time (same scheduling inputs, coarser aggregation).
+	for _, st := range []StepStats{res.Stats.Step1, res.Stats.Step2} {
+		if st.PredictedSeconds <= 0 {
+			t.Errorf("predicted seconds = %g, want > 0", st.PredictedSeconds)
+		}
+		if st.PredictedCoprocessingSeconds <= 0 {
+			t.Errorf("predicted co-processing seconds = %g, want > 0", st.PredictedCoprocessingSeconds)
+		}
+		if math.Abs(st.ModelErrorPct()) > 50 {
+			t.Errorf("model error %.1f%% implausibly large (predicted %g, measured %g)",
+				st.ModelErrorPct(), st.PredictedSeconds, st.Seconds)
+		}
+		var measured int
+		for _, n := range st.MeasuredProcessorParts {
+			measured += n
+		}
+		if measured != st.Partitions {
+			t.Errorf("measured partition attribution sums to %d, want %d", measured, st.Partitions)
+		}
+	}
+
+	// The trace carries wall spans from the live run and virtual spans from
+	// the schedule, for both steps.
+	kinds := map[string]int{}
+	for _, s := range cfg.Trace.Spans() {
+		kinds[s.Step+"/"+s.Clock]++
+	}
+	for _, want := range []string{"step1/wall", "step1/virtual", "step2/wall", "step2/virtual"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s spans recorded (have %v)", want, kinds)
+		}
+	}
+	// Virtual spans: exactly one read/compute/write triple per partition.
+	if got, want := kinds["step2/virtual"], 3*cfg.NumPartitions; got != want {
+		t.Errorf("step2 virtual spans = %d, want %d", got, want)
+	}
+
+	m := MetricsOf(res, cfg)
+	if m.Schema != obs.MetricsSchema {
+		t.Errorf("schema = %q", m.Schema)
+	}
+	if m.HashTable.ContentionReduction != h.ContentionReduction() {
+		t.Error("registry contention reduction disagrees with stats")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"contention_reduction"`)) {
+		t.Error("serialised metrics missing contention_reduction")
 	}
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"parahash/internal/obs"
+)
+
+// MetricsOf assembles the observability registry for a finished run: the
+// single BuildMetrics struct the -metrics-json flag serialises. cfg must be
+// the configuration the result was built with (it pins the run info and the
+// processor roster).
+func MetricsOf(res *Result, cfg Config) *obs.BuildMetrics {
+	procs := processors(cfg)
+	names := procNames(procs)
+
+	m := &obs.BuildMetrics{
+		Schema: obs.MetricsSchema,
+		Run: obs.RunInfo{
+			K:          cfg.K,
+			P:          cfg.P,
+			Partitions: cfg.NumPartitions,
+			Medium:     cfg.Medium.String(),
+			Processors: names,
+		},
+		Totals: obs.Totals{
+			Seconds:           res.Stats.TotalSeconds,
+			TotalKmers:        res.Stats.TotalKmers,
+			DistinctVertices:  res.Stats.DistinctVertices,
+			DuplicateVertices: res.Stats.DuplicateVertices,
+			PeakMemoryBytes:   res.Stats.PeakMemoryBytes,
+			Degraded:          res.Stats.Degraded(),
+		},
+		HashTable: hashTableMetricsOf(res.Stats.Hash),
+		MSP: obs.MSPMetrics{
+			Superkmers:          res.Stats.Superkmers.TotalSuperkmers,
+			Kmers:               res.Stats.Superkmers.TotalKmers,
+			EncodedBytesWritten: res.Stats.Superkmers.TotalEncoded,
+			EncodedBytesRead:    res.Stats.DecodedBytes,
+			PlainBytes:          res.Stats.Superkmers.TotalPlain,
+			EncodingRatio:       encodingRatio(res.Stats.Superkmers.TotalEncoded, res.Stats.Superkmers.TotalPlain),
+		},
+		Steps: []obs.StepMetrics{
+			stepMetricsOf("step1", res.Stats.Step1),
+			stepMetricsOf("step2", res.Stats.Step2),
+		},
+		Resilience: obs.ResilienceMetrics{
+			Retries:        res.Stats.TotalRetries(),
+			Requeues:       res.Stats.TotalRequeues(),
+			BackoffSeconds: res.Stats.Step1.BackoffSeconds + res.Stats.Step2.BackoffSeconds,
+			Quarantined:    res.Stats.QuarantinedProcessors(),
+		},
+	}
+	return m
+}
+
+// hashTableMetricsOf converts the aggregated hash counters, deriving the
+// §III-C3 contention-reduction fraction and the mean probe walk length.
+func hashTableMetricsOf(h HashStats) obs.HashTableMetrics {
+	var probesPerAccess float64
+	if accesses := h.Inserts + h.Updates; accesses > 0 {
+		probesPerAccess = float64(h.Probes) / float64(accesses)
+	}
+	return obs.HashTableMetrics{
+		Inserts:             h.Inserts,
+		Updates:             h.Updates,
+		Probes:              h.Probes,
+		LockWaits:           h.LockWaits,
+		CASFailures:         h.CASFailures,
+		ContentionReduction: obs.ContentionReductionOf(h.Inserts, h.Updates),
+		ProbesPerAccess:     probesPerAccess,
+	}
+}
+
+func encodingRatio(encoded, plain int64) float64 {
+	if plain == 0 {
+		return 0
+	}
+	return float64(encoded) / float64(plain)
+}
+
+// stepMetricsOf converts one step's stats, folding the per-processor slices
+// into named ProcessorMetrics rows (measured vs ideal shares — Fig. 11).
+func stepMetricsOf(name string, st StepStats) obs.StepMetrics {
+	shares := st.WorkloadShares()
+	ideal := st.IdealShares()
+	procs := make([]obs.ProcessorMetrics, len(st.ProcessorNames))
+	for i, pname := range st.ProcessorNames {
+		pm := obs.ProcessorMetrics{Name: pname}
+		if i < len(st.ProcessorBusy) {
+			pm.BusySeconds = st.ProcessorBusy[i]
+		}
+		if i < len(st.ProcessorUnits) {
+			pm.WorkUnits = st.ProcessorUnits[i]
+		}
+		if i < len(st.ProcessorParts) {
+			pm.Partitions = st.ProcessorParts[i]
+		}
+		if i < len(st.MeasuredProcessorParts) {
+			pm.MeasuredPartitions = st.MeasuredProcessorParts[i]
+		}
+		if i < len(shares) {
+			pm.Share = shares[i]
+		}
+		if i < len(ideal) {
+			pm.ShareIdeal = ideal[i]
+		}
+		if i < len(st.SoloSeconds) {
+			pm.SoloSeconds = st.SoloSeconds[i]
+		}
+		procs[i] = pm
+	}
+	return obs.StepMetrics{
+		Name:                         name,
+		Partitions:                   st.Partitions,
+		MeasuredSeconds:              st.Seconds,
+		PredictedSeconds:             st.PredictedSeconds,
+		PredictedCoprocessingSeconds: st.PredictedCoprocessingSeconds,
+		ModelErrorPct:                st.ModelErrorPct(),
+		NonPipelinedSeconds:          st.NonPipelinedSeconds,
+		InputSeconds:                 st.InputSeconds,
+		OutputSeconds:                st.OutputSeconds,
+		Retries:                      st.Retries,
+		Requeues:                     st.Requeues,
+		BackoffSeconds:               st.BackoffSeconds,
+		Quarantined:                  st.Quarantined,
+		Processors:                   procs,
+	}
+}

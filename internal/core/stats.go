@@ -30,6 +30,21 @@ type StepStats struct {
 	// Partitions is the step's partition count.
 	Partitions int
 
+	// MeasuredProcessorParts counts the partitions each processor actually
+	// produced in the live run (from the resilient report's assignment);
+	// never-produced partitions are attributed to no one. It can differ
+	// from ProcessorParts, which comes from the virtual-time schedule.
+	MeasuredProcessorParts []int
+
+	// Performance-model validation (§IV).
+
+	// PredictedSeconds evaluates Eq. 1 on the measured stage totals:
+	// max{T_CPU, T_GPU, T_I/O} + (T_input+T_output)/n.
+	PredictedSeconds float64
+	// PredictedCoprocessingSeconds evaluates Eq. 2's ideal co-processing
+	// time from the per-processor solo times (Case 1: IO negligible).
+	PredictedCoprocessingSeconds float64
+
 	// Resilience counters, all zero on a fault-free run.
 
 	// Retries counts retried partition attempts (read, compute and write
@@ -71,6 +86,37 @@ func (s StepStats) IdealShares() []float64 {
 	return pipeline.IdealShares(s.SoloSeconds)
 }
 
+// ModelErrorPct is the Eq. 1 prediction error: (measured−predicted)/
+// predicted · 100, or 0 when there is no prediction.
+func (s StepStats) ModelErrorPct() float64 {
+	if s.PredictedSeconds == 0 {
+		return 0
+	}
+	return (s.Seconds - s.PredictedSeconds) / s.PredictedSeconds * 100
+}
+
+// HashStats aggregates the Step 2 state-transfer hash table counters
+// (§III-C3) across every partition of a run.
+type HashStats struct {
+	// Inserts counts first-time key insertions (each takes the slot lock
+	// once); Updates counts lock-free duplicate-key visits.
+	Inserts, Updates int64
+	// Probes is the total slots examined across all accesses.
+	Probes int64
+	// LockWaits counts spins on a locked slot; CASFailures counts lost
+	// empty→locked races.
+	LockWaits, CASFailures int64
+}
+
+// ContentionReduction is Updates/(Inserts+Updates): the fraction of key
+// accesses that avoided locking (≈0.8 on the paper's datasets).
+func (h HashStats) ContentionReduction() float64 {
+	if h.Inserts+h.Updates == 0 {
+		return 0
+	}
+	return float64(h.Updates) / float64(h.Inserts+h.Updates)
+}
+
 // Stats aggregates a full ParaHash run.
 type Stats struct {
 	// Step1 and Step2 are the per-step performance records.
@@ -88,6 +134,11 @@ type Stats struct {
 	TotalKmers int64
 	// Superkmers summarises the Step 1 partition statistics.
 	Superkmers msp.StatsSummary
+	// Hash aggregates the hash table work counters across Step 2.
+	Hash HashStats
+	// DecodedBytes is the total encoded partition bytes Step 2 decoded
+	// (retried reads included), the mirror of Superkmers.TotalEncoded.
+	DecodedBytes int64
 }
 
 // TotalRetries sums both steps' retried partition attempts.

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 
+	"parahash/internal/costmodel"
 	"parahash/internal/device"
 	"parahash/internal/fastq"
 	"parahash/internal/iosim"
 	"parahash/internal/msp"
+	"parahash/internal/obs"
 	"parahash/internal/pipeline"
 )
 
@@ -40,8 +42,9 @@ func processors(cfg Config) []device.Processor {
 }
 
 // applyReport folds a resilient run's fault accounting into the step's
-// stats: counters, quarantined processor names, and the virtual backoff
-// (which is charged into the step's elapsed time).
+// stats: counters, quarantined processor names, the virtual backoff
+// (which is charged into the step's elapsed time), and the live run's
+// partition attribution.
 func applyReport(st *StepStats, rep pipeline.Report, procs []device.Processor) {
 	st.Retries = rep.Retries
 	st.Requeues = rep.Requeues
@@ -50,6 +53,33 @@ func applyReport(st *StepStats, rep pipeline.Report, procs []device.Processor) {
 	for _, w := range rep.Quarantined {
 		st.Quarantined = append(st.Quarantined, procs[w].Name())
 	}
+	st.MeasuredProcessorParts = make([]int, len(procs))
+	for _, w := range rep.Assignment {
+		// -1 marks a never-produced partition; attributing it to anyone
+		// (worker 0, historically) would corrupt the workload accounting.
+		if w >= 0 && w < len(procs) {
+			st.MeasuredProcessorParts[w]++
+		}
+	}
+}
+
+// procNames lists the processors' display names in pipeline-worker order.
+func procNames(procs []device.Processor) []string {
+	names := make([]string, len(procs))
+	for i, p := range procs {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// stepRecorder returns the pipeline span recorder for one step, or nil when
+// tracing is off. (A typed-nil *obs.StepTracer must never be passed as the
+// interface, hence the explicit nil return.)
+func stepRecorder(cfg Config, step string, procs []device.Processor) pipeline.SpanRecorder {
+	if cfg.Trace == nil {
+		return nil
+	}
+	return &obs.StepTracer{T: cfg.Trace, Step: step, Workers: procNames(procs)}
 }
 
 // step1Work records one input chunk's measured work for virtual timing.
@@ -108,7 +138,7 @@ func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.Partiti
 		return nil
 	}
 
-	report, err := pipeline.RunResilient(len(chunks), read, workers, write, cfg.resiliencePolicy())
+	report, err := pipeline.RunResilientTraced(len(chunks), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step1", procs))
 	if err != nil {
 		writer.Close()
 		return nil, StepStats{}, err
@@ -163,25 +193,76 @@ func scheduleStep1(works []step1Work, cfg Config, procs []device.Processor) (Ste
 	if err != nil {
 		return StepStats{}, err
 	}
+	if cfg.Trace != nil {
+		obs.TraceSchedule(cfg.Trace, "step1", procNames(procs), sched)
+	}
 	return stepStatsFromSchedule(sched, procs, solo), nil
 }
 
-// stepStatsFromSchedule converts a pipeline schedule into StepStats.
+// stepStatsFromSchedule converts a pipeline schedule into StepStats,
+// evaluating the paper's performance model (Eq. 1–2) on the scheduled stage
+// totals so the run summary can report predicted vs measured step times.
 func stepStatsFromSchedule(sched pipeline.Schedule, procs []device.Processor, solo []float64) StepStats {
-	names := make([]string, len(procs))
+	names := procNames(procs)
+	var cpuBusy, gpuBusy float64
 	for i, p := range procs {
-		names[i] = p.Name()
+		if i >= len(sched.ProcBusy) {
+			break
+		}
+		if p.Kind() == device.KindCPU {
+			cpuBusy += sched.ProcBusy[i]
+		} else if sched.ProcBusy[i] > gpuBusy {
+			// Co-processing GPUs run in parallel; Eq. 1's T_GPU is the
+			// slowest device, not the sum.
+			gpuBusy = sched.ProcBusy[i]
+		}
 	}
+	predicted := costmodel.EstimateStepSeconds(costmodel.StepTimes{
+		CPU:        cpuBusy,
+		GPU:        gpuBusy,
+		Input:      sched.SumInput,
+		Output:     sched.SumOutput,
+		Partitions: len(sched.Assignment),
+	})
 	return StepStats{
-		Seconds:             sched.Elapsed,
-		NonPipelinedSeconds: sched.NonPipelinedElapsed,
-		InputSeconds:        sched.SumInput,
-		OutputSeconds:       sched.SumOutput,
-		ProcessorNames:      names,
-		ProcessorBusy:       sched.ProcBusy,
-		ProcessorUnits:      sched.ProcUnits,
-		ProcessorParts:      sched.ProcParts,
-		SoloSeconds:         solo,
-		Partitions:          len(sched.Assignment),
+		Seconds:                      sched.Elapsed,
+		NonPipelinedSeconds:          sched.NonPipelinedElapsed,
+		InputSeconds:                 sched.SumInput,
+		OutputSeconds:                sched.SumOutput,
+		ProcessorNames:               names,
+		ProcessorBusy:                sched.ProcBusy,
+		ProcessorUnits:               sched.ProcUnits,
+		ProcessorParts:               sched.ProcParts,
+		SoloSeconds:                  solo,
+		Partitions:                   len(sched.Assignment),
+		PredictedSeconds:             predicted,
+		PredictedCoprocessingSeconds: coprocessingPrediction(procs, solo),
 	}
+}
+
+// coprocessingPrediction evaluates Eq. 2 — 1/(1/T_onlyCPU + N_GPU/T_1GPU) —
+// from the per-processor solo times, or 0 when the device mix doesn't
+// include both a CPU and at least one GPU.
+func coprocessingPrediction(procs []device.Processor, solo []float64) float64 {
+	var tCPU, tGPU float64
+	numGPUs := 0
+	for i, p := range procs {
+		if i >= len(solo) {
+			break
+		}
+		if p.Kind() == device.KindCPU {
+			if tCPU == 0 {
+				tCPU = solo[i]
+			}
+		} else {
+			numGPUs++
+			if tGPU == 0 {
+				tGPU = solo[i]
+			}
+		}
+	}
+	if tCPU <= 0 || tGPU <= 0 || numGPUs == 0 {
+		return 0
+	}
+	return costmodel.EstimateCoprocessingSeconds(tCPU, tGPU, numGPUs)
 }

@@ -11,6 +11,7 @@ import (
 	"parahash/internal/hashtable"
 	"parahash/internal/iosim"
 	"parahash/internal/msp"
+	"parahash/internal/obs"
 	"parahash/internal/pipeline"
 )
 
@@ -31,17 +32,26 @@ type step2Work struct {
 	tableBytes int64
 	graphBytes int64
 	distinct   int64
+
+	// decodedBytes counts the encoded partition bytes the read stage
+	// actually consumed (retries included).
+	decodedBytes int64
+
+	// Hash table work counters copied from the processor's Step2Output.
+	inserts, updates       int64
+	probes                 int64
+	lockWaits, casFailures int64
 }
 
 // loadPartition decodes a superkmer partition from the store, copying each
-// record out of the decoder's reuse buffer. The decoder demands the
-// integrity footer our own Step 1 always writes, so truncated or corrupted
-// partition bytes fail with a typed, retryable error instead of silently
-// mis-decoding.
-func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, error) {
+// record out of the decoder's reuse buffer, and reports the encoded bytes
+// consumed. The decoder demands the integrity footer our own Step 1 always
+// writes, so truncated or corrupted partition bytes fail with a typed,
+// retryable error instead of silently mis-decoding.
+func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, int64, error) {
 	r, err := store.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	dec := msp.NewDecoder(r)
 	dec.RequireFooter = true
@@ -49,10 +59,10 @@ func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, error) {
 	for {
 		sk, err := dec.Next()
 		if err == io.EOF {
-			return sks, nil
+			return sks, dec.BytesRead(), nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, dec.BytesRead(), err
 		}
 		bases := make([]dna.Base, len(sk.Bases))
 		copy(bases, sk.Bases)
@@ -82,7 +92,12 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 	}
 
 	read := func(i int) ([]msp.Superkmer, error) {
-		return loadPartition(store, superkmerFile(i))
+		sks, decoded, err := loadPartition(store, superkmerFile(i))
+		// Accumulate (not assign): a retried read re-decodes the partition
+		// and both passes cost real IO. The write closure fills the other
+		// fields; the pipeline's stage ordering makes the shared struct safe.
+		works[i].decodedBytes += decoded
+		return sks, err
 	}
 	write := func(i int, out device.Step2Output) error {
 		w := &works[i]
@@ -90,6 +105,11 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 		w.fileBytes = partStats[i].EncodedBytes
 		w.tableBytes = out.TableBytes
 		w.distinct = out.Distinct
+		w.inserts = out.LockedInserts
+		w.updates = out.LockFreeUpdates
+		w.probes = out.Probes
+		w.lockWaits = out.LockWaits
+		w.casFailures = out.CASFailures
 		toWrite := out.Graph
 		if cfg.OutputFilterMin > 1 {
 			filtered := &graph.Subgraph{K: toWrite.K,
@@ -111,7 +131,7 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 		return nil
 	}
 
-	report, err := pipeline.RunResilient(np, read, workers, write, cfg.resiliencePolicy())
+	report, err := pipeline.RunResilientTraced(np, read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step2", procs))
 	if err != nil {
 		return nil, nil, StepStats{}, err
 	}
@@ -124,6 +144,27 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 	return subgraphs, works, stats, nil
 }
 
+// foldStep2Works accumulates the per-partition Step 2 measurements into the
+// run stats — distinct vertices, hash table work counters, decoded bytes —
+// and returns the largest single-partition residency (table + encoded input
+// + graph) for the peak-memory estimate.
+func foldStep2Works(st *Stats, works []step2Work) int64 {
+	var peak int64
+	for _, w := range works {
+		st.DistinctVertices += w.distinct
+		st.Hash.Inserts += w.inserts
+		st.Hash.Updates += w.updates
+		st.Hash.Probes += w.probes
+		st.Hash.LockWaits += w.lockWaits
+		st.Hash.CASFailures += w.casFailures
+		st.DecodedBytes += w.decodedBytes
+		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
+			peak = resident
+		}
+	}
+	return peak
+}
+
 // step2Construct sizes the hash table for one partition and builds its
 // subgraph on processor p, doubling the table when Property 1's pre-sizing
 // under-estimated — but only maxTableResizes times, so a pathological
@@ -133,7 +174,10 @@ func step2Construct(p device.Processor, sks []msp.Superkmer, cfg Config) (device
 	for _, sk := range sks {
 		kmers += int64(sk.NumKmers(cfg.K))
 	}
-	slots := hashtable.SizeForKmers(kmers, cfg.Lambda, cfg.Alpha)
+	slots, err := hashtable.SizeForKmersChecked(kmers, cfg.Lambda, cfg.Alpha)
+	if err != nil {
+		return device.Step2Output{}, fmt.Errorf("core: sizing hash table for %d kmers: %w", kmers, err)
+	}
 	for resizes := 0; ; resizes++ {
 		out, err := p.Step2(sks, cfg.K, slots)
 		if !errors.Is(err, hashtable.ErrTableFull) {
@@ -184,6 +228,9 @@ func scheduleStep2(works []step2Work, cfg Config, procs []device.Processor) (Ste
 	sched, err := pipeline.Simulate(parts, len(procs))
 	if err != nil {
 		return StepStats{}, err
+	}
+	if cfg.Trace != nil {
+		obs.TraceSchedule(cfg.Trace, "step2", procNames(procs), sched)
 	}
 	return stepStatsFromSchedule(sched, procs, solo), nil
 }

@@ -56,14 +56,7 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	res.Stats.TotalSeconds = step1Stats.Seconds + step2Stats.Seconds
 	res.Stats.Superkmers = msp.SummarizeStats(partStats)
 	res.Stats.TotalKmers = res.Stats.Superkmers.TotalKmers
-	var peak int64
-	for _, w := range works {
-		res.Stats.DistinctVertices += w.distinct
-		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
-			peak = resident
-		}
-	}
-	res.Stats.PeakMemoryBytes = peak
+	res.Stats.PeakMemoryBytes = foldStep2Works(&res.Stats, works)
 	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices
 
 	if cfg.KeepSubgraphs {

@@ -83,6 +83,11 @@ type Step2Output struct {
 	// LockedInserts / LockFreeUpdates expose the state-transfer split.
 	LockedInserts   int64
 	LockFreeUpdates int64
+	// Probes / LockWaits / CASFailures expose the table's probe-walk and
+	// locking-contention counters for the observability layer.
+	Probes      int64
+	LockWaits   int64
+	CASFailures int64
 	// WarpDivergence is, on GPUs, the mean ratio of slowest-lane probes to
 	// mean-lane probes per warp (1.0 = no divergence); zero on CPUs.
 	WarpDivergence float64
@@ -350,13 +355,16 @@ func collectStep2(table *hashtable.Table, k int, kmers int64) Step2Output {
 		sub.Vertices = append(sub.Vertices, graph.Vertex{Kmer: e.Kmer, Counts: e.Counts})
 	})
 	sub.Sort()
-	m := table.Metrics()
+	m := table.Metrics().Snapshot()
 	return Step2Output{
 		Graph:           sub,
 		Kmers:           kmers,
 		TableBytes:      table.MemoryBytes(),
 		Distinct:        int64(table.Len()),
-		LockedInserts:   m.Inserts.Load(),
-		LockFreeUpdates: m.Updates.Load(),
+		LockedInserts:   m.Inserts,
+		LockFreeUpdates: m.Updates,
+		Probes:          m.Probes,
+		LockWaits:       m.LockWaits,
+		CASFailures:     m.CASFailures,
 	}
 }

@@ -16,6 +16,7 @@ package hashtable
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sync/atomic"
@@ -57,6 +58,42 @@ type Metrics struct {
 	CASFailures atomic.Int64
 }
 
+// Snapshot is a point-in-time copy of a table's work counters, safe to keep
+// after the table (or its metrics) is reset.
+type Snapshot struct {
+	Inserts, Updates, Probes, LockWaits, CASFailures int64
+}
+
+// ContentionReduction is Updates/(Inserts+Updates) over the snapshot — the
+// §III-C3 lock-avoidance fraction.
+func (s Snapshot) ContentionReduction() float64 {
+	if s.Inserts+s.Updates == 0 {
+		return 0
+	}
+	return float64(s.Updates) / float64(s.Inserts+s.Updates)
+}
+
+// Snapshot reads every counter atomically (each on its own; the set is not
+// a single consistent cut, which monotonic counters tolerate).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Inserts:     m.Inserts.Load(),
+		Updates:     m.Updates.Load(),
+		Probes:      m.Probes.Load(),
+		LockWaits:   m.LockWaits.Load(),
+		CASFailures: m.CASFailures.Load(),
+	}
+}
+
+// Reset zeroes every counter. It must not run concurrently with writers.
+func (m *Metrics) Reset() {
+	m.Inserts.Store(0)
+	m.Updates.Store(0)
+	m.Probes.Store(0)
+	m.LockWaits.Store(0)
+	m.CASFailures.Store(0)
+}
+
 // Table is the concurrent De Bruijn subgraph hash table. All methods are
 // safe for concurrent use by any number of goroutines.
 type Table struct {
@@ -96,19 +133,69 @@ func New(k, capacity int) (*Table, error) {
 	}, nil
 }
 
+// MaxSlots is the largest slot capacity the Property 1 sizing will
+// produce: 2^40 slots (a ~57 TB table) — far beyond any single-partition
+// working set; needing more means the partition count is wrong.
+const MaxSlots = int64(1) << 40
+
+// ErrPartitionTooLarge reports a partition whose Property 1 table would
+// exceed MaxSlots (or the host's int range): the fix is a larger partition
+// count, not a bigger table.
+var ErrPartitionTooLarge = errors.New("hashtable: partition too large for a single table")
+
+// maxPlatformSlots is MaxSlots clamped to the host's int range, so 32-bit
+// builds can never overflow int when converting the slot count.
+func maxPlatformSlots() int64 {
+	limit := MaxSlots
+	if limit > int64(math.MaxInt) {
+		limit = int64(math.MaxInt)
+	}
+	return limit
+}
+
 // SizeForKmers returns the slot capacity for a partition containing nkmers
 // k-mer instances, using the paper's rule: λ/(4α) · N_kmer, where λ is the
 // expected per-read error count and α the target load factor
-// (paper defaults: λ=2, α ∈ [0.5, 0.8]).
+// (paper defaults: λ=2, α ∈ [0.5, 0.8]). Non-finite or non-positive λ/α
+// are clamped to the paper defaults, and the result saturates at the
+// platform slot cap; callers that must distinguish saturation should use
+// SizeForKmersChecked.
 func SizeForKmers(nkmers int64, lambda, alpha float64) int {
+	n, err := SizeForKmersChecked(nkmers, lambda, alpha)
+	if err != nil {
+		return int(maxPlatformSlots())
+	}
+	return n
+}
+
+// SizeForKmersChecked is SizeForKmers with a typed error path: a partition
+// whose table would exceed MaxSlots (or the host int range) returns
+// ErrPartitionTooLarge instead of a silently saturated — or, before this
+// existed, overflowed — capacity.
+func SizeForKmersChecked(nkmers int64, lambda, alpha float64) (int, error) {
 	if nkmers <= 0 {
-		return 8
+		return 8, nil
+	}
+	// Garbage tuning inputs (NaN, ±Inf, non-positive) fall back to the
+	// paper defaults instead of poisoning the arithmetic.
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda <= 0 {
+		lambda = 2
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0 {
+		alpha = 0.65
+	}
+	if alpha > 1 {
+		alpha = 1
 	}
 	size := lambda / (4 * alpha) * float64(nkmers)
 	if size < 8 {
-		size = 8
+		return 8, nil
 	}
-	return int(size)
+	if limit := maxPlatformSlots(); size >= float64(limit) {
+		return 0, fmt.Errorf("%w: %d k-mers want %.3g slots (cap %d)",
+			ErrPartitionTooLarge, nkmers, size, limit)
+	}
+	return int(size), nil
 }
 
 // K returns the k-mer length the table was built for.
@@ -289,7 +376,10 @@ func (t *Table) ForEach(fn func(Entry)) {
 }
 
 // Reset clears the table for reuse on the next partition, retaining its
-// allocation. It must not run concurrently with other operations.
+// allocation. Work counters reset too, so a reused table reports per-
+// partition metrics rather than inflated cumulative ones; callers that want
+// cumulative figures should Metrics().Snapshot() before resetting. It must
+// not run concurrently with other operations.
 func (t *Table) Reset() {
 	for i := range t.states {
 		t.states[i] = stateEmpty
@@ -298,6 +388,7 @@ func (t *Table) Reset() {
 		t.counts[i] = 0
 	}
 	t.distinct.Store(0)
+	t.metrics.Reset()
 }
 
 // Grow returns a table with twice the capacity containing all current

@@ -2,6 +2,7 @@ package hashtable
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -223,6 +224,34 @@ func TestTableReset(t *testing.T) {
 	checkAgainstRef(t, tab, ref2)
 }
 
+func TestResetClearsMetrics(t *testing.T) {
+	edges, _ := randomEdges(56, 50, 300, 27)
+	tab, err := New(27, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := tab.InsertEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tab.Metrics().Snapshot()
+	if before.Inserts == 0 || before.Probes == 0 {
+		t.Fatalf("expected non-zero metrics before Reset, got %+v", before)
+	}
+	tab.Reset()
+	// Reset must zero the counters: a reused table previously reported
+	// cumulative figures as if they belonged to the new partition.
+	if after := tab.Metrics().Snapshot(); after != (Snapshot{}) {
+		t.Errorf("metrics after Reset = %+v, want zero", after)
+	}
+	// Callers wanting cumulative figures snapshot before Reset; the
+	// snapshot must survive the wipe.
+	if before.Inserts == 0 {
+		t.Error("pre-Reset snapshot was clobbered")
+	}
+}
+
 func TestSizeForKmers(t *testing.T) {
 	// Paper defaults λ=2, α=0.65 → ~0.77 N_kmer slots.
 	got := SizeForKmers(1_000_000, 2, 0.65)
@@ -231,6 +260,54 @@ func TestSizeForKmers(t *testing.T) {
 	}
 	if got := SizeForKmers(0, 2, 0.65); got != 8 {
 		t.Errorf("empty partition size = %d, want 8", got)
+	}
+}
+
+func TestSizeForKmersEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name          string
+		nkmers        int64
+		lambda, alpha float64
+		want          int
+	}{
+		{"negative kmers", -5, 2, 0.65, 8},
+		{"nan lambda falls back to default", 1000, nan, 0.65, SizeForKmers(1000, 2, 0.65)},
+		{"inf lambda falls back to default", 1000, math.Inf(1), 0.65, SizeForKmers(1000, 2, 0.65)},
+		{"zero lambda falls back to default", 1000, 0, 0.65, SizeForKmers(1000, 2, 0.65)},
+		{"nan alpha falls back to default", 1000, 2, nan, SizeForKmers(1000, 2, 0.65)},
+		{"negative alpha falls back to default", 1000, 2, -1, SizeForKmers(1000, 2, 0.65)},
+		{"alpha above 1 clamps to 1", 1000, 2, 5, 500},
+		{"tiny partition floors at 8", 3, 2, 0.65, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := SizeForKmersChecked(tc.nkmers, tc.lambda, tc.alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("SizeForKmersChecked(%d, %g, %g) = %d, want %d",
+					tc.nkmers, tc.lambda, tc.alpha, got, tc.want)
+			}
+			if unchecked := SizeForKmers(tc.nkmers, tc.lambda, tc.alpha); unchecked != tc.want {
+				t.Errorf("SizeForKmers disagrees: %d, want %d", unchecked, tc.want)
+			}
+		})
+	}
+}
+
+func TestSizeForKmersTooLarge(t *testing.T) {
+	// A table beyond MaxSlots must surface the typed error — previously the
+	// float→int conversion produced garbage (and could overflow on 32-bit).
+	huge := int64(math.MaxInt64)
+	_, err := SizeForKmersChecked(huge, 1e30, 0.5)
+	if !errors.Is(err, ErrPartitionTooLarge) {
+		t.Fatalf("expected ErrPartitionTooLarge, got %v", err)
+	}
+	// The unchecked variant saturates at the platform cap instead.
+	if got := SizeForKmers(huge, 1e30, 0.5); int64(got) != maxPlatformSlots() {
+		t.Errorf("SizeForKmers saturated to %d, want %d", got, maxPlatformSlots())
 	}
 }
 

@@ -144,8 +144,13 @@ type Decoder struct {
 	bases   []dna.Base
 	scratch []byte
 	crc     uint32
+	bytes   int64
 	done    bool // footer verified or terminal error delivered
 }
+
+// BytesRead reports the encoded bytes consumed so far (records plus any
+// verified footer), for IO accounting symmetrical with Encoder.Bytes.
+func (d *Decoder) BytesRead() int64 { return d.bytes }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
@@ -172,6 +177,7 @@ func (d *Decoder) Next() (Superkmer, error) {
 	if err != nil {
 		return Superkmer{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	d.bytes++
 	if first == 0 {
 		return Superkmer{}, d.verifyFooter()
 	}
@@ -194,6 +200,7 @@ func (d *Decoder) Next() (Superkmer, error) {
 	if _, err := io.ReadFull(d.r, body); err != nil {
 		return Superkmer{}, fmt.Errorf("%w: truncated record (%d bases declared): %v", ErrCorrupt, n, err)
 	}
+	d.bytes += int64(payload)
 	d.crc = crc32.Update(d.crc, crc32.IEEETable, body)
 
 	flags, packed := body[0], body[1:]
@@ -245,6 +252,7 @@ func (d *Decoder) readUvarint(first byte) (uint64, error) {
 		if b, err = d.r.ReadByte(); err != nil {
 			return 0, fmt.Errorf("%w: truncated record length", ErrCorrupt)
 		}
+		d.bytes++
 	}
 }
 
@@ -256,6 +264,7 @@ func (d *Decoder) verifyFooter() error {
 	if _, err := io.ReadFull(d.r, crcBytes[:]); err != nil {
 		return fmt.Errorf("%w: truncated integrity footer", ErrCorruptPartition)
 	}
+	d.bytes += FooterSize - 1
 	want := binary.LittleEndian.Uint32(crcBytes[:])
 	if want != d.crc {
 		return fmt.Errorf("%w: crc 0x%08x, footer says 0x%08x", ErrCorruptPartition, d.crc, want)

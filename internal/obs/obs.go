@@ -1,0 +1,150 @@
+// Package obs is ParaHash's observability layer: a metrics registry that
+// gathers the quantities the paper's evaluation is built on — hash-table
+// state-transfer contention (§III-C3), per-processor workload distribution
+// (§III-E, Fig. 11), MSP encoding effectiveness (§III-B), and the Eq. 1–2
+// performance-model predictions of §IV — plus a schedule tracer that
+// exports per-partition pipeline stage spans as Chrome trace-event JSON
+// (viewable in Perfetto or chrome://tracing), and pprof hooks for live
+// profiling of real runs.
+//
+// The package is a leaf: it depends only on the pipeline package (for
+// virtual-schedule conversion) so every other layer can feed it without
+// import cycles. All encoders emit fields in a fixed order, making outputs
+// golden-testable and diff-friendly.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// MetricsSchema identifies the metrics JSON layout; bump on breaking
+// changes so downstream dashboards can dispatch on it.
+const MetricsSchema = "parahash.metrics/v1"
+
+// HashTableMetrics aggregates the state-transfer hash table counters across
+// every Step 2 partition. ContentionReduction is Updates/(Inserts+Updates):
+// the fraction of key accesses that avoided locking, ≈0.8 on the paper's
+// datasets ("reduce the contentious lock on the keys by 80%").
+type HashTableMetrics struct {
+	Inserts             int64   `json:"inserts"`
+	Updates             int64   `json:"updates"`
+	Probes              int64   `json:"probes"`
+	LockWaits           int64   `json:"lock_waits"`
+	CASFailures         int64   `json:"cas_failures"`
+	ContentionReduction float64 `json:"contention_reduction"`
+	ProbesPerAccess     float64 `json:"probes_per_access"`
+}
+
+// MSPMetrics records Step 1's encoding effectiveness and Step 2's decode
+// traffic. EncodingRatio is encoded/plain bytes (≈0.26 with 2-bit packing).
+type MSPMetrics struct {
+	Superkmers          int64   `json:"superkmers"`
+	Kmers               int64   `json:"kmers"`
+	EncodedBytesWritten int64   `json:"encoded_bytes_written"`
+	EncodedBytesRead    int64   `json:"encoded_bytes_read"`
+	PlainBytes          int64   `json:"plain_bytes"`
+	EncodingRatio       float64 `json:"encoding_ratio"`
+}
+
+// ProcessorMetrics is one processor's share of a step.
+type ProcessorMetrics struct {
+	Name        string  `json:"name"`
+	BusySeconds float64 `json:"busy_seconds"`
+	WorkUnits   int64   `json:"work_units"`
+	// Partitions is the virtual schedule's partition count for this
+	// processor; MeasuredPartitions is the live run's (from the pipeline
+	// report's assignment — never-produced partitions attributed to no one).
+	Partitions         int     `json:"partitions"`
+	MeasuredPartitions int     `json:"measured_partitions"`
+	Share              float64 `json:"share"`
+	ShareIdeal         float64 `json:"share_ideal"`
+	SoloSeconds        float64 `json:"solo_seconds"`
+}
+
+// StepMetrics records one pipeline step, including the predicted-vs-measured
+// model validation: PredictedSeconds evaluates Eq. 1 from the measured stage
+// totals, PredictedCoprocessingSeconds Eq. 2 from the solo times, and
+// ModelErrorPct is (measured−predicted)/predicted · 100.
+type StepMetrics struct {
+	Name                         string             `json:"name"`
+	Partitions                   int                `json:"partitions"`
+	MeasuredSeconds              float64            `json:"measured_seconds"`
+	PredictedSeconds             float64            `json:"predicted_seconds"`
+	PredictedCoprocessingSeconds float64            `json:"predicted_coprocessing_seconds"`
+	ModelErrorPct                float64            `json:"model_error_pct"`
+	NonPipelinedSeconds          float64            `json:"non_pipelined_seconds"`
+	InputSeconds                 float64            `json:"input_seconds"`
+	OutputSeconds                float64            `json:"output_seconds"`
+	Retries                      int                `json:"retries"`
+	Requeues                     int                `json:"requeues"`
+	BackoffSeconds               float64            `json:"backoff_seconds"`
+	Quarantined                  []string           `json:"quarantined,omitempty"`
+	Processors                   []ProcessorMetrics `json:"processors"`
+}
+
+// RunInfo pins the configuration a metrics file was produced under.
+type RunInfo struct {
+	K          int      `json:"k"`
+	P          int      `json:"p"`
+	Partitions int      `json:"partitions"`
+	Medium     string   `json:"medium"`
+	Processors []string `json:"processors"`
+}
+
+// Totals summarises the whole build.
+type Totals struct {
+	Seconds           float64 `json:"seconds"`
+	TotalKmers        int64   `json:"total_kmers"`
+	DistinctVertices  int64   `json:"distinct_vertices"`
+	DuplicateVertices int64   `json:"duplicate_vertices"`
+	PeakMemoryBytes   int64   `json:"peak_memory_bytes"`
+	Degraded          bool    `json:"degraded"`
+}
+
+// ResilienceMetrics aggregates fault handling across both steps.
+type ResilienceMetrics struct {
+	Retries        int      `json:"retries"`
+	Requeues       int      `json:"requeues"`
+	BackoffSeconds float64  `json:"backoff_seconds"`
+	Quarantined    []string `json:"quarantined,omitempty"`
+}
+
+// BuildMetrics is the one-stop registry for a finished construction run —
+// the struct the -metrics-json flag serialises. Field order is the schema;
+// keep additions append-only within each struct.
+type BuildMetrics struct {
+	Schema     string            `json:"schema"`
+	Run        RunInfo           `json:"run"`
+	Totals     Totals            `json:"totals"`
+	HashTable  HashTableMetrics  `json:"hash_table"`
+	MSP        MSPMetrics        `json:"msp"`
+	Steps      []StepMetrics     `json:"steps"`
+	Resilience ResilienceMetrics `json:"resilience"`
+}
+
+// WriteJSON serialises the registry with stable field ordering and a
+// trailing newline.
+func (m *BuildMetrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ContentionReductionOf computes Updates/(Inserts+Updates), the §III-C3
+// lock-avoidance fraction, guarding the empty case.
+func ContentionReductionOf(inserts, updates int64) float64 {
+	if inserts+updates == 0 {
+		return 0
+	}
+	return float64(updates) / float64(inserts+updates)
+}
+
+// ModelErrorPct returns (measured−predicted)/predicted · 100, or 0 when the
+// prediction is zero (nothing to validate against).
+func ModelErrorPct(predicted, measured float64) float64 {
+	if predicted == 0 {
+		return 0
+	}
+	return (measured - predicted) / predicted * 100
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file when
+// -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update to rewrite):\n--- got ---\n%s", path, got)
+	}
+}
+
+// sampleMetrics builds a fully populated registry with hand-picked values so
+// the golden file exercises every field.
+func sampleMetrics() *BuildMetrics {
+	return &BuildMetrics{
+		Schema: MetricsSchema,
+		Run: RunInfo{
+			K: 27, P: 11, Partitions: 64, Medium: "mem-cached",
+			Processors: []string{"CPU", "GPU0"},
+		},
+		Totals: Totals{
+			Seconds: 12.5, TotalKmers: 1_000_000, DistinctVertices: 200_000,
+			DuplicateVertices: 800_000, PeakMemoryBytes: 1 << 24, Degraded: true,
+		},
+		HashTable: HashTableMetrics{
+			Inserts: 200_000, Updates: 800_000, Probes: 1_100_000,
+			LockWaits: 42, CASFailures: 7,
+			ContentionReduction: ContentionReductionOf(200_000, 800_000),
+			ProbesPerAccess:     1.1,
+		},
+		MSP: MSPMetrics{
+			Superkmers: 50_000, Kmers: 1_000_000,
+			EncodedBytesWritten: 2_600_000, EncodedBytesRead: 2_600_000,
+			PlainBytes: 10_000_000, EncodingRatio: 0.26,
+		},
+		Steps: []StepMetrics{
+			{
+				Name: "step1", Partitions: 16,
+				MeasuredSeconds: 5.5, PredictedSeconds: 5.25,
+				PredictedCoprocessingSeconds: 5.1,
+				ModelErrorPct:                ModelErrorPct(5.25, 5.5),
+				NonPipelinedSeconds:          9.0,
+				InputSeconds:                 2.0, OutputSeconds: 1.0,
+				Processors: []ProcessorMetrics{
+					{Name: "CPU", BusySeconds: 4.0, WorkUnits: 700, Partitions: 11,
+						MeasuredPartitions: 11, Share: 0.7, ShareIdeal: 0.68, SoloSeconds: 8.0},
+					{Name: "GPU0", BusySeconds: 3.5, WorkUnits: 300, Partitions: 5,
+						MeasuredPartitions: 5, Share: 0.3, ShareIdeal: 0.32, SoloSeconds: 17.0},
+				},
+			},
+			{
+				Name: "step2", Partitions: 64,
+				MeasuredSeconds: 7.0, PredictedSeconds: 6.8,
+				ModelErrorPct:       ModelErrorPct(6.8, 7.0),
+				NonPipelinedSeconds: 11.0,
+				InputSeconds:        1.5, OutputSeconds: 2.5,
+				Retries: 2, Requeues: 3, BackoffSeconds: 0.15,
+				Quarantined: []string{"GPU0"},
+				Processors: []ProcessorMetrics{
+					{Name: "CPU", BusySeconds: 6.5, WorkUnits: 180_000, Partitions: 60,
+						MeasuredPartitions: 62, Share: 0.9, ShareIdeal: 0.88, SoloSeconds: 7.2},
+					{Name: "GPU0", BusySeconds: 0.7, WorkUnits: 20_000, Partitions: 4,
+						MeasuredPartitions: 2, Share: 0.1, ShareIdeal: 0.12, SoloSeconds: 52.0},
+				},
+			},
+		},
+		Resilience: ResilienceMetrics{
+			Retries: 2, Requeues: 3, BackoffSeconds: 0.15,
+			Quarantined: []string{"GPU0"},
+		},
+	}
+}
+
+func TestBuildMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleMetrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+
+	// The export must stay parseable and keep its schema marker.
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if decoded["schema"] != MetricsSchema {
+		t.Errorf("schema = %v, want %s", decoded["schema"], MetricsSchema)
+	}
+}
+
+func TestContentionReductionOf(t *testing.T) {
+	if got := ContentionReductionOf(0, 0); got != 0 {
+		t.Errorf("empty table reduction = %g, want 0", got)
+	}
+	if got := ContentionReductionOf(200, 800); got != 0.8 {
+		t.Errorf("reduction = %g, want 0.8", got)
+	}
+}
+
+func TestModelErrorPct(t *testing.T) {
+	if got := ModelErrorPct(0, 5); got != 0 {
+		t.Errorf("zero prediction error = %g, want 0", got)
+	}
+	if got := ModelErrorPct(10, 11); got != 10 {
+		t.Errorf("error = %g%%, want 10%%", got)
+	}
+	if got := ModelErrorPct(10, 9); got != -10 {
+		t.Errorf("error = %g%%, want -10%%", got)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunProcessesAllPartitionsInOrder(t *testing.T) {
@@ -140,6 +142,120 @@ func TestRunZeroPartitions(t *testing.T) {
 	}
 }
 
+func TestRunAssignmentOnFailure(t *testing.T) {
+	// An immediate read failure must leave every assignment entry at -1:
+	// before the sentinel, untouched partitions were mis-attributed to
+	// worker 0 (the zero value).
+	boom := errors.New("boom")
+	assignment, err := Run(8,
+		func(i int) (int, error) { return 0, boom },
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(i, o int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("read error not surfaced: %v", err)
+	}
+	for i, w := range assignment {
+		if w != -1 {
+			t.Errorf("partition %d attributed to worker %d on failure, want -1", i, w)
+		}
+	}
+}
+
+func TestRunPromptShutdown(t *testing.T) {
+	// Once a stage has failed, a worker must stop at claim time — not fully
+	// process the partition it claims next because srv already covers it.
+	// read(2) fails after signalling; the sole worker holds partition 0
+	// until the failure is guaranteed recorded, then must never run
+	// partition 1.
+	readFailed := make(chan struct{})
+	var processed [3]atomic.Bool
+	read := func(i int) (int, error) {
+		if i == 2 {
+			close(readFailed)
+			return 0, errors.New("input torn")
+		}
+		return i, nil
+	}
+	worker := func(x int) (int, error) {
+		if x == 0 {
+			<-readFailed
+			// The failed flag is set by the reader after read returns; give
+			// it time to land so the claim-time check is actually exercised.
+			time.Sleep(50 * time.Millisecond)
+		}
+		processed[x].Store(true)
+		return x, nil
+	}
+	_, err := Run(3, read, []Worker[int, int]{worker},
+		func(i, o int) error { return nil })
+	if err == nil {
+		t.Fatal("expected read failure")
+	}
+	if processed[1].Load() {
+		t.Error("worker processed partition 1 after the pipeline had failed")
+	}
+}
+
+// spanLog is a concurrency-safe SpanRecorder for tests.
+type spanLog struct {
+	mu    sync.Mutex
+	spans []recordedSpan
+}
+
+type recordedSpan struct {
+	stage             string
+	partition, worker int
+	start, end        time.Time
+}
+
+func (l *spanLog) StageSpan(stage string, partition, worker int, start, end time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.spans = append(l.spans, recordedSpan{stage, partition, worker, start, end})
+}
+
+func TestRunTracedRecordsSpans(t *testing.T) {
+	const n = 10
+	var log spanLog
+	_, err := RunTraced(n,
+		func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		func(i, o int) error { return nil },
+		&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string][]int{
+		StageRead:    make([]int, n),
+		StageCompute: make([]int, n),
+		StageWrite:   make([]int, n),
+	}
+	for _, s := range log.spans {
+		perPart, ok := counts[s.stage]
+		if !ok {
+			t.Fatalf("unknown stage %q", s.stage)
+		}
+		perPart[s.partition]++
+		if s.end.Before(s.start) {
+			t.Errorf("%s span of partition %d ends before it starts", s.stage, s.partition)
+		}
+		if s.stage == StageCompute {
+			if s.worker != 0 {
+				t.Errorf("compute span worker = %d, want 0", s.worker)
+			}
+		} else if s.worker != -1 {
+			t.Errorf("%s span worker = %d, want -1", s.stage, s.worker)
+		}
+	}
+	for stage, perPart := range counts {
+		for i, c := range perPart {
+			if c != 1 {
+				t.Errorf("stage %s partition %d recorded %d spans, want 1", stage, i, c)
+			}
+		}
+	}
+}
+
 func mkParts(n int, in, out float64, costs ...float64) []Partition {
 	parts := make([]Partition, n)
 	for i := range parts {
@@ -249,6 +365,42 @@ func TestIdealShares(t *testing.T) {
 	zero := IdealShares([]float64{0, 0})
 	if zero[0] != 0 || zero[1] != 0 {
 		t.Error("all-zero solo times should give zero shares")
+	}
+}
+
+func TestSimulateStageSpans(t *testing.T) {
+	parts := mkParts(20, 0.5, 0.3, 2, 1)
+	s, err := Simulate(parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(parts)
+	for _, arr := range [][]float64{s.InputStart, s.InputEnd, s.ComputeStart, s.ComputeEnd, s.OutputStart, s.OutputEnd} {
+		if len(arr) != n {
+			t.Fatalf("span array length %d, want %d", len(arr), n)
+		}
+	}
+	for i := range parts {
+		if s.InputEnd[i]-s.InputStart[i] != parts[i].InputSeconds {
+			t.Errorf("partition %d input span %.2f, want %.2f", i,
+				s.InputEnd[i]-s.InputStart[i], parts[i].InputSeconds)
+		}
+		if s.ComputeStart[i] < s.InputEnd[i] {
+			t.Errorf("partition %d computed before its input landed", i)
+		}
+		want := parts[i].ComputeSeconds[s.Assignment[i]]
+		if got := s.ComputeEnd[i] - s.ComputeStart[i]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("partition %d compute span %.2f, want %.2f", i, got, want)
+		}
+		if s.OutputStart[i] < s.ComputeEnd[i] {
+			t.Errorf("partition %d written before it was produced", i)
+		}
+		if i > 0 && s.OutputStart[i] < s.OutputEnd[i-1] {
+			t.Errorf("partition %d output overlaps partition %d", i, i-1)
+		}
+	}
+	if s.OutputEnd[n-1] != s.Elapsed {
+		t.Errorf("last output ends at %.2f, elapsed %.2f", s.OutputEnd[n-1], s.Elapsed)
 	}
 }
 

@@ -24,7 +24,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Stage names used for span recording and fault reporting.
+const (
+	StageRead    = "read"
+	StageCompute = "compute"
+	StageWrite   = "write"
+)
+
+// SpanRecorder receives wall-clock stage spans from a pipeline run: one call
+// per read / compute / write invocation, with the partition index and, for
+// compute spans, the worker that ran it (-1 for the IO stages). Retried
+// attempts in the resilient runner each produce their own span.
+// Implementations must be safe for concurrent use from every pipeline
+// goroutine.
+type SpanRecorder interface {
+	StageSpan(stage string, partition, worker int, start, end time.Time)
+}
 
 // Worker consumes one input partition and produces one output partition.
 // A Worker models a processor in the consuming-and-producing stage; Run
@@ -41,8 +59,16 @@ type Worker[I, O any] func(item I) (O, error)
 //
 // Run returns the first error from any stage, after all goroutines have
 // stopped. The assignment of partitions to workers is returned for
-// workload-distribution reporting.
+// workload-distribution reporting; partitions never produced by any worker
+// (because a stage failed first) are reported as -1, matching
+// Report.Assignment's convention.
 func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error) ([]int, error) {
+	return RunTraced(n, read, workers, write, nil)
+}
+
+// RunTraced is Run with an optional SpanRecorder observing every stage
+// invocation; rec may be nil.
+func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, rec SpanRecorder) ([]int, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("pipeline: negative partition count %d", n)
 	}
@@ -58,7 +84,12 @@ func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], w
 	inputs := make([]I, n)
 	outputs := make([]O, n)
 	outReady := make([]atomic.Bool, n)
+	// -1 marks a partition no worker produced, so an early failure never
+	// mis-attributes untouched partitions to worker 0.
 	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = -1
+	}
 
 	var failed atomic.Bool
 	errCh := make(chan error, len(workers)+2)
@@ -77,7 +108,11 @@ func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], w
 			if failed.Load() {
 				return
 			}
+			start := time.Now()
 			item, err := read(i)
+			if rec != nil {
+				rec.StageSpan(StageRead, i, -1, start, time.Now())
+			}
 			if err != nil {
 				fail(fmt.Errorf("pipeline: reading partition %d: %w", i, err))
 				return
@@ -94,6 +129,13 @@ func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], w
 		go func(w int) {
 			defer wg.Done()
 			for {
+				// Check at claim time too, not only while spinning on srv:
+				// when every input is already served a worker would otherwise
+				// fully process the partition it claims after another stage
+				// has failed.
+				if failed.Load() {
+					return
+				}
 				id := cns.Add(1) - 1
 				if id >= int64(n) {
 					return
@@ -104,12 +146,16 @@ func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], w
 					}
 					runtime.Gosched()
 				}
-				assignment[id] = w
+				start := time.Now()
 				out, err := workers[w](inputs[id])
+				if rec != nil {
+					rec.StageSpan(StageCompute, int(id), w, start, time.Now())
+				}
 				if err != nil {
 					fail(fmt.Errorf("pipeline: worker %d on partition %d: %w", w, id, err))
 					return
 				}
+				assignment[id] = w
 				outputs[id] = out
 				outReady[id].Store(true)
 				prd.Add(1)
@@ -128,7 +174,12 @@ func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], w
 				}
 				runtime.Gosched()
 			}
-			if err := write(int(wrt), outputs[wrt]); err != nil {
+			start := time.Now()
+			err := write(int(wrt), outputs[wrt])
+			if rec != nil {
+				rec.StageSpan(StageWrite, int(wrt), -1, start, time.Now())
+			}
+			if err != nil {
 				fail(fmt.Errorf("pipeline: writing partition %d: %w", wrt, err))
 				return
 			}

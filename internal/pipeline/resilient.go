@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // This file adds the fault-tolerant variant of Run. The paper's pipeline is
@@ -164,6 +165,12 @@ func (st *runState) abandonLocked(cause error) {
 //
 // The Report is always valid, even when an error is returned.
 func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy) (Report, error) {
+	return RunResilientTraced(n, read, workers, write, pol, nil)
+}
+
+// RunResilientTraced is RunResilient with an optional SpanRecorder
+// observing every stage attempt (retries included); rec may be nil.
+func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy, rec SpanRecorder) (Report, error) {
 	rep := Report{}
 	if n < 0 {
 		return rep, fmt.Errorf("pipeline: negative partition count %d", n)
@@ -219,7 +226,11 @@ func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker
 
 			item, ok := func() (I, bool) {
 				for attempt := 1; ; attempt++ {
+					start := time.Now()
 					item, err := read(i)
+					if rec != nil {
+						rec.StageSpan(StageRead, i, -1, start, time.Now())
+					}
 					if err == nil {
 						return item, true
 					}
@@ -273,7 +284,11 @@ func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker
 				st.queue = st.queue[1:]
 				st.mu.Unlock()
 
+				start := time.Now()
 				out, err := workers[w](inputs[id])
+				if rec != nil {
+					rec.StageSpan(StageCompute, id, w, start, time.Now())
+				}
 
 				st.mu.Lock()
 				if err == nil {
@@ -337,7 +352,11 @@ func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker
 			st.mu.Unlock()
 
 			for attempt := 1; ; attempt++ {
+				start := time.Now()
 				err := write(i, out)
+				if rec != nil {
+					rec.StageSpan(StageWrite, i, -1, start, time.Now())
+				}
 				if err == nil {
 					break
 				}

@@ -37,6 +37,14 @@ type Schedule struct {
 	// overlap: sum of all inputs, then all computes, then all outputs —
 	// the "time breakdown without pipeline" bars of Fig. 12.
 	NonPipelinedElapsed float64
+
+	// Per-partition stage spans in virtual seconds, for schedule tracing:
+	// InputStart/InputEnd bracket each partition's stage-1 transfer+parse,
+	// ComputeStart/ComputeEnd its stage-2 work on Assignment[i], and
+	// OutputStart/OutputEnd its stage-3 write.
+	InputStart, InputEnd     []float64
+	ComputeStart, ComputeEnd []float64
+	OutputStart, OutputEnd   []float64
 }
 
 // Simulate runs the greedy work-stealing schedule in virtual time:
@@ -55,10 +63,16 @@ func Simulate(parts []Partition, numProcs int) (Schedule, error) {
 		}
 	}
 	s := Schedule{
-		Assignment: make([]int, len(parts)),
-		ProcBusy:   make([]float64, numProcs),
-		ProcUnits:  make([]int64, numProcs),
-		ProcParts:  make([]int, numProcs),
+		Assignment:   make([]int, len(parts)),
+		ProcBusy:     make([]float64, numProcs),
+		ProcUnits:    make([]int64, numProcs),
+		ProcParts:    make([]int, numProcs),
+		InputStart:   make([]float64, len(parts)),
+		InputEnd:     make([]float64, len(parts)),
+		ComputeStart: make([]float64, len(parts)),
+		ComputeEnd:   make([]float64, len(parts)),
+		OutputStart:  make([]float64, len(parts)),
+		OutputEnd:    make([]float64, len(parts)),
 	}
 	procFree := make([]float64, numProcs)
 	inputFree := 0.0
@@ -66,7 +80,9 @@ func Simulate(parts []Partition, numProcs int) (Schedule, error) {
 	finishAt := make([]float64, len(parts))
 
 	for i, pt := range parts {
+		s.InputStart[i] = inputFree
 		inputFree += pt.InputSeconds
+		s.InputEnd[i] = inputFree
 		s.SumInput += pt.InputSeconds
 		ready := inputFree
 
@@ -81,6 +97,8 @@ func Simulate(parts []Partition, numProcs int) (Schedule, error) {
 		s.Assignment[i] = best
 		procFree[best] = bestFinish
 		finishAt[i] = bestFinish
+		s.ComputeStart[i] = bestStart
+		s.ComputeEnd[i] = bestFinish
 		s.ProcBusy[best] += pt.ComputeSeconds[best]
 		s.ProcUnits[best] += pt.WorkUnits
 		s.ProcParts[best]++
@@ -90,6 +108,8 @@ func Simulate(parts []Partition, numProcs int) (Schedule, error) {
 	for i, pt := range parts {
 		start := math.Max(outputFree, finishAt[i])
 		outputFree = start + pt.OutputSeconds
+		s.OutputStart[i] = start
+		s.OutputEnd[i] = outputFree
 		s.SumOutput += pt.OutputSeconds
 	}
 	s.Elapsed = outputFree

@@ -25,6 +25,7 @@ import (
 	"parahash/internal/costmodel"
 	"parahash/internal/fastq"
 	"parahash/internal/graph"
+	"parahash/internal/obs"
 	"parahash/internal/simulate"
 )
 
@@ -41,6 +42,9 @@ type Stats = core.Stats
 
 // StepStats records one pipeline step's performance.
 type StepStats = core.StepStats
+
+// HashStats aggregates the Step 2 hash table work counters.
+type HashStats = core.HashStats
 
 // Read is one sequencing read.
 type Read = fastq.Read
@@ -60,6 +64,15 @@ type Dataset = simulate.Dataset
 
 // Calibration holds the virtual-time cost model constants.
 type Calibration = costmodel.Calibration
+
+// BuildMetrics is the observability registry serialised by -metrics-json:
+// hash-table contention, MSP encoding, per-step predicted-vs-measured model
+// validation and per-processor workload shares.
+type BuildMetrics = obs.BuildMetrics
+
+// Trace records per-partition pipeline stage spans (wall-clock and
+// virtual-time) for Chrome trace-event export; set Config.Trace to collect.
+type Trace = obs.Trace
 
 // IO media for the performance model's two regimes.
 const (
@@ -87,6 +100,13 @@ func Build(reads []Read, cfg Config) (*Result, error) { return core.Build(reads,
 func BuildFromReader(r io.Reader, cfg Config) (*Result, error) {
 	return core.BuildFromReader(r, cfg, 0)
 }
+
+// NewTrace returns an empty span trace ready to hang on Config.Trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// MetricsOf assembles the observability registry for a finished run; cfg
+// must be the configuration the result was built with.
+func MetricsOf(res *Result, cfg Config) *BuildMetrics { return core.MetricsOf(res, cfg) }
 
 // BuildNaive constructs the graph with the single-threaded reference
 // implementation — useful for validating custom pipelines on small inputs.
