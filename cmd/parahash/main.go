@@ -49,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		maxAttempts = fs.Int("max-attempts", 3, "per-partition attempt budget per pipeline stage (1 = fail fast)")
 		quarantine  = fs.Int("quarantine-after", 2, "consecutive failures before a processor is quarantined (0 = never)")
 
+		checkpointDir = fs.String("checkpoint-dir", "", "durable on-disk partition store + build manifest in this directory (crash-safe)")
+		resume        = fs.Bool("resume", false, "resume from the -checkpoint-dir manifest: skip verified completed partitions, rebuild corrupt ones")
+
 		metricsJSON = fs.String("metrics-json", "", "write the run's metrics registry (parahash.metrics/v1 JSON) to this file")
 		traceOut    = fs.String("trace-out", "", "write per-partition stage spans as Chrome trace-event JSON (open in Perfetto) to this file")
 		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
@@ -104,6 +107,19 @@ func run(args []string, stdout io.Writer) error {
 	if *traceOut != "" {
 		cfg.Trace = parahash.NewTrace()
 	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *checkpointDir != "" {
+		// -filter stays a post-hoc in-memory filter (it never changes the
+		// checkpointed partition bytes), so it does not join the manifest
+		// fingerprint here.
+		cfg.Checkpoint = parahash.CheckpointConfig{
+			Dir:        *checkpointDir,
+			Resume:     *resume,
+			InputLabel: inputLabel(*inPath, *profile, *scale),
+		}
+	}
 
 	var res *parahash.Result
 	if *inPath != "" && *profile == "" {
@@ -134,25 +150,20 @@ func run(args []string, stdout io.Writer) error {
 			removed, *filterMin, res.Graph.NumVertices())
 	}
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := res.Graph.Write(f); err != nil {
+		if err := writeFileAtomic(*outPath, res.Graph.Write); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "graph written to %s\n", *outPath)
 	}
 
 	if *metricsJSON != "" {
-		if err := writeMetrics(*metricsJSON, res, cfg); err != nil {
+		if err := writeFileAtomic(*metricsJSON, parahash.MetricsOf(res, cfg).WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsJSON)
 	}
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, cfg.Trace); err != nil {
+		if err := writeFileAtomic(*traceOut, cfg.Trace.WriteChromeJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
@@ -166,28 +177,38 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func writeMetrics(path string, res *parahash.Result, cfg parahash.Config) error {
-	f, err := os.Create(path)
+// writeFileAtomic publishes an output file all-or-nothing: write writes the
+// content to "<path>.tmp", which is renamed over path only on success and
+// removed on any error — an interrupted or failed run never leaves a
+// truncated graph, metrics or trace file behind.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := parahash.MetricsOf(res, cfg).WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
-func writeTrace(path string, tr *parahash.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// inputLabel identifies the input for the checkpoint manifest fingerprint.
+func inputLabel(inPath, profile string, scale float64) string {
+	if inPath != "" {
+		return "file:" + inPath
 	}
-	if err := tr.WriteChromeJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fmt.Sprintf("profile:%s@%g", strings.ToLower(profile), scale)
 }
 
 func loadReads(inPath, profile string, scale float64) ([]parahash.Read, error) {
@@ -266,6 +287,10 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 			fmt.Fprintf(w, "; quarantined: %s", strings.Join(q, ", "))
 		}
 		fmt.Fprintln(w)
+	}
+	if s.ResumedPartitions > 0 || s.RebuiltPartitions > 0 {
+		fmt.Fprintf(w, "checkpoint resume: %d partitions resumed, %d rebuilt\n",
+			s.ResumedPartitions, s.RebuiltPartitions)
 	}
 }
 

@@ -75,7 +75,7 @@ func Build(reads []fastq.Read, cfg Config) (*graph.Subgraph, Stats, error) {
 	// partitioning is not the bottleneck so a single charged pass
 	// suffices).
 	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, func(i int) (io.WriteCloser, error) {
-		return store.Create(fmt.Sprintf("part/%04d", i)), nil
+		return store.Create(fmt.Sprintf("part/%04d", i))
 	})
 	if err != nil {
 		return nil, Stats{}, err

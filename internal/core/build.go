@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"parahash/internal/fastq"
+	"parahash/internal/faultinject"
 	"parahash/internal/graph"
 	"parahash/internal/iosim"
 	"parahash/internal/msp"
+	"parahash/internal/store"
 )
 
 // Build constructs the De Bruijn graph of the reads with the full ParaHash
@@ -31,9 +33,13 @@ func PartitionOnly(reads []fastq.Read, cfg Config) ([]msp.PartitionStats, StepSt
 	if err := fastq.Validate(reads, cfg.K); err != nil {
 		return nil, StepStats{}, err
 	}
-	store := iosim.NewStore(cfg.Medium)
-	return runStep1(reads, cfg, store)
+	stats, _, stepStats, err := runStep1(reads, cfg, storeSinks(newSimStore(cfg)))
+	return stats, stepStats, err
 }
+
+// newSimStore creates the in-memory simulated store a checkpoint-less build
+// runs against.
+func newSimStore(cfg Config) store.PartitionStore { return iosim.NewStore(cfg.Medium) }
 
 // PartitionSuperkmers scans the reads and groups their superkmers into
 // cfg.NumPartitions in-memory partitions by minimizer hash — the Step 1
@@ -66,17 +72,25 @@ func Build(reads []fastq.Read, cfg Config) (*Result, error) {
 	if err := fastq.Validate(reads, cfg.K); err != nil {
 		return nil, err
 	}
-	return buildWithStore(reads, cfg, iosim.NewStore(cfg.Medium))
+	st, ck, err := openCheckpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return buildWithStore(reads, cfg, st, ck)
 }
 
 // buildWithStore runs the validated pipeline against a caller-provided
-// store; fault-injection tests use it to exercise IO error paths.
-func buildWithStore(reads []fastq.Read, cfg Config, store *iosim.Store) (*Result, error) {
-	partStats, step1Stats, err := runStep1(reads, cfg, store)
+// store; fault-injection tests use it to exercise IO error paths. A non-nil
+// checkpoint makes the build resumable: completed, verified partitions are
+// skipped and every durable publication is journalled.
+func buildWithStore(reads []fastq.Read, cfg Config, st store.PartitionStore, ck *checkpoint) (*Result, error) {
+	partStats, step1Stats, err := buildStep1(cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
+		return runStep1(reads, cfg, sinks)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (MSP partitioning): %w", err)
 	}
-	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, store)
+	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, st, ck)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
 	}
@@ -97,11 +111,11 @@ func buildWithStore(reads []fastq.Read, cfg Config, store *iosim.Store) (*Result
 		}
 	}
 	peak = chunkBytes
-	if p := foldStep2Works(&res.Stats, works); p > peak {
+	finishStats(&res.Stats, works, ck)
+	if p := res.Stats.PeakMemoryBytes; p > peak {
 		peak = p
 	}
 	res.Stats.PeakMemoryBytes = peak
-	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices
 
 	if cfg.KeepSubgraphs {
 		merged, err := graph.Merge(cfg.K, subgraphs...)
@@ -111,4 +125,61 @@ func buildWithStore(reads []fastq.Read, cfg Config, store *iosim.Store) (*Result
 		res.Graph = merged
 	}
 	return res, nil
+}
+
+// buildStep1 resolves Step 1 against the checkpoint: fully resumed (no
+// execution), selectively rebuilt (full re-scan, only failed partitions
+// rewritten), or run from scratch. run executes the step with the chosen
+// sinks; it is a closure so the in-memory and streaming entry points share
+// this resume logic.
+func buildStep1(cfg Config, st store.PartitionStore, ck *checkpoint,
+	run func(partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error),
+) ([]msp.PartitionStats, StepStats, error) {
+	if ck != nil && ck.step1Complete() {
+		// Every partition file verified: Step 1 costs nothing, and its
+		// statistics come straight from the manifest. The per-processor
+		// slices are present (all zero) so downstream share/metrics
+		// reporting indexes them safely.
+		procs := processors(cfg)
+		n := len(procs)
+		return ck.partitionStats(), StepStats{
+			ProcessorNames:         procNames(procs),
+			ProcessorBusy:          make([]float64, n),
+			ProcessorUnits:         make([]int64, n),
+			ProcessorParts:         make([]int, n),
+			SoloSeconds:            make([]float64, n),
+			MeasuredProcessorParts: make([]int, n),
+		}, nil
+	}
+	sinks := storeSinks(st)
+	if ck != nil && ck.step1Valid {
+		sinks = rebuildSinks(st, ck.step1Rebuild)
+	}
+	partStats, infos, stepStats, err := run(sinks)
+	if err != nil {
+		return nil, StepStats{}, err
+	}
+	if ck != nil {
+		// The partition files are durably published (the writer closed);
+		// a crash before the manifest records them forces a Step 1 rerun on
+		// resume, which is safe — the files are simply rewritten.
+		faultinject.MaybeCrash("step1.published")
+		if err := ck.recordStep1(partStats, infos); err != nil {
+			return nil, StepStats{}, err
+		}
+	}
+	return partStats, stepStats, nil
+}
+
+// finishStats folds the executed partitions' measurements plus the resumed
+// partitions' journalled counts into the run stats, leaving the largest
+// single-partition residency in PeakMemoryBytes.
+func finishStats(st *Stats, works []step2Work, ck *checkpoint) {
+	st.PeakMemoryBytes = foldStep2Works(st, works)
+	if ck != nil {
+		st.DistinctVertices += ck.resumedDistinct()
+		st.ResumedPartitions = ck.resumed
+		st.RebuiltPartitions = ck.rebuilt()
+	}
+	st.DuplicateVertices = st.TotalKmers - st.DistinctVertices
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"parahash/internal/diskstore"
+	"parahash/internal/graph"
+	"parahash/internal/manifest"
+	"parahash/internal/msp"
+	"parahash/internal/store"
+)
+
+// ErrManifestMismatch reports a resume attempt against a checkpoint built
+// with a different configuration (K, P, partition count, output filter or
+// input). Resuming would silently mix partitions from two different
+// constructions, so the build fails fast instead.
+var ErrManifestMismatch = manifest.ErrMismatch
+
+// checkpoint carries a build's durable-store state: the manifest journal and
+// the resume assessment — which partitions can be skipped, which claimed
+// artifacts failed verification and must be rebuilt.
+type checkpoint struct {
+	ds   *diskstore.Store
+	man  *manifest.Manifest
+	path string
+
+	// step1Valid marks the manifest's Step 1 roster trustworthy: every
+	// partition file either verified or is listed in step1Rebuild.
+	step1Valid bool
+	// step1Rebuild lists partitions whose Step 1 file failed verification
+	// (missing, wrong size, or CRC mismatch) and must be rewritten.
+	step1Rebuild map[int]bool
+	// step2Skip holds the verified Step 2 completions; those partitions are
+	// not re-executed.
+	step2Skip map[int]manifest.Step2Partition
+	// subgraphs caches the resumed partitions' parsed subgraphs when the
+	// build keeps them (they were parsed for verification anyway).
+	subgraphs map[int]*graph.Subgraph
+
+	// resumed counts partitions skipped because their Step 2 artifact
+	// verified; rebuiltSet collects partitions whose manifest claim failed
+	// verification and had to be re-executed.
+	resumed    int
+	rebuiltSet map[int]bool
+}
+
+// openCheckpoint resolves the configured store. Without a checkpoint
+// directory it returns the in-memory simulated store and a nil checkpoint —
+// the historical behaviour. With one it opens the durable disk store,
+// loads (or initialises) the manifest, and on resume assesses every claim.
+func openCheckpoint(cfg Config) (store.PartitionStore, *checkpoint, error) {
+	if cfg.Checkpoint.Dir == "" {
+		return newSimStore(cfg), nil, nil
+	}
+	ds, err := diskstore.Open(filepath.Join(cfg.Checkpoint.Dir, "data"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: opening checkpoint store: %w", err)
+	}
+	ck := &checkpoint{
+		ds:           ds,
+		path:         filepath.Join(cfg.Checkpoint.Dir, "manifest.json"),
+		step1Rebuild: make(map[int]bool),
+		step2Skip:    make(map[int]manifest.Step2Partition),
+		subgraphs:    make(map[int]*graph.Subgraph),
+		rebuiltSet:   make(map[int]bool),
+	}
+	fp := cfg.fingerprint()
+	if cfg.Checkpoint.Resume {
+		m, err := manifest.Load(ck.path)
+		switch {
+		case err == nil:
+			if err := m.Validate(fp, cfg.NumPartitions); err != nil {
+				return nil, nil, err
+			}
+			ck.man = m
+			ck.assess(cfg)
+			return ds, ck, nil
+		case os.IsNotExist(err):
+			// No manifest yet — nothing durable to trust; fall through to a
+			// fresh start in the same directory.
+		default:
+			return nil, nil, fmt.Errorf("core: loading checkpoint manifest: %w", err)
+		}
+	}
+	// Fresh build: drop any stale manifest before clearing the data it
+	// refers to, so a crash between the two never leaves claims without
+	// backing files.
+	if err := os.Remove(ck.path); err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("core: clearing checkpoint manifest: %w", err)
+	}
+	if err := ds.Reset(); err != nil {
+		return nil, nil, fmt.Errorf("core: clearing checkpoint store: %w", err)
+	}
+	ck.man = manifest.New(fp, cfg.NumPartitions)
+	if err := ck.man.Save(ck.path); err != nil {
+		return nil, nil, err
+	}
+	return ds, ck, nil
+}
+
+// assess verifies every manifest claim against the durable store and fills
+// the resume plan. It never fails: an unverifiable claim just downgrades to
+// a rebuild of that partition.
+func (ck *checkpoint) assess(cfg Config) {
+	m := ck.man
+	if !m.Step1Done {
+		// A crash before Step 1 completion leaves only unpublished *.tmp
+		// files; nothing claimed, nothing trusted — full rerun.
+		m.Step1, m.Step2, m.Step1Done = nil, nil, false
+		return
+	}
+	ck.step1Valid = true
+	for i := 0; i < m.Partitions; i++ {
+		if rec := m.Step2For(i); rec != nil {
+			if g, ok := ck.verifySubgraph(rec); ok {
+				ck.step2Skip[i] = *rec
+				if cfg.KeepSubgraphs {
+					ck.subgraphs[i] = g
+				}
+				ck.resumed++
+				continue
+			}
+			m.DropStep2(i)
+			ck.rebuiltSet[i] = true
+		}
+		// The partition will run Step 2, so its Step 1 file must be intact.
+		if !ck.verifyStep1(m.Step1For(i)) {
+			ck.step1Rebuild[i] = true
+			ck.rebuiltSet[i] = true
+		}
+	}
+}
+
+// verifyStep1 checks a claimed partition file: present, the recorded size,
+// and a full decode under RequireFooter whose record CRC matches the
+// manifest's independently recorded checksum.
+func (ck *checkpoint) verifyStep1(rec *manifest.Step1Partition) bool {
+	if rec == nil {
+		return false
+	}
+	if sz, err := ck.ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+		return false
+	}
+	r, err := ck.ds.Open(rec.Name)
+	if err != nil {
+		return false
+	}
+	dec := msp.NewDecoder(r)
+	dec.RequireFooter = true
+	for {
+		if _, err := dec.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			return false
+		}
+	}
+	return dec.Sum32() == rec.CRC32
+}
+
+// verifySubgraph checks a claimed subgraph file: present, the recorded size,
+// parseable, and carrying the recorded vertex count. On success it returns
+// the parsed graph so a KeepSubgraphs build reuses the verification parse.
+func (ck *checkpoint) verifySubgraph(rec *manifest.Step2Partition) (*graph.Subgraph, bool) {
+	if sz, err := ck.ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+		return nil, false
+	}
+	r, err := ck.ds.Open(rec.Name)
+	if err != nil {
+		return nil, false
+	}
+	g, err := graph.ReadSubgraph(r)
+	if err != nil || int64(g.NumVertices()) != rec.Vertices {
+		return nil, false
+	}
+	return g, true
+}
+
+// skipStep2 reports whether a partition's Step 2 is already durably done.
+func (ck *checkpoint) skipStep2(i int) bool {
+	_, ok := ck.step2Skip[i]
+	return ok
+}
+
+// step1Complete reports whether every Step 1 partition file is verified —
+// the whole MSP partitioning step can be skipped.
+func (ck *checkpoint) step1Complete() bool {
+	return ck.step1Valid && len(ck.step1Rebuild) == 0
+}
+
+// partitionStats reconstructs the per-partition Step 1 statistics from the
+// manifest, so a fully resumed Step 1 schedules Step 2 without rescanning
+// the input.
+func (ck *checkpoint) partitionStats() []msp.PartitionStats {
+	out := make([]msp.PartitionStats, ck.man.Partitions)
+	for _, rec := range ck.man.Step1 {
+		out[rec.Index] = msp.PartitionStats{
+			Superkmers:   rec.Superkmers,
+			Kmers:        rec.Kmers,
+			Bases:        rec.Bases,
+			EncodedBytes: rec.EncodedBytes,
+			PlainBytes:   rec.PlainBytes,
+		}
+	}
+	return out
+}
+
+// recordStep1 journals Step 1 completion: every partition's published file
+// footprint plus its statistics, then Step1Done. Called only after the
+// writer has closed — i.e. after every file is durably published — so each
+// claim is backed by bytes on disk.
+func (ck *checkpoint) recordStep1(stats []msp.PartitionStats, infos []msp.FileInfo) error {
+	for i := range stats {
+		ck.man.SetStep1(manifest.Step1Partition{
+			Index:        i,
+			Name:         superkmerFile(i),
+			Bytes:        infos[i].Bytes,
+			CRC32:        infos[i].CRC32,
+			Superkmers:   stats[i].Superkmers,
+			Kmers:        stats[i].Kmers,
+			Bases:        stats[i].Bases,
+			EncodedBytes: stats[i].EncodedBytes,
+			PlainBytes:   stats[i].PlainBytes,
+		})
+	}
+	ck.man.Step1Done = true
+	return ck.man.Save(ck.path)
+}
+
+// markStep2 journals one partition's Step 2 completion after its subgraph
+// file has been durably published. written is the graph as written (after
+// any output filtering); distinct is the constructed pre-filter vertex
+// count, preserved so resumed runs keep exact graph-size accounting.
+func (ck *checkpoint) markStep2(i int, written *graph.Subgraph, distinct int64) error {
+	ck.man.SetStep2(manifest.Step2Partition{
+		Index:    i,
+		Name:     subgraphFile(i),
+		Bytes:    graph.SerializedSize(written.NumVertices()),
+		Vertices: int64(written.NumVertices()),
+		Edges:    int64(written.NumEdges()),
+		Distinct: distinct,
+	})
+	return ck.man.Save(ck.path)
+}
+
+// resumedDistinct sums the skipped partitions' constructed vertex counts,
+// folded into Stats.DistinctVertices alongside the re-executed partitions.
+func (ck *checkpoint) resumedDistinct() int64 {
+	var total int64
+	for _, rec := range ck.step2Skip {
+		total += rec.Distinct
+	}
+	return total
+}
+
+// rebuilt returns how many claimed partitions failed verification.
+func (ck *checkpoint) rebuilt() int { return len(ck.rebuiltSet) }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/manifest"
+)
+
+// ckConfig returns a checkpointed config rooted at a fresh directory.
+func ckConfig(t *testing.T) (Config, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, InputLabel: "test:tiny"}
+	return cfg, dir
+}
+
+// dataFile maps a store name to its on-disk path under the checkpoint dir.
+func dataFile(dir, name string) string {
+	return filepath.Join(dir, "data", filepath.FromSlash(name))
+}
+
+func buildCheckpointed(t *testing.T, reads []fastq.Read, cfg Config) *Result {
+	t.Helper()
+	res, err := Build(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCheckpointFreshBuildJournalsEverything(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+	res := buildCheckpointed(t, reads, cfg)
+
+	want := graph.BuildNaive(reads, cfg.K)
+	if !res.Graph.Equal(want) {
+		t.Fatal("checkpointed build diverges from naive reference")
+	}
+	if res.Stats.ResumedPartitions != 0 || res.Stats.RebuiltPartitions != 0 {
+		t.Fatalf("fresh build reports resumed=%d rebuilt=%d",
+			res.Stats.ResumedPartitions, res.Stats.RebuiltPartitions)
+	}
+	m, err := manifest.Load(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Step1Done || len(m.Step1) != cfg.NumPartitions || len(m.Step2) != cfg.NumPartitions {
+		t.Fatalf("manifest incomplete: done=%v step1=%d step2=%d",
+			m.Step1Done, len(m.Step1), len(m.Step2))
+	}
+	for i := 0; i < cfg.NumPartitions; i++ {
+		if _, err := os.Stat(dataFile(dir, superkmerFile(i))); err != nil {
+			t.Errorf("partition %d superkmer file: %v", i, err)
+		}
+		if _, err := os.Stat(dataFile(dir, subgraphFile(i))); err != nil {
+			t.Errorf("partition %d subgraph file: %v", i, err)
+		}
+	}
+}
+
+func TestResumeCompletedBuildSkipsAllPartitions(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, _ := ckConfig(t)
+	first := buildCheckpointed(t, reads, cfg)
+
+	cfg.Checkpoint.Resume = true
+	second := buildCheckpointed(t, reads, cfg)
+	if got := second.Stats.ResumedPartitions; got != cfg.NumPartitions {
+		t.Fatalf("resumed %d partitions, want all %d", got, cfg.NumPartitions)
+	}
+	if second.Stats.RebuiltPartitions != 0 {
+		t.Fatalf("rebuilt %d on a clean resume", second.Stats.RebuiltPartitions)
+	}
+	if !second.Graph.Equal(first.Graph) {
+		t.Fatal("resumed graph differs from original")
+	}
+	if second.Stats.DistinctVertices != first.Stats.DistinctVertices ||
+		second.Stats.TotalKmers != first.Stats.TotalKmers ||
+		second.Stats.DuplicateVertices != first.Stats.DuplicateVertices {
+		t.Fatalf("resumed stats diverge: %+v vs %+v",
+			second.Stats.DistinctVertices, first.Stats.DistinctVertices)
+	}
+}
+
+func TestResumeRebuildsDeletedSubgraph(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+	first := buildCheckpointed(t, reads, cfg)
+
+	victim := dataFile(dir, subgraphFile(3))
+	pristine, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint.Resume = true
+	second := buildCheckpointed(t, reads, cfg)
+	if second.Stats.ResumedPartitions != cfg.NumPartitions-1 || second.Stats.RebuiltPartitions != 1 {
+		t.Fatalf("resumed=%d rebuilt=%d, want %d/1",
+			second.Stats.ResumedPartitions, second.Stats.RebuiltPartitions, cfg.NumPartitions-1)
+	}
+	if !second.Graph.Equal(first.Graph) {
+		t.Fatal("rebuilt graph differs from original")
+	}
+	rebuilt, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rebuilt) != string(pristine) {
+		t.Fatal("rebuilt subgraph file is not byte-identical to the original")
+	}
+}
+
+func TestResumeRebuildsCorruptSuperkmerFile(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+	first := buildCheckpointed(t, reads, cfg)
+
+	// Corrupt partition 7's Step 1 file AND remove its subgraph: the resume
+	// must detect the CRC mismatch, selectively re-scan, and republish a
+	// byte-identical partition file (record order = global read order).
+	skFile := dataFile(dir, superkmerFile(7))
+	pristine, err := os.ReadFile(skFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), pristine...)
+	mut[len(mut)/2] ^= 0x01
+	if err := os.WriteFile(skFile, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(dataFile(dir, subgraphFile(7))); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint.Resume = true
+	second := buildCheckpointed(t, reads, cfg)
+	if second.Stats.ResumedPartitions != cfg.NumPartitions-1 || second.Stats.RebuiltPartitions != 1 {
+		t.Fatalf("resumed=%d rebuilt=%d, want %d/1",
+			second.Stats.ResumedPartitions, second.Stats.RebuiltPartitions, cfg.NumPartitions-1)
+	}
+	if !second.Graph.Equal(first.Graph) {
+		t.Fatal("graph after selective rebuild differs from original")
+	}
+	rebuilt, err := os.ReadFile(skFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rebuilt) != string(pristine) {
+		t.Fatal("rebuilt superkmer file is not byte-identical (record order not deterministic?)")
+	}
+}
+
+func TestResumeCorruptSubgraphDetectedBySize(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+	first := buildCheckpointed(t, reads, cfg)
+
+	victim := dataFile(dir, subgraphFile(0))
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint.Resume = true
+	second := buildCheckpointed(t, reads, cfg)
+	if second.Stats.RebuiltPartitions != 1 {
+		t.Fatalf("truncated subgraph not rebuilt: rebuilt=%d", second.Stats.RebuiltPartitions)
+	}
+	if !second.Graph.Equal(first.Graph) {
+		t.Fatal("graph after truncated-subgraph rebuild differs")
+	}
+}
+
+func TestResumeFingerprintMismatchFailsFast(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, _ := ckConfig(t)
+	buildCheckpointed(t, reads, cfg)
+
+	cases := []func(*Config){
+		func(c *Config) { c.K = 25 },
+		func(c *Config) { c.P = 9 },
+		func(c *Config) { c.NumPartitions = 8 },
+		func(c *Config) { c.Checkpoint.InputLabel = "test:other" },
+	}
+	for i, mutate := range cases {
+		altered := cfg
+		altered.Checkpoint.Resume = true
+		mutate(&altered)
+		_, err := Build(reads, altered)
+		if !errors.Is(err, ErrManifestMismatch) {
+			t.Errorf("case %d: err = %v, want ErrManifestMismatch", i, err)
+		}
+	}
+	// Scheduling knobs never change partition bytes, so they must NOT
+	// invalidate the checkpoint.
+	resched := cfg
+	resched.Checkpoint.Resume = true
+	resched.CPUThreads = 2
+	res, err := Build(reads, resched)
+	if err != nil {
+		t.Fatalf("rescheduled resume rejected: %v", err)
+	}
+	if res.Stats.ResumedPartitions != cfg.NumPartitions {
+		t.Errorf("rescheduled resume re-executed partitions: resumed=%d", res.Stats.ResumedPartitions)
+	}
+}
+
+func TestFreshRunClearsStaleCheckpoint(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+	buildCheckpointed(t, reads, cfg)
+
+	// A second run WITHOUT -resume in the same directory must not trust (or
+	// trip over) the leftovers — including a stale alien file in the store.
+	alien := dataFile(dir, "superkmers/9999")
+	if err := os.WriteFile(alien, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := buildCheckpointed(t, reads, cfg)
+	if res.Stats.ResumedPartitions != 0 {
+		t.Fatalf("fresh run resumed %d partitions", res.Stats.ResumedPartitions)
+	}
+	if _, err := os.Stat(alien); !os.IsNotExist(err) {
+		t.Errorf("fresh run kept stale store file: %v", err)
+	}
+	want := graph.BuildNaive(reads, cfg.K)
+	if !res.Graph.Equal(want) {
+		t.Fatal("fresh rebuild diverges from naive reference")
+	}
+}
+
+func TestResumeWithMissingManifestStartsFresh(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, _ := ckConfig(t)
+	cfg.Checkpoint.Resume = true
+	// No prior build: -resume against an empty directory is a fresh start,
+	// not an error (first run of a crash-retry wrapper).
+	res := buildCheckpointed(t, reads, cfg)
+	if res.Stats.ResumedPartitions != 0 || res.Stats.RebuiltPartitions != 0 {
+		t.Fatalf("empty-dir resume reports resumed=%d rebuilt=%d",
+			res.Stats.ResumedPartitions, res.Stats.RebuiltPartitions)
+	}
+	want := graph.BuildNaive(reads, cfg.K)
+	if !res.Graph.Equal(want) {
+		t.Fatal("empty-dir resume build diverges from naive reference")
+	}
+}
+
+func TestResumeValidationRequiresDir(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Checkpoint.Resume = true
+	if _, err := Build(tinyReads(t), cfg); err == nil {
+		t.Fatal("Resume without Dir accepted")
+	}
+}

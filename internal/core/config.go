@@ -13,13 +13,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"parahash/internal/costmodel"
 	"parahash/internal/device"
 	"parahash/internal/dna"
-	"parahash/internal/iosim"
+	"parahash/internal/manifest"
 	"parahash/internal/obs"
 	"parahash/internal/pipeline"
+	"parahash/internal/store"
 )
 
 // ResilienceConfig tunes the fault-tolerant pipeline runtime. Zero values
@@ -36,6 +38,25 @@ type ResilienceConfig struct {
 	// BackoffSeconds is the virtual-time backoff base charged per retry
 	// (doubling per attempt); it is accounting only, never a real sleep.
 	BackoffSeconds float64
+}
+
+// CheckpointConfig selects the durable partition store and checkpoint/resume
+// behaviour. With a zero value the build runs entirely against the in-memory
+// simulated store, exactly as before.
+type CheckpointConfig struct {
+	// Dir, when non-empty, roots a durable on-disk checkpoint: partition and
+	// subgraph files live under Dir/data (published atomically, fsynced),
+	// and Dir/manifest.json journals per-partition completion.
+	Dir string
+	// Resume, with Dir set, resumes from an existing manifest instead of
+	// starting fresh: verified completed partitions are skipped, corrupt or
+	// missing ones are rebuilt, and a manifest whose config fingerprint
+	// diverges from this run fails fast with ErrManifestMismatch.
+	Resume bool
+	// InputLabel identifies the input in the config fingerprint (a file
+	// path, or a synthetic profile spec). Resuming with a different label
+	// fails fast rather than mixing partitions from two inputs.
+	InputLabel string
 }
 
 // Config parameterises a ParaHash run in the paper's terms.
@@ -98,6 +119,11 @@ type Config struct {
 	// Resilience tunes partition retries, processor quarantine and
 	// virtual-time backoff for both pipeline steps.
 	Resilience ResilienceConfig
+
+	// Checkpoint selects durable on-disk storage with a build manifest,
+	// enabling crash-safe checkpoint/resume. The zero value keeps the
+	// in-memory simulated store.
+	Checkpoint CheckpointConfig
 
 	// Trace, when non-nil, records per-partition stage spans from both
 	// pipeline steps — wall-clock spans from the live run and virtual-time
@@ -163,8 +189,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Resilience.QuarantineAfter=%d must be non-negative", c.Resilience.QuarantineAfter)
 	case c.Resilience.BackoffSeconds < 0:
 		return fmt.Errorf("core: Resilience.BackoffSeconds=%g must be non-negative", c.Resilience.BackoffSeconds)
+	case c.Checkpoint.Resume && c.Checkpoint.Dir == "":
+		return fmt.Errorf("core: Checkpoint.Resume requires Checkpoint.Dir")
 	}
 	return c.Calibration.Validate()
+}
+
+// fingerprint derives the manifest config fingerprint from every field that
+// determines partition file content: K, P, the partition count, the output
+// filter, and the input identity. Scheduling knobs (chunking, processors,
+// calibration) are deliberately excluded — they change timing, never bytes —
+// so a resume may rebalance processors without invalidating the checkpoint.
+func (c Config) fingerprint() string {
+	return manifest.Fingerprint(
+		"k="+strconv.Itoa(c.K),
+		"p="+strconv.Itoa(c.P),
+		"partitions="+strconv.Itoa(c.NumPartitions),
+		"filter="+strconv.Itoa(c.OutputFilterMin),
+		"input="+c.Checkpoint.InputLabel,
+	)
 }
 
 // resiliencePolicy maps the resilience config onto the pipeline policy.
@@ -182,7 +225,7 @@ func (c Config) resiliencePolicy() pipeline.Policy {
 // faults are transient — a re-read serves fresh bytes — but a missing file
 // is deterministic and retrying it is pointless.
 func retryableIOFault(err error) bool {
-	return !errors.Is(err, iosim.ErrNotFound)
+	return !errors.Is(err, store.ErrNotFound)
 }
 
 // NumProcessors returns the configured compute device count.

@@ -43,10 +43,12 @@ func MetricsOf(res *Result, cfg Config) *obs.BuildMetrics {
 			stepMetricsOf("step2", res.Stats.Step2),
 		},
 		Resilience: obs.ResilienceMetrics{
-			Retries:        res.Stats.TotalRetries(),
-			Requeues:       res.Stats.TotalRequeues(),
-			BackoffSeconds: res.Stats.Step1.BackoffSeconds + res.Stats.Step2.BackoffSeconds,
-			Quarantined:    res.Stats.QuarantinedProcessors(),
+			Retries:           res.Stats.TotalRetries(),
+			Requeues:          res.Stats.TotalRequeues(),
+			BackoffSeconds:    res.Stats.Step1.BackoffSeconds + res.Stats.Step2.BackoffSeconds,
+			Quarantined:       res.Stats.QuarantinedProcessors(),
+			ResumedPartitions: res.Stats.ResumedPartitions,
+			RebuiltPartitions: res.Stats.RebuiltPartitions,
 		},
 	}
 	return m

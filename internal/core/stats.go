@@ -139,6 +139,16 @@ type Stats struct {
 	// DecodedBytes is the total encoded partition bytes Step 2 decoded
 	// (retried reads included), the mirror of Superkmers.TotalEncoded.
 	DecodedBytes int64
+
+	// Checkpoint/resume accounting, both zero without a resumed checkpoint.
+
+	// ResumedPartitions counts partitions skipped because a prior run's
+	// durable Step 2 output verified against the manifest.
+	ResumedPartitions int
+	// RebuiltPartitions counts partitions whose manifest claim failed
+	// verification (missing, truncated or corrupt artifact) and were
+	// re-executed from intact inputs.
+	RebuiltPartitions int
 }
 
 // TotalRetries sums both steps' retried partition attempts.

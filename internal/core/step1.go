@@ -7,10 +7,10 @@ import (
 	"parahash/internal/costmodel"
 	"parahash/internal/device"
 	"parahash/internal/fastq"
-	"parahash/internal/iosim"
 	"parahash/internal/msp"
 	"parahash/internal/obs"
 	"parahash/internal/pipeline"
+	"parahash/internal/store"
 )
 
 // superkmerFile names a superkmer partition in the store.
@@ -18,6 +18,33 @@ func superkmerFile(i int) string { return fmt.Sprintf("superkmers/%04d", i) }
 
 // subgraphFile names a constructed subgraph in the store.
 func subgraphFile(i int) string { return fmt.Sprintf("subgraphs/%04d", i) }
+
+// partitionSinks opens the sink for one superkmer partition's encoded file.
+type partitionSinks func(i int) (io.WriteCloser, error)
+
+// storeSinks writes every partition into the store.
+func storeSinks(st store.PartitionStore) partitionSinks {
+	return func(i int) (io.WriteCloser, error) { return st.Create(superkmerFile(i)) }
+}
+
+// rebuildSinks writes only the target partitions, discarding the rest. A
+// selective Step 1 rebuild still re-scans the full input — MSP routing needs
+// every read — but only the partitions being rebuilt touch the store, and
+// because a partition's record order equals the global read order, the
+// rewritten files are byte-identical to the originals.
+func rebuildSinks(st store.PartitionStore, targets map[int]bool) partitionSinks {
+	return func(i int) (io.WriteCloser, error) {
+		if targets[i] {
+			return st.Create(superkmerFile(i))
+		}
+		return nopSink{}, nil
+	}
+}
+
+type nopSink struct{}
+
+func (nopSink) Write(p []byte) (int, error) { return len(p), nil }
+func (nopSink) Close() error                { return nil }
 
 // processors instantiates the configured compute devices. Index 0 is the
 // CPU when enabled, followed by the GPUs. A configured procWrap (fault
@@ -97,14 +124,13 @@ func fastqBytesOf(reads []fastq.Read) int64 { return fastq.ApproxFASTQBytes(read
 // runStep1 executes the MSP graph partitioning step: input chunks flow
 // through the work-stealing pipeline, each consumed by a processor that
 // scans it into superkmers, and the output stage routes superkmers into
-// the store's encoded partition files.
-func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.PartitionStats, StepStats, error) {
+// encoded partition files via the sinks. It also returns each finalised
+// file's footprint (size and record CRC) for the build manifest.
+func runStep1(reads []fastq.Read, cfg Config, sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
 	chunks := fastq.PartitionReads(reads, cfg.inputChunks())
-	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, func(i int) (io.WriteCloser, error) {
-		return store.Create(superkmerFile(i)), nil
-	})
+	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, sinks)
 	if err != nil {
-		return nil, StepStats{}, err
+		return nil, nil, StepStats{}, err
 	}
 
 	procs := processors(cfg)
@@ -141,18 +167,18 @@ func runStep1(reads []fastq.Read, cfg Config, store *iosim.Store) ([]msp.Partiti
 	report, err := pipeline.RunResilientTraced(len(chunks), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step1", procs))
 	if err != nil {
 		writer.Close()
-		return nil, StepStats{}, err
+		return nil, nil, StepStats{}, err
 	}
 	if err := writer.Close(); err != nil {
-		return nil, StepStats{}, err
+		return nil, nil, StepStats{}, err
 	}
 
 	stats, err := scheduleStep1(works, cfg, procs)
 	if err != nil {
-		return nil, StepStats{}, err
+		return nil, nil, StepStats{}, err
 	}
 	applyReport(&stats, report, procs)
-	return writer.Stats(), stats, nil
+	return writer.Stats(), writer.FileInfos(), stats, nil
 }
 
 // step1Cost returns processor p's virtual seconds for one chunk.

@@ -7,12 +7,13 @@ import (
 
 	"parahash/internal/device"
 	"parahash/internal/dna"
+	"parahash/internal/faultinject"
 	"parahash/internal/graph"
 	"parahash/internal/hashtable"
-	"parahash/internal/iosim"
 	"parahash/internal/msp"
 	"parahash/internal/obs"
 	"parahash/internal/pipeline"
+	"parahash/internal/store"
 )
 
 // ErrResizeExhausted reports a partition whose hash table still overflows
@@ -48,8 +49,8 @@ type step2Work struct {
 // consumed. The decoder demands the integrity footer our own Step 1 always
 // writes, so truncated or corrupted partition bytes fail with a typed,
 // retryable error instead of silently mis-decoding.
-func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, int64, error) {
-	r, err := store.Open(name)
+func loadPartition(st store.PartitionStore, name string) ([]msp.Superkmer, int64, error) {
+	r, err := st.Open(name)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -73,14 +74,29 @@ func loadPartition(store *iosim.Store, name string) ([]msp.Superkmer, int64, err
 
 // runStep2 executes the subgraph construction step: superkmer partitions
 // flow through the pipeline, each hashed by an idle processor into a
-// subgraph that the output stage serialises to the store.
-func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([]*graph.Subgraph, []step2Work, StepStats, error) {
+// subgraph that the output stage serialises to the store. With a checkpoint,
+// partitions whose Step 2 completion already verified are skipped entirely,
+// and every freshly published subgraph is journalled in the manifest.
+func runStep2(partStats []msp.PartitionStats, cfg Config, st store.PartitionStore, ck *checkpoint) ([]*graph.Subgraph, []step2Work, StepStats, error) {
 	np := len(partStats)
 	procs := processors(cfg)
-	works := make([]step2Work, np)
+	// pending maps pipeline slots to partition indices: only partitions not
+	// already durably completed are scheduled.
+	pending := make([]int, 0, np)
+	for i := 0; i < np; i++ {
+		if ck == nil || !ck.skipStep2(i) {
+			pending = append(pending, i)
+		}
+	}
+	works := make([]step2Work, len(pending))
 	var subgraphs []*graph.Subgraph
 	if cfg.KeepSubgraphs {
 		subgraphs = make([]*graph.Subgraph, np)
+		if ck != nil {
+			for i, g := range ck.subgraphs {
+				subgraphs[i] = g
+			}
+		}
 	}
 
 	workers := make([]pipeline.Worker[[]msp.Superkmer, device.Step2Output], len(procs))
@@ -91,16 +107,17 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 		}
 	}
 
-	read := func(i int) ([]msp.Superkmer, error) {
-		sks, decoded, err := loadPartition(store, superkmerFile(i))
+	read := func(slot int) ([]msp.Superkmer, error) {
+		sks, decoded, err := loadPartition(st, superkmerFile(pending[slot]))
 		// Accumulate (not assign): a retried read re-decodes the partition
 		// and both passes cost real IO. The write closure fills the other
 		// fields; the pipeline's stage ordering makes the shared struct safe.
-		works[i].decodedBytes += decoded
+		works[slot].decodedBytes += decoded
 		return sks, err
 	}
-	write := func(i int, out device.Step2Output) error {
-		w := &works[i]
+	write := func(slot int, out device.Step2Output) error {
+		i := pending[slot]
+		w := &works[slot]
 		w.kmers = out.Kmers
 		w.fileBytes = partStats[i].EncodedBytes
 		w.tableBytes = out.TableBytes
@@ -118,20 +135,33 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, store *iosim.Store) ([
 			toWrite = filtered
 		}
 		w.graphBytes = graph.SerializedSize(toWrite.NumVertices())
-		sink := store.Create(subgraphFile(i))
+		sink, err := st.Create(subgraphFile(i))
+		if err != nil {
+			return fmt.Errorf("core: creating subgraph %d: %w", i, err)
+		}
 		if err := toWrite.Write(sink); err != nil {
+			sink.Close()
 			return fmt.Errorf("core: writing subgraph %d: %w", i, err)
 		}
 		if err := sink.Close(); err != nil {
 			return err
 		}
+		// The file is durably published only after Close; journal the
+		// completion now, then honour an armed crash point — a kill here
+		// models power loss with the partition already safe.
+		if ck != nil {
+			if err := ck.markStep2(i, toWrite, out.Distinct); err != nil {
+				return err
+			}
+		}
+		faultinject.MaybeCrash("step2.partition")
 		if cfg.KeepSubgraphs {
 			subgraphs[i] = out.Graph
 		}
 		return nil
 	}
 
-	report, err := pipeline.RunResilientTraced(np, read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step2", procs))
+	report, err := pipeline.RunResilientTraced(len(pending), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step2", procs))
 	if err != nil {
 		return nil, nil, StepStats{}, err
 	}

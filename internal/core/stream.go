@@ -6,7 +6,6 @@ import (
 
 	"parahash/internal/fastq"
 	"parahash/internal/graph"
-	"parahash/internal/iosim"
 	"parahash/internal/msp"
 )
 
@@ -24,7 +23,8 @@ const DefaultStreamChunkBases = 1 << 22
 
 // BuildFromReader constructs the De Bruijn graph from a plain or gzipped
 // FASTA/FASTQ stream. chunkBases bounds the bases held in memory at once
-// (0 selects DefaultStreamChunkBases).
+// (0 selects DefaultStreamChunkBases). With a fully resumable checkpoint
+// (every Step 1 partition file verified) the stream is not read at all.
 func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -32,20 +32,28 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	if chunkBases <= 0 {
 		chunkBases = DefaultStreamChunkBases
 	}
-	fr, err := fastq.NewAutoReader(r)
+	st, ck, err := openCheckpoint(cfg)
 	if err != nil {
 		return nil, err
 	}
-	store := iosim.NewStore(cfg.Medium)
 
-	partStats, step1Stats, totalReads, err := runStep1Stream(fr, cfg, store, chunkBases)
+	var totalReads int64 = -1 // -1: step 1 resumed, the stream was not read
+	partStats, step1Stats, err := buildStep1(cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
+		fr, err := fastq.NewAutoReader(r)
+		if err != nil {
+			return nil, nil, StepStats{}, err
+		}
+		stats, infos, stepStats, n, err := runStep1Stream(fr, cfg, sinks, chunkBases)
+		totalReads = n
+		return stats, infos, stepStats, err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (streamed MSP partitioning): %w", err)
 	}
 	if totalReads == 0 {
 		return nil, fmt.Errorf("core: input stream contains no usable reads")
 	}
-	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, store)
+	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, st, ck)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
 	}
@@ -56,8 +64,7 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	res.Stats.TotalSeconds = step1Stats.Seconds + step2Stats.Seconds
 	res.Stats.Superkmers = msp.SummarizeStats(partStats)
 	res.Stats.TotalKmers = res.Stats.Superkmers.TotalKmers
-	res.Stats.PeakMemoryBytes = foldStep2Works(&res.Stats, works)
-	res.Stats.DuplicateVertices = res.Stats.TotalKmers - res.Stats.DistinctVertices
+	finishStats(&res.Stats, works, ck)
 
 	if cfg.KeepSubgraphs {
 		merged, err := graph.Merge(cfg.K, subgraphs...)
@@ -73,12 +80,10 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 // chunk-sequential — only one chunk of reads is ever resident — while the
 // virtual-time schedule still models the pipelined co-processing over the
 // same chunk sequence.
-func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases int) ([]msp.PartitionStats, StepStats, int64, error) {
-	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, func(i int) (io.WriteCloser, error) {
-		return store.Create(superkmerFile(i)), nil
-	})
+func runStep1Stream(fr *fastq.Reader, cfg Config, sinks partitionSinks, chunkBases int) ([]msp.PartitionStats, []msp.FileInfo, StepStats, int64, error) {
+	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, sinks)
 	if err != nil {
-		return nil, StepStats{}, 0, err
+		return nil, nil, StepStats{}, 0, err
 	}
 	procs := processors(cfg)
 	// Execution runs on the first processor (results are identical across
@@ -100,7 +105,7 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases
 			}
 			if err != nil {
 				writer.Close()
-				return nil, StepStats{}, 0, err
+				return nil, nil, StepStats{}, 0, err
 			}
 			chunk = append(chunk, rd)
 			chunkSize += len(rd.Bases)
@@ -112,7 +117,7 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases
 		out, err := exec.Step1(chunk, cfg.K, cfg.P)
 		if err != nil {
 			writer.Close()
-			return nil, StepStats{}, 0, err
+			return nil, nil, StepStats{}, 0, err
 		}
 		w := step1Work{
 			reads:      int64(len(chunk)),
@@ -122,7 +127,7 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases
 		for _, sk := range out.Superkmers {
 			if err := writer.WriteSuperkmer(sk); err != nil {
 				writer.Close()
-				return nil, StepStats{}, 0, err
+				return nil, nil, StepStats{}, 0, err
 			}
 			w.superkmers++
 			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
@@ -130,11 +135,11 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, store *iosim.Store, chunkBases
 		works = append(works, w)
 	}
 	if err := writer.Close(); err != nil {
-		return nil, StepStats{}, 0, err
+		return nil, nil, StepStats{}, 0, err
 	}
 	stats, err := scheduleStep1(works, cfg, procs)
 	if err != nil {
-		return nil, StepStats{}, 0, err
+		return nil, nil, StepStats{}, 0, err
 	}
-	return writer.Stats(), stats, totalReads, nil
+	return writer.Stats(), writer.FileInfos(), stats, totalReads, nil
 }

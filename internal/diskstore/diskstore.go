@@ -1,0 +1,259 @@
+// Package diskstore is the durable store.PartitionStore: partition files
+// live in a real directory and survive the process. Writes follow the
+// journal discipline of disk-based k-mer counting tools (MSPKmerCounter,
+// KMC2-style partition spilling): every Create streams into a "<name>.tmp"
+// sibling and Close publishes it with fsync + atomic os.Rename + parent
+// directory fsync, so a crash — including SIGKILL and power loss — at any
+// point leaves either the complete previous file or the complete new file
+// under the final name, never a partial one. Stale .tmp files from a
+// crashed writer are invisible to Open/List and are swept by Reset.
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"parahash/internal/store"
+)
+
+// tmpSuffix marks in-flight (unpublished) files.
+const tmpSuffix = ".tmp"
+
+// Store is a PartitionStore rooted at a directory. All methods are safe for
+// concurrent use; the byte counters are cumulative across the Store's
+// lifetime (they restart at zero when a new Store is opened over an
+// existing directory).
+type Store struct {
+	root string
+
+	mu           sync.Mutex
+	bytesRead    int64
+	bytesWritten int64
+}
+
+var _ store.PartitionStore = (*Store)(nil)
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskstore: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: creating root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// pathOf maps a slash-separated store name onto the filesystem, rejecting
+// names that would escape the root.
+func (s *Store) pathOf(name string) (string, error) {
+	if name == "" || path.Clean("/"+name) != "/"+name || strings.HasSuffix(name, tmpSuffix) {
+		return "", fmt.Errorf("diskstore: invalid file name %q", name)
+	}
+	return filepath.Join(s.root, filepath.FromSlash(name)), nil
+}
+
+// Create opens a named file for writing. Bytes stream into "<name>.tmp";
+// Close fsyncs, atomically renames it over the final name, and fsyncs the
+// parent directory, so the file is observable under its name only once it
+// is complete and durable.
+func (s *Store) Create(name string) (io.WriteCloser, error) {
+	final, err := s.pathOf(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: creating %q: %w", name, err)
+	}
+	f, err := os.Create(final + tmpSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: creating %q: %w", name, err)
+	}
+	return &atomicFile{store: s, f: f, tmp: final + tmpSuffix, final: final}, nil
+}
+
+// Open returns a reader over a snapshot of the file's published content.
+// The whole file is read at open time — mirroring iosim.Store's snapshot
+// semantics, so one Open charges one full read regardless of how the
+// returned reader is consumed.
+func (s *Store) Open(name string) (io.Reader, error) {
+	p, err := s.pathOf(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", store.ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("diskstore: reading %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.bytesRead += int64(len(data))
+	s.mu.Unlock()
+	return bytes.NewReader(data), nil
+}
+
+// Size returns a published file's byte size, or an error wrapping
+// store.ErrNotFound if absent.
+func (s *Store) Size(name string) (int64, error) {
+	p, err := s.pathOf(name)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %q", store.ErrNotFound, name)
+		}
+		return 0, fmt.Errorf("diskstore: %q: %w", name, err)
+	}
+	return st.Size(), nil
+}
+
+// Remove deletes a published file if present.
+func (s *Store) Remove(name string) error {
+	p, err := s.pathOf(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("diskstore: removing %q: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the published file names (slash-separated, relative to the
+// root), sorted. In-flight .tmp files are not listed.
+func (s *Store) List() ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(p, tmpSuffix) {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: listing: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes returns the sum of all published file sizes.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	_ = filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(p, tmpSuffix) {
+			return err
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// BytesRead returns the cumulative bytes served to readers by this Store.
+func (s *Store) BytesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRead
+}
+
+// BytesWritten returns the cumulative bytes accepted from writers.
+func (s *Store) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+// Reset removes every file under the root — published and in-flight alike —
+// keeping the root directory itself. A fresh checkpointed build uses it to
+// sweep the remains of an abandoned earlier build.
+func (s *Store) Reset() error {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("diskstore: resetting: %w", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(s.root, e.Name())); err != nil {
+			return fmt.Errorf("diskstore: resetting: %w", err)
+		}
+	}
+	return nil
+}
+
+// atomicFile streams into the .tmp sibling and publishes on Close.
+type atomicFile struct {
+	store      *Store
+	f          *os.File
+	tmp, final string
+	done       bool
+}
+
+// Write appends to the in-flight temporary file, counting accepted bytes.
+func (a *atomicFile) Write(p []byte) (int, error) {
+	n, err := a.f.Write(p)
+	if n > 0 {
+		a.store.mu.Lock()
+		a.store.bytesWritten += int64(n)
+		a.store.mu.Unlock()
+	}
+	return n, err
+}
+
+// Close publishes the file: fsync the data, close, atomically rename over
+// the final name, then fsync the parent directory so the rename itself is
+// durable. On any failure the temporary file is removed and the previous
+// published content (if any) is left intact. Closing twice is a no-op.
+func (a *atomicFile) Close() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return fmt.Errorf("diskstore: syncing %q: %w", a.final, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("diskstore: closing %q: %w", a.final, err)
+	}
+	if err := os.Rename(a.tmp, a.final); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("diskstore: publishing %q: %w", a.final, err)
+	}
+	return syncDir(filepath.Dir(a.final))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that refuse directory fsync (some network mounts) are
+// tolerated: the rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

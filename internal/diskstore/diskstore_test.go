@@ -1,0 +1,194 @@
+package diskstore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parahash/internal/store"
+	"parahash/internal/store/storetest"
+)
+
+// TestConformance runs the shared PartitionStore contract suite against a
+// real directory, so the durable store and iosim are held to identical
+// semantics.
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.PartitionStore {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func put(t *testing.T, s *Store, name, content string) {
+	t.Helper()
+	w, err := s.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoTmpAfterClose checks the atomic-publish mechanics on disk: the
+// in-flight bytes live in a .tmp sibling, and after Close only the final
+// name remains.
+func TestNoTmpAfterClose(t *testing.T) {
+	s := open(t)
+	w, err := s.Create("superkmers/0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "bytes")
+	tmp := filepath.Join(s.Root(), "superkmers", "0001.tmp")
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("in-flight .tmp sibling missing: %v", err)
+	}
+	final := filepath.Join(s.Root(), "superkmers", "0001")
+	if _, err := os.Stat(final); !os.IsNotExist(err) {
+		t.Fatalf("final name exists before Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf(".tmp sibling survives Close: %v", err)
+	}
+	if _, err := os.Stat(final); err != nil {
+		t.Fatalf("final name absent after Close: %v", err)
+	}
+}
+
+// TestAbandonedTmpInvisible models a crashed writer: its .tmp remains on
+// disk but must be invisible to Open/List/TotalBytes, and Reset sweeps it.
+func TestAbandonedTmpInvisible(t *testing.T) {
+	s := open(t)
+	w, err := s.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "partial bytes from a crashed writer")
+	// No Close — simulate the process dying here.
+	if _, err := s.Open("f"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Open of crashed write = %v, want ErrNotFound", err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("crashed write listed: %v", names)
+	}
+	if got := s.TotalBytes(); got != 0 {
+		t.Errorf("TotalBytes counts in-flight bytes: %d", got)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(s.Root(), "f.tmp")); !os.IsNotExist(err) {
+		t.Errorf("Reset left the abandoned .tmp: %v", err)
+	}
+}
+
+func TestResetKeepsRoot(t *testing.T) {
+	s := open(t)
+	put(t, s, "a/b", "x")
+	put(t, s, "c", "y")
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("Reset left files: %v", names)
+	}
+	if _, err := os.Stat(s.Root()); err != nil {
+		t.Errorf("Reset removed the root itself: %v", err)
+	}
+	// The store stays usable after a Reset.
+	put(t, s, "fresh", "z")
+	if n, err := s.Size("fresh"); err != nil || n != 1 {
+		t.Errorf("store unusable after Reset: n=%d err=%v", n, err)
+	}
+}
+
+// TestInvalidNames checks that names escaping the root, empty names, and
+// names colliding with the .tmp publishing convention are rejected on every
+// entry point.
+func TestInvalidNames(t *testing.T) {
+	s := open(t)
+	for _, name := range []string{
+		"",
+		"../escape",
+		"a/../../escape",
+		"a/./b",
+		"/abs",
+		"f.tmp",
+		"dir/f.tmp",
+	} {
+		if _, err := s.Create(name); err == nil {
+			t.Errorf("Create(%q) accepted", name)
+		}
+		if _, err := s.Open(name); err == nil || errors.Is(err, store.ErrNotFound) {
+			t.Errorf("Open(%q) = %v, want invalid-name error", name, err)
+		}
+		if _, err := s.Size(name); err == nil || errors.Is(err, store.ErrNotFound) {
+			t.Errorf("Size(%q) = %v, want invalid-name error", name, err)
+		}
+		if err := s.Remove(name); err == nil {
+			t.Errorf("Remove(%q) accepted", name)
+		}
+	}
+}
+
+func TestOpenEmptyDirRejected(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") accepted")
+	}
+}
+
+// TestReopenSeesPublishedFiles checks durability across Store instances —
+// the property resume depends on: a second Open over the same directory
+// serves everything the first published, with counters restarted.
+func TestReopenSeesPublishedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s1, "superkmers/0000", "persisted")
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s2.Open("superkmers/0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	if string(data) != "persisted" {
+		t.Errorf("reopened store read %q", data)
+	}
+	if s2.BytesWritten() != 0 {
+		t.Errorf("reopened store inherited write counter: %d", s2.BytesWritten())
+	}
+}

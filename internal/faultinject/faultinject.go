@@ -13,6 +13,9 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"parahash/internal/device"
@@ -20,6 +23,53 @@ import (
 	"parahash/internal/iosim"
 	"parahash/internal/msp"
 )
+
+// CrashEnv is the environment variable that arms a crash point for
+// crash-resume testing. Its value is "<point>" or "<point>:<n>": the n-th
+// (1-based, default 1) call to MaybeCrash with that point name kills the
+// process abruptly — SIGKILL-style, with no deferred cleanup — so the
+// durable store and manifest are exercised exactly as a power loss would.
+//
+//	PARAHASH_CRASH_POINT=step2.partition:3 parahash -profile tiny -checkpoint-dir ck
+const CrashEnv = "PARAHASH_CRASH_POINT"
+
+var (
+	crashMu     sync.Mutex
+	crashCounts = map[string]int{}
+)
+
+// MaybeCrash kills the process if the CrashEnv variable arms the named
+// crash point and its hit count has been reached. With the variable unset
+// (every production run) it is a cheap no-op. The kill is delivered as an
+// uncatchable signal where the platform supports it, so no buffered state
+// is flushed — only durably published files survive, which is the point.
+func MaybeCrash(point string) {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	name, hit := spec, 1
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		if n, err := strconv.Atoi(spec[i+1:]); err == nil && n > 0 {
+			name, hit = spec[:i], n
+		}
+	}
+	if name != point {
+		return
+	}
+	crashMu.Lock()
+	crashCounts[point]++
+	fire := crashCounts[point] == hit
+	crashMu.Unlock()
+	if !fire {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "faultinject: crash point %q hit %d — killing process\n", point, hit)
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		_ = p.Kill() // SIGKILL on unix: no deferred functions, no flushes
+	}
+	os.Exit(137) // unreachable on unix; abrupt-exit fallback elsewhere
+}
 
 // ErrInjected is the default error carried by scripted faults.
 var ErrInjected = errors.New("faultinject: injected fault")

@@ -11,7 +11,10 @@ import (
 
 func writeFile(t *testing.T, s *Store, name, content string) {
 	t.Helper()
-	w := s.Create(name)
+	w, err := s.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := io.WriteString(w, content); err != nil {
 		t.Fatal(err)
 	}
@@ -79,12 +82,15 @@ func TestFailWritesNTimesIsTransient(t *testing.T) {
 	s := NewStore(costmodel.MediumMemCached)
 	boom := errors.New("disk hiccup")
 	s.FailWritesNTimes("f", 1, boom)
-	w := s.Create("f")
+	w, _ := s.Create("f")
 	if _, err := io.WriteString(w, "x"); !errors.Is(err, boom) {
 		t.Fatalf("first write err = %v, want boom", err)
 	}
 	if _, err := io.WriteString(w, "hello"); err != nil {
 		t.Fatalf("second write failed after transient fault: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
 	}
 	if got := readFile(t, s, "f"); string(got) != "hello" {
 		t.Fatalf("file = %q, want %q", got, "hello")

@@ -8,19 +8,20 @@ package iosim
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"parahash/internal/costmodel"
+	"parahash/internal/store"
 )
 
-// ErrNotFound reports an absent file. It is deliberately a distinct
-// sentinel from injected IO faults: a missing file is deterministic, so the
+// ErrNotFound reports an absent file. It aliases store.ErrNotFound so code
+// written against the PartitionStore interface classifies missing files
+// identically for both stores: a missing file is deterministic, so the
 // resilient pipeline treats it as non-retryable.
-var ErrNotFound = errors.New("iosim: no such file")
+var ErrNotFound = store.ErrNotFound
 
 // fault is one scripted IO fault. remaining < 0 means the fault fires on
 // every access (the original persistent hooks); remaining > 0 counts down a
@@ -42,8 +43,9 @@ func (f *fault) take() bool {
 	return true
 }
 
-// Store is a named collection of in-memory files with byte accounting.
-// All methods are safe for concurrent use.
+// Store is a named collection of in-memory files with byte accounting,
+// implementing store.PartitionStore. All methods are safe for concurrent
+// use.
 type Store struct {
 	// Medium tags the store with the IO device it models.
 	Medium costmodel.Medium
@@ -57,23 +59,27 @@ type Store struct {
 	corruptions  map[string]int
 }
 
+var _ store.PartitionStore = (*Store)(nil)
+
 // NewStore creates an empty store modelling the given medium.
 func NewStore(m costmodel.Medium) *Store {
 	return &Store{Medium: m, files: make(map[string]*bytes.Buffer)}
 }
 
-// Create opens a named file for writing, truncating any previous content.
-// The returned writer counts written bytes; Close is a no-op flush.
-func (s *Store) Create(name string) io.WriteCloser {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	buf := &bytes.Buffer{}
-	s.files[name] = buf
-	return &countingWriter{store: s, buf: buf, name: name}
+// Create opens a new version of a named file for writing. Matching the
+// atomic-publish contract of store.PartitionStore, the written bytes become
+// observable — replacing any previous content — only when Close succeeds;
+// until then Open/Size/List serve the prior version (or ErrNotFound).
+// Create itself never fails for the in-memory store; the error return
+// satisfies the interface, whose durable implementations can fail here.
+func (s *Store) Create(name string) (io.WriteCloser, error) {
+	return &countingWriter{store: s, buf: &bytes.Buffer{}, name: name}, nil
 }
 
 // Open returns a reader over a file's current content. The content is
-// copied at open time, so concurrent writers do not disturb readers.
+// copied at open time, so concurrent writers do not disturb readers, and a
+// scripted read fault (FailReadsNTimes) charges its budget exactly once per
+// Open — never per Read call on the returned snapshot reader.
 func (s *Store) Open(name string) (io.Reader, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -113,15 +119,17 @@ func (s *Store) Size(name string) (int64, error) {
 	return int64(buf.Len()), nil
 }
 
-// Remove deletes a file if present.
-func (s *Store) Remove(name string) {
+// Remove deletes a file if present; removing an absent file is not an
+// error.
+func (s *Store) Remove(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.files, name)
+	return nil
 }
 
 // List returns the stored file names, sorted.
-func (s *Store) List() []string {
+func (s *Store) List() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.files))
@@ -129,7 +137,7 @@ func (s *Store) List() []string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return names
+	return names, nil
 }
 
 // TotalBytes returns the sum of all file sizes.
@@ -168,12 +176,13 @@ func (s *Store) WriteSeconds(cal costmodel.Calibration, bytes int64) float64 {
 }
 
 type countingWriter struct {
-	store *Store
-	buf   *bytes.Buffer
-	name  string
+	store  *Store
+	buf    *bytes.Buffer
+	name   string
+	closed bool
 }
 
-// Write appends to the file under the store lock.
+// Write appends to the in-flight (unpublished) buffer under the store lock.
 func (w *countingWriter) Write(p []byte) (int, error) {
 	w.store.mu.Lock()
 	defer w.store.mu.Unlock()
@@ -185,8 +194,19 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Close implements io.Closer; in-memory files need no flushing.
-func (w *countingWriter) Close() error { return nil }
+// Close publishes the written bytes under the file's name, atomically
+// replacing any previous content — the in-memory analogue of diskstore's
+// fsync-and-rename. Closing twice is a no-op.
+func (w *countingWriter) Close() error {
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.store.files[w.name] = w.buf
+	return nil
+}
 
 // Fault injection: experiments and tests use these hooks to verify that
 // pipeline stages surface IO failures cleanly instead of wedging.

@@ -10,7 +10,7 @@ import (
 
 func TestCreateWriteOpenRead(t *testing.T) {
 	s := NewStore(costmodel.MediumMemCached)
-	w := s.Create("a/b")
+	w, _ := s.Create("a/b")
 	if _, err := w.Write([]byte("hello")); err != nil {
 		t.Fatal(err)
 	}
@@ -51,10 +51,10 @@ func TestOpenMissing(t *testing.T) {
 
 func TestCreateTruncates(t *testing.T) {
 	s := NewStore(costmodel.MediumMemCached)
-	w := s.Create("f")
+	w, _ := s.Create("f")
 	w.Write([]byte("old content"))
 	w.Close()
-	w2 := s.Create("f")
+	w2, _ := s.Create("f")
 	w2.Write([]byte("new"))
 	w2.Close()
 	if got, _ := s.Size("f"); got != 3 {
@@ -65,22 +65,29 @@ func TestCreateTruncates(t *testing.T) {
 func TestListAndRemoveAndTotal(t *testing.T) {
 	s := NewStore(costmodel.MediumMemCached)
 	for _, name := range []string{"z", "a", "m"} {
-		w := s.Create(name)
+		w, _ := s.Create(name)
 		w.Write([]byte(name))
 		w.Close()
 	}
-	names := s.List()
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(names) != 3 || names[0] != "a" || names[2] != "z" {
 		t.Errorf("List = %v", names)
 	}
 	if s.TotalBytes() != 3 {
 		t.Errorf("TotalBytes = %d", s.TotalBytes())
 	}
-	s.Remove("m")
-	if len(s.List()) != 2 {
+	if err := s.Remove("m"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := s.List(); len(names) != 2 {
 		t.Error("Remove failed")
 	}
-	s.Remove("m") // idempotent
+	if err := s.Remove("m"); err != nil { // idempotent
+		t.Fatal(err)
+	}
 }
 
 func TestConcurrentWriters(t *testing.T) {
@@ -90,7 +97,7 @@ func TestConcurrentWriters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := s.Create(string(rune('a' + i)))
+			w, _ := s.Create(string(rune('a' + i)))
 			for j := 0; j < 100; j++ {
 				w.Write([]byte{byte(j)})
 			}
@@ -116,26 +123,70 @@ func TestCostCharging(t *testing.T) {
 }
 
 func TestSnapshotIsolation(t *testing.T) {
-	// A reader opened before later writes sees the content at open time.
+	// A reader opened before a later version publishes sees the content at
+	// open time.
 	s := NewStore(costmodel.MediumMemCached)
-	w := s.Create("f")
+	w, _ := s.Create("f")
 	w.Write([]byte("v1"))
+	w.Close()
 	r, err := s.Open("f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Write([]byte("v2"))
+	w2, _ := s.Create("f")
+	w2.Write([]byte("v2"))
+	w2.Close()
 	data, _ := io.ReadAll(r)
 	if string(data) != "v1" {
 		t.Errorf("reader saw %q, want v1", data)
 	}
 }
 
+func TestPublishOnCloseOnly(t *testing.T) {
+	// In-flight writes are invisible until Close — the in-memory analogue
+	// of the durable store's atomic publication.
+	s := NewStore(costmodel.MediumMemCached)
+	w, _ := s.Create("f")
+	w.Write([]byte("partial"))
+	if _, err := s.Open("f"); err == nil {
+		t.Error("unpublished file is readable")
+	}
+	if names, _ := s.List(); len(names) != 0 {
+		t.Errorf("unpublished file listed: %v", names)
+	}
+	w.Close()
+	if got := string(readFileT(t, s, "f")); got != "partial" {
+		t.Errorf("published content = %q", got)
+	}
+	// Close is idempotent: a second Close must not republish or clobber a
+	// newer version.
+	w2, _ := s.Create("f")
+	w2.Write([]byte("newer"))
+	w2.Close()
+	w.Close()
+	if got := string(readFileT(t, s, "f")); got != "newer" {
+		t.Errorf("double Close clobbered newer version: %q", got)
+	}
+}
+
+func readFileT(t *testing.T, s *Store, name string) []byte {
+	t.Helper()
+	r, err := s.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 func TestFaultInjection(t *testing.T) {
 	s := NewStore(costmodel.MediumMemCached)
 	boom := io.ErrClosedPipe
 	s.FailWritesOn("bad", boom)
-	w := s.Create("bad")
+	w, _ := s.Create("bad")
 	if _, err := w.Write([]byte("x")); err == nil {
 		t.Fatal("injected write fault did not fire")
 	}
@@ -144,8 +195,9 @@ func TestFaultInjection(t *testing.T) {
 		t.Fatalf("cleared fault still firing: %v", err)
 	}
 
-	w2 := s.Create("r")
+	w2, _ := s.Create("r")
 	w2.Write([]byte("data"))
+	w2.Close()
 	s.FailReadsOn("r", boom)
 	if _, err := s.Open("r"); err == nil {
 		t.Fatal("injected read fault did not fire")

@@ -1,0 +1,261 @@
+// Package manifest implements the build manifest that makes checkpointed
+// ParaHash builds resumable across processes: a small versioned JSON journal
+// ("parahash.manifest/v1") recording the build's config fingerprint, the
+// per-partition Step 1 results (file name, byte size, record CRC32 and the
+// partition statistics needed to restart Step 2 without rescanning), and the
+// per-partition Step 2 completions (subgraph file name, vertex/edge counts).
+//
+// The journal follows the same append-then-rename discipline as the
+// partition files themselves: every update rewrites the full manifest to a
+// temporary sibling, fsyncs it, and atomically renames it over the real
+// path. A reader therefore always sees a complete, internally consistent
+// manifest — and because partitions are recorded only after their files are
+// durably published, every claim in the manifest is backed by bytes on disk
+// (the resume path still re-verifies each claim against the store).
+package manifest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Schema identifies the manifest layout; bump on breaking changes so a
+// resume against a manifest from an incompatible build fails fast instead
+// of mixing partitions.
+const Schema = "parahash.manifest/v1"
+
+// ErrMismatch reports a manifest whose config fingerprint (or partition
+// count) does not match the resuming build's configuration. Resuming such a
+// build would silently mix partitions from two different constructions, so
+// the caller must fail fast.
+var ErrMismatch = errors.New("manifest: config fingerprint mismatch")
+
+// ErrCorrupt reports a manifest that is structurally invalid: unparsable
+// JSON, an unknown schema version, duplicate or out-of-range partition
+// entries, or internally inconsistent completion claims.
+var ErrCorrupt = errors.New("manifest: corrupt manifest")
+
+// Step1Partition records one durably published superkmer partition file.
+// Bytes is the full file size (records plus integrity footer); CRC32 is the
+// IEEE CRC of the record bytes — the same value the msp footer carries, so
+// resume verification can decode the file with Decoder.RequireFooter and
+// compare checksums. The statistic fields mirror msp.PartitionStats so a
+// resumed Step 2 can be scheduled without rescanning the input.
+type Step1Partition struct {
+	Index        int    `json:"index"`
+	Name         string `json:"name"`
+	Bytes        int64  `json:"bytes"`
+	CRC32        uint32 `json:"crc32"`
+	Superkmers   int64  `json:"superkmers"`
+	Kmers        int64  `json:"kmers"`
+	Bases        int64  `json:"bases"`
+	EncodedBytes int64  `json:"encoded_bytes"`
+	PlainBytes   int64  `json:"plain_bytes"`
+}
+
+// Step2Partition records one durably published subgraph file. Vertices and
+// Edges describe the written file (after any output filtering); Distinct is
+// the constructed pre-filter vertex count, kept separately so a resumed run
+// reports the same graph size as an uninterrupted one.
+type Step2Partition struct {
+	Index    int    `json:"index"`
+	Name     string `json:"name"`
+	Bytes    int64  `json:"bytes"`
+	Vertices int64  `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Distinct int64  `json:"distinct"`
+}
+
+// Manifest is the persisted build journal.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	// Partitions is the build's NumPartitions; every entry index must lie
+	// in [0, Partitions).
+	Partitions int `json:"partitions"`
+	// Step1Done marks MSP partitioning complete: all partition files are
+	// published and recorded in Step1.
+	Step1Done bool             `json:"step1_done"`
+	Step1     []Step1Partition `json:"step1,omitempty"`
+	Step2     []Step2Partition `json:"step2,omitempty"`
+}
+
+// New returns an empty manifest for a build with the given fingerprint and
+// partition count.
+func New(fingerprint string, partitions int) *Manifest {
+	return &Manifest{Schema: Schema, Fingerprint: fingerprint, Partitions: partitions}
+}
+
+// Fingerprint derives a stable hex fingerprint from the configuration
+// fields that determine partition content. Fields are joined in argument
+// order, so callers must pass them in a fixed canonical order.
+func Fingerprint(fields ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(fields, "\x00")))
+	return hex.EncodeToString(h[:16])
+}
+
+// Parse decodes and validates a manifest. Structural problems — bad JSON,
+// unknown schema, duplicate or out-of-range entries, Step1Done with an
+// incomplete Step 1 roster, Step 2 claims without a finished Step 1 —
+// return errors wrapping ErrCorrupt.
+func Parse(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("%w: unknown schema version %q (want %q)", ErrCorrupt, m.Schema, Schema)
+	}
+	if m.Partitions <= 0 {
+		return nil, fmt.Errorf("%w: non-positive partition count %d", ErrCorrupt, m.Partitions)
+	}
+	seen1 := make(map[int]bool, len(m.Step1))
+	for _, p := range m.Step1 {
+		if p.Index < 0 || p.Index >= m.Partitions {
+			return nil, fmt.Errorf("%w: step 1 index %d out of range [0,%d)", ErrCorrupt, p.Index, m.Partitions)
+		}
+		if seen1[p.Index] {
+			return nil, fmt.Errorf("%w: duplicate step 1 entry for partition %d", ErrCorrupt, p.Index)
+		}
+		seen1[p.Index] = true
+	}
+	seen2 := make(map[int]bool, len(m.Step2))
+	for _, p := range m.Step2 {
+		if p.Index < 0 || p.Index >= m.Partitions {
+			return nil, fmt.Errorf("%w: step 2 index %d out of range [0,%d)", ErrCorrupt, p.Index, m.Partitions)
+		}
+		if seen2[p.Index] {
+			return nil, fmt.Errorf("%w: duplicate step 2 entry for partition %d", ErrCorrupt, p.Index)
+		}
+		seen2[p.Index] = true
+	}
+	if m.Step1Done && len(m.Step1) != m.Partitions {
+		return nil, fmt.Errorf("%w: step 1 marked done with %d of %d partitions recorded",
+			ErrCorrupt, len(m.Step1), m.Partitions)
+	}
+	if !m.Step1Done && len(m.Step2) > 0 {
+		return nil, fmt.Errorf("%w: step 2 completions recorded before step 1 finished", ErrCorrupt)
+	}
+	return &m, nil
+}
+
+// Load reads and validates the manifest at path. A missing file surfaces
+// the os.IsNotExist error unwrapped, so callers can distinguish "no
+// checkpoint yet" from a corrupt one.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Save atomically persists the manifest: marshal, write to "<path>.tmp",
+// fsync, rename over path, fsync the parent directory. A crash during Save
+// leaves the previous manifest intact.
+func (m *Manifest) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: encoding: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("manifest: writing: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: writing: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: writing: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: publishing: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Validate checks the manifest against a resuming build's fingerprint and
+// partition count, returning an error wrapping ErrMismatch on divergence.
+func (m *Manifest) Validate(fingerprint string, partitions int) error {
+	if m.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: manifest built with fingerprint %s, this run is %s",
+			ErrMismatch, m.Fingerprint, fingerprint)
+	}
+	if m.Partitions != partitions {
+		return fmt.Errorf("%w: manifest has %d partitions, this run wants %d",
+			ErrMismatch, m.Partitions, partitions)
+	}
+	return nil
+}
+
+// Step1For returns the Step 1 record for a partition, or nil.
+func (m *Manifest) Step1For(index int) *Step1Partition {
+	for i := range m.Step1 {
+		if m.Step1[i].Index == index {
+			return &m.Step1[i]
+		}
+	}
+	return nil
+}
+
+// Step2For returns the Step 2 record for a partition, or nil.
+func (m *Manifest) Step2For(index int) *Step2Partition {
+	for i := range m.Step2 {
+		if m.Step2[i].Index == index {
+			return &m.Step2[i]
+		}
+	}
+	return nil
+}
+
+// SetStep1 installs or replaces a partition's Step 1 record.
+func (m *Manifest) SetStep1(rec Step1Partition) {
+	for i := range m.Step1 {
+		if m.Step1[i].Index == rec.Index {
+			m.Step1[i] = rec
+			return
+		}
+	}
+	m.Step1 = append(m.Step1, rec)
+}
+
+// SetStep2 installs or replaces a partition's Step 2 record.
+func (m *Manifest) SetStep2(rec Step2Partition) {
+	for i := range m.Step2 {
+		if m.Step2[i].Index == rec.Index {
+			m.Step2[i] = rec
+			return
+		}
+	}
+	m.Step2 = append(m.Step2, rec)
+}
+
+// DropStep2 removes a partition's Step 2 record if present, invalidating a
+// claim whose artifact failed verification.
+func (m *Manifest) DropStep2(index int) {
+	for i := range m.Step2 {
+		if m.Step2[i].Index == index {
+			m.Step2 = append(m.Step2[:i], m.Step2[i+1:]...)
+			return
+		}
+	}
+}

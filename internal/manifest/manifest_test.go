@@ -1,0 +1,248 @@
+package manifest
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// valid returns a structurally complete manifest for mutation-based tests.
+func valid() *Manifest {
+	m := New("abcd1234", 2)
+	m.SetStep1(Step1Partition{Index: 0, Name: "superkmers/0000", Bytes: 10, CRC32: 1, Superkmers: 3, Kmers: 9})
+	m.SetStep1(Step1Partition{Index: 1, Name: "superkmers/0001", Bytes: 20, CRC32: 2, Superkmers: 4, Kmers: 12})
+	m.Step1Done = true
+	m.SetStep2(Step2Partition{Index: 0, Name: "subgraphs/0000", Bytes: 30, Vertices: 5, Edges: 7, Distinct: 5})
+	return m
+}
+
+func mustJSON(t *testing.T, m *Manifest) []byte {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParseValid(t *testing.T) {
+	got, err := Parse(mustJSON(t, valid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, valid()) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, valid())
+	}
+}
+
+func TestParseCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		data func(t *testing.T) []byte
+	}{
+		{"bad JSON", func(t *testing.T) []byte { return []byte("{truncated") }},
+		{"empty input", func(t *testing.T) []byte { return nil }},
+		{"JSON null", func(t *testing.T) []byte { return []byte("null") }},
+		{"unknown schema", func(t *testing.T) []byte {
+			m := valid()
+			m.Schema = "parahash.manifest/v999"
+			return mustJSON(t, m)
+		}},
+		{"missing schema", func(t *testing.T) []byte {
+			m := valid()
+			m.Schema = ""
+			return mustJSON(t, m)
+		}},
+		{"zero partitions", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1, m.Step2, m.Step1Done = nil, nil, false
+			m.Partitions = 0
+			return mustJSON(t, m)
+		}},
+		{"negative partitions", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1, m.Step2, m.Step1Done = nil, nil, false
+			m.Partitions = -4
+			return mustJSON(t, m)
+		}},
+		{"duplicate step1 index", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1 = append(m.Step1, Step1Partition{Index: 0, Name: "dup"})
+			return mustJSON(t, m)
+		}},
+		{"step1 index out of range", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1[1].Index = 2
+			return mustJSON(t, m)
+		}},
+		{"step1 index negative", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1[0].Index = -1
+			return mustJSON(t, m)
+		}},
+		{"duplicate step2 index", func(t *testing.T) []byte {
+			m := valid()
+			m.Step2 = append(m.Step2, Step2Partition{Index: 0, Name: "dup"})
+			return mustJSON(t, m)
+		}},
+		{"step2 index out of range", func(t *testing.T) []byte {
+			m := valid()
+			m.Step2[0].Index = 99
+			return mustJSON(t, m)
+		}},
+		{"step1 done with incomplete roster", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1 = m.Step1[:1]
+			return mustJSON(t, m)
+		}},
+		{"step2 before step1 done", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1Done = false
+			return mustJSON(t, m)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.data(t))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Parse = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := valid()
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("Save left its .tmp sibling: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("Load mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestLoadMissingIsNotExist(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("Load(absent) = %v, want IsNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing manifest classified as corrupt")
+	}
+}
+
+func TestValidateMismatch(t *testing.T) {
+	m := valid()
+	if err := m.Validate("abcd1234", 2); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	if err := m.Validate("other", 2); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint mismatch = %v, want ErrMismatch", err)
+	}
+	if err := m.Validate("abcd1234", 3); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("partition-count mismatch = %v, want ErrMismatch", err)
+	}
+}
+
+func TestSetAndDrop(t *testing.T) {
+	m := New("fp", 4)
+	m.SetStep1(Step1Partition{Index: 2, Bytes: 5})
+	m.SetStep1(Step1Partition{Index: 2, Bytes: 9}) // replace, not append
+	if len(m.Step1) != 1 || m.Step1For(2).Bytes != 9 {
+		t.Fatalf("SetStep1 replace: %+v", m.Step1)
+	}
+	if m.Step1For(3) != nil {
+		t.Fatal("Step1For(absent) != nil")
+	}
+	m.Step1Done = true
+	m.SetStep2(Step2Partition{Index: 1, Vertices: 7})
+	m.SetStep2(Step2Partition{Index: 1, Vertices: 8})
+	if len(m.Step2) != 1 || m.Step2For(1).Vertices != 8 {
+		t.Fatalf("SetStep2 replace: %+v", m.Step2)
+	}
+	m.DropStep2(1)
+	if m.Step2For(1) != nil {
+		t.Fatal("DropStep2 left the record")
+	}
+	m.DropStep2(1) // idempotent
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("k=27", "p=9", "partitions=16")
+	if b := Fingerprint("k=27", "p=9", "partitions=16"); b != a {
+		t.Fatal("same fields produced different fingerprints")
+	}
+	if b := Fingerprint("k=27", "p=9", "partitions=17"); b == a {
+		t.Fatal("different fields produced the same fingerprint")
+	}
+	// Field boundaries matter: joining must not be concatenation.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("field boundary ambiguity in fingerprint")
+	}
+	if len(a) != 32 || strings.ToLower(a) != a {
+		t.Fatalf("fingerprint %q is not 32 lowercase hex chars", a)
+	}
+}
+
+// FuzzManifest checks that Parse never panics and that every rejection is
+// the typed ErrCorrupt — the property the resume path relies on to fall
+// back to a fresh build instead of crashing on a torn manifest.
+func FuzzManifest(f *testing.F) {
+	f.Add(mustJSONF(f, valid()))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"schema":"parahash.manifest/v0","partitions":1}`))
+	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":2,` +
+		`"step1":[{"index":0},{"index":0}]}`))
+	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":1,"step1_done":true}`))
+	data := mustJSONF(f, valid())
+	f.Add(data[:len(data)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Parse rejection is not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted manifests must satisfy the invariants the resume path
+		// assumes without rechecking.
+		if m.Schema != Schema || m.Partitions <= 0 {
+			t.Fatalf("accepted invalid manifest: %+v", m)
+		}
+		if m.Step1Done && len(m.Step1) != m.Partitions {
+			t.Fatalf("accepted done-but-incomplete step 1: %+v", m)
+		}
+		if !m.Step1Done && len(m.Step2) > 0 {
+			t.Fatalf("accepted step 2 before step 1: %+v", m)
+		}
+		// And they must re-encode and re-parse cleanly (Save/Load closure).
+		re, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(re); err != nil {
+			t.Fatalf("accepted manifest fails re-parse: %v", err)
+		}
+	})
+}
+
+func mustJSONF(f *testing.F, m *Manifest) []byte {
+	f.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}

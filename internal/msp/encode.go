@@ -115,6 +115,12 @@ func (e *Encoder) Encode(sk Superkmer) error {
 // finalising the stream.
 func (e *Encoder) Flush() error { return e.w.Flush() }
 
+// Sum32 returns the running IEEE CRC32 of the record bytes encoded so far —
+// after Close, exactly the checksum the integrity footer carries. The build
+// manifest records it so a resumed build can verify a partition file
+// without trusting the file's own footer alone.
+func (e *Encoder) Sum32() uint32 { return e.crc }
+
 // Close writes the integrity footer — marker byte plus the CRC32 of all
 // record bytes — and flushes. No records may be encoded after Close;
 // closing twice is a no-op.
@@ -151,6 +157,12 @@ type Decoder struct {
 // BytesRead reports the encoded bytes consumed so far (records plus any
 // verified footer), for IO accounting symmetrical with Encoder.Bytes.
 func (d *Decoder) BytesRead() int64 { return d.bytes }
+
+// Sum32 returns the running IEEE CRC32 of the record bytes decoded so far.
+// After a stream ends cleanly with a verified footer it equals the
+// encoder's Sum32, letting resume verification compare the decoded stream
+// against an independently recorded checksum.
+func (d *Decoder) Sum32() uint32 { return d.crc }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {

@@ -139,6 +139,25 @@ func TestTruncationAtRecordBoundary(t *testing.T) {
 	}
 }
 
+func TestTruncationAtCRCBoundary(t *testing.T) {
+	data, _ := encodeClosed(t, 58, 5)
+	// Truncate exactly at the CRC boundary: the footer marker byte is
+	// present but only j of the 4 CRC bytes follow. The decoder has already
+	// committed to reading a footer, so every partial-CRC length must fail
+	// as a typed integrity error in BOTH modes — this is the shape a crash
+	// mid-publish would leave without the atomic rename.
+	marker := len(data) - FooterSize + 1
+	for j := 0; j < FooterSize-1; j++ {
+		cut := data[:marker+j]
+		for _, require := range []bool{false, true} {
+			if _, err := drain(cut, require); !errors.Is(err, ErrCorruptPartition) {
+				t.Fatalf("marker + %d CRC bytes (require=%v): err = %v, want ErrCorruptPartition",
+					j, require, err)
+			}
+		}
+	}
+}
+
 func TestTrailingDataAfterFooter(t *testing.T) {
 	data, _ := encodeClosed(t, 55, 5)
 	for _, tail := range [][]byte{{0x01}, {0x00, 0x00, 0x00, 0x00, 0x00}} {

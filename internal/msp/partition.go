@@ -99,6 +99,26 @@ func (w *Writer) Stats() []PartitionStats {
 	return out
 }
 
+// FileInfo describes one partition's finalised encoded file: its total byte
+// size (records plus integrity footer) and the CRC32 of its record bytes —
+// what the build manifest records for resume verification.
+type FileInfo struct {
+	Bytes int64
+	CRC32 uint32
+}
+
+// FileInfos returns each partition's finalised file footprint. Call after
+// Close; before the footers are written the sizes are records-only.
+func (w *Writer) FileInfos() []FileInfo {
+	out := make([]FileInfo, len(w.encoders))
+	for i, e := range w.encoders {
+		if e != nil {
+			out[i] = FileInfo{Bytes: e.Bytes, CRC32: e.Sum32()}
+		}
+	}
+	return out
+}
+
 // Close finalises every encoder — writing each partition's integrity
 // footer — and closes every sink, returning the first error encountered
 // while attempting all of them.

@@ -102,12 +102,17 @@ type Totals struct {
 	Degraded          bool    `json:"degraded"`
 }
 
-// ResilienceMetrics aggregates fault handling across both steps.
+// ResilienceMetrics aggregates fault handling across both steps, including
+// checkpoint/resume outcomes: partitions skipped because a prior run's
+// durable output verified, and claimed partitions that failed verification
+// and were re-executed.
 type ResilienceMetrics struct {
-	Retries        int      `json:"retries"`
-	Requeues       int      `json:"requeues"`
-	BackoffSeconds float64  `json:"backoff_seconds"`
-	Quarantined    []string `json:"quarantined,omitempty"`
+	Retries           int      `json:"retries"`
+	Requeues          int      `json:"requeues"`
+	BackoffSeconds    float64  `json:"backoff_seconds"`
+	Quarantined       []string `json:"quarantined,omitempty"`
+	ResumedPartitions int      `json:"resumed_partitions"`
+	RebuiltPartitions int      `json:"rebuilt_partitions"`
 }
 
 // BuildMetrics is the one-stop registry for a finished construction run —

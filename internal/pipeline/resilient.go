@@ -80,6 +80,11 @@ type Report struct {
 	// Assignment is the worker that produced each partition (-1 if the
 	// partition was never produced).
 	Assignment []int
+	// Written marks each partition whose write stage succeeded — i.e. its
+	// output is durably committed through the write closure. On a partial
+	// failure it tells callers exactly which partitions' outputs survive
+	// (e.g. which a checkpointed build may later resume from).
+	Written []bool
 	// Retries counts failed attempts that were retried (read, work and
 	// write stages combined).
 	Retries int
@@ -182,6 +187,7 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 	for i := range rep.Assignment {
 		rep.Assignment[i] = -1
 	}
+	rep.Written = make([]bool, n)
 	if n == 0 {
 		return rep, nil
 	}
@@ -358,6 +364,9 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 					rec.StageSpan(StageWrite, i, -1, start, time.Now())
 				}
 				if err == nil {
+					st.mu.Lock()
+					st.rep.Written[i] = true
+					st.mu.Unlock()
 					break
 				}
 				st.mu.Lock()

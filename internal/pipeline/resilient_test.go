@@ -212,6 +212,34 @@ func TestRunResilientWriteErrorAfterPartialOutput(t *testing.T) {
 	}
 }
 
+func TestRunResilientWrittenMarksDurablePartitions(t *testing.T) {
+	boom := errors.New("disk full")
+	rep, err := RunResilient(10,
+		func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{okWorker},
+		func(i, o int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		},
+		Policy{MaxAttempts: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("write fault not surfaced: %v", err)
+	}
+	// Written is the durable-write marker checkpointing keys off: exactly
+	// the partitions whose write stage succeeded, failure included in the
+	// slice as false.
+	if len(rep.Written) != 10 {
+		t.Fatalf("Written has %d entries, want 10", len(rep.Written))
+	}
+	for i, w := range rep.Written {
+		if want := i != 7; w != want {
+			t.Errorf("Written[%d] = %v, want %v", i, w, want)
+		}
+	}
+}
+
 func TestRunResilientQuarantineWithOneSurvivor(t *testing.T) {
 	const n = 30
 	dead := errors.New("gpu fell off the bus")

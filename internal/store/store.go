@@ -1,0 +1,54 @@
+// Package store defines the PartitionStore interface: the contract between
+// the ParaHash pipeline and the byte stores its partitions live in. Two
+// implementations exist — iosim.Store, the in-memory store with virtual-time
+// byte accounting used for deterministic experiments, and diskstore.Store,
+// a real directory with crash-safe atomic publication used for durable
+// checkpointed builds. The pipeline (internal/core, internal/pipeline) is
+// written against this interface only, so any build can be pointed at either
+// medium without code changes.
+package store
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotFound reports an absent file. It is deliberately a distinct sentinel
+// from injected or real IO faults: a missing file is deterministic, so the
+// resilient pipeline treats it as non-retryable.
+var ErrNotFound = errors.New("store: no such file")
+
+// PartitionStore is a named collection of partition files with byte
+// accounting. Names are slash-separated relative paths ("superkmers/0004").
+// All methods must be safe for concurrent use.
+//
+// Contract, shared by every implementation (the conformance suite in
+// storetest enforces it):
+//
+//   - Create starts a new version of the name. The written bytes become
+//     observable — atomically replacing any previous content — only when
+//     Close succeeds; until then Open/Size/List serve the prior version (or
+//     ErrNotFound). Durable implementations publish on Close by writing a
+//     temporary sibling, fsyncing and renaming, so a crash mid-write never
+//     leaves a partial file under the final name.
+//   - Open returns a reader over a snapshot of the file's content taken at
+//     open time: concurrent writers never disturb an open reader, and any
+//     scripted read fault (iosim's FailReadsNTimes) charges its fault budget
+//     exactly once per Open — never per Read call on the returned reader.
+//   - Size and Open return an error wrapping ErrNotFound for absent names.
+//   - Remove deletes a file if present; removing an absent file is not an
+//     error.
+//   - List returns the published file names, sorted; in-flight (unpublished)
+//     writes are not listed.
+//   - BytesRead / BytesWritten are cumulative transfer counters for IO
+//     accounting; TotalBytes is the current sum of published file sizes.
+type PartitionStore interface {
+	Create(name string) (io.WriteCloser, error)
+	Open(name string) (io.Reader, error)
+	Size(name string) (int64, error)
+	Remove(name string) error
+	List() ([]string, error)
+	TotalBytes() int64
+	BytesRead() int64
+	BytesWritten() int64
+}

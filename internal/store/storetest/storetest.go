@@ -1,0 +1,225 @@
+// Package storetest is the conformance suite for store.PartitionStore
+// implementations. Every store (iosim's in-memory simulator, diskstore's
+// durable directory) runs the same suite from its own test file, so the
+// contract documented on the interface — publish-on-Close atomicity,
+// snapshot reads, ErrNotFound classification, idempotent Remove, sorted
+// listing that hides in-flight writes, cumulative byte accounting — is
+// enforced identically on both media. A behavioural divergence between the
+// simulated and the real store would silently invalidate the virtual-time
+// experiments, so additions to the interface contract belong here first.
+package storetest
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"testing"
+
+	"parahash/internal/store"
+)
+
+// Factory returns a fresh, empty store for one subtest. Each subtest gets
+// its own store, so implementations backed by shared state (a temp
+// directory) should allocate per call.
+type Factory func(t *testing.T) store.PartitionStore
+
+// Run exercises the full PartitionStore contract against stores produced by
+// the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("WriteReadRoundtrip", func(t *testing.T) { testRoundtrip(t, factory(t)) })
+	t.Run("NotFound", func(t *testing.T) { testNotFound(t, factory(t)) })
+	t.Run("PublishOnClose", func(t *testing.T) { testPublishOnClose(t, factory(t)) })
+	t.Run("CreateReplacesOnClose", func(t *testing.T) { testCreateReplaces(t, factory(t)) })
+	t.Run("SnapshotRead", func(t *testing.T) { testSnapshotRead(t, factory(t)) })
+	t.Run("CloseIdempotent", func(t *testing.T) { testCloseIdempotent(t, factory(t)) })
+	t.Run("RemoveIdempotent", func(t *testing.T) { testRemoveIdempotent(t, factory(t)) })
+	t.Run("ListSorted", func(t *testing.T) { testListSorted(t, factory(t)) })
+	t.Run("ByteAccounting", func(t *testing.T) { testByteAccounting(t, factory(t)) })
+}
+
+func put(t *testing.T, s store.PartitionStore, name, content string) {
+	t.Helper()
+	w, err := s.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	if _, err := io.WriteString(w, content); err != nil {
+		t.Fatalf("Write(%q): %v", name, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close(%q): %v", name, err)
+	}
+}
+
+func get(t *testing.T, s store.PartitionStore, name string) string {
+	t.Helper()
+	r, err := s.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", name, err)
+	}
+	return string(data)
+}
+
+func testRoundtrip(t *testing.T, s store.PartitionStore) {
+	put(t, s, "superkmers/0004", "encoded partition bytes")
+	if got := get(t, s, "superkmers/0004"); got != "encoded partition bytes" {
+		t.Errorf("read back %q", got)
+	}
+	n, err := s.Size("superkmers/0004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len("encoded partition bytes")); n != want {
+		t.Errorf("Size = %d, want %d", n, want)
+	}
+}
+
+func testNotFound(t *testing.T, s store.PartitionStore) {
+	if _, err := s.Open("absent"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Open(absent) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size("absent"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("Size(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+func testPublishOnClose(t *testing.T, s store.PartitionStore) {
+	w, err := s.Create("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "in flight"); err != nil {
+		t.Fatal(err)
+	}
+	// Before Close the name must not resolve: not openable, not sized, not
+	// listed. This is the crash-safety property — a writer that dies
+	// mid-stream leaves no partial file under the final name.
+	if _, err := s.Open("part"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unpublished file openable: err = %v", err)
+	}
+	if _, err := s.Size("part"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unpublished file sized: err = %v", err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("unpublished file listed: %v", names)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(t, s, "part"); got != "in flight" {
+		t.Errorf("published content = %q", got)
+	}
+}
+
+func testCreateReplaces(t *testing.T, s store.PartitionStore) {
+	put(t, s, "f", "version one, the longer content")
+	put(t, s, "f", "v2")
+	if got := get(t, s, "f"); got != "v2" {
+		t.Errorf("after replace, read %q", got)
+	}
+	if n, _ := s.Size("f"); n != 2 {
+		t.Errorf("Size after replace = %d, want 2 (truncated)", n)
+	}
+}
+
+func testSnapshotRead(t *testing.T, s store.PartitionStore) {
+	put(t, s, "f", "v1")
+	r, err := s.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "f", "v2")
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" {
+		t.Errorf("reader opened before replacement saw %q, want v1", data)
+	}
+}
+
+func testCloseIdempotent(t *testing.T, s store.PartitionStore) {
+	w, err := s.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "old")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "f", "new")
+	// Closing the stale writer again must not republish its bytes over the
+	// newer version.
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := get(t, s, "f"); got != "new" {
+		t.Errorf("stale double Close clobbered newer version: %q", got)
+	}
+}
+
+func testRemoveIdempotent(t *testing.T, s store.PartitionStore) {
+	put(t, s, "f", "bytes")
+	if err := s.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("f"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("removed file still opens: err = %v", err)
+	}
+	if err := s.Remove("f"); err != nil {
+		t.Errorf("removing absent file: %v", err)
+	}
+}
+
+func testListSorted(t *testing.T, s store.PartitionStore) {
+	names := []string{"subgraphs/0002", "superkmers/0000", "subgraphs/0000", "superkmers/0001"}
+	for _, n := range names {
+		put(t, s, n, n)
+	}
+	got, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func testByteAccounting(t *testing.T, s store.PartitionStore) {
+	put(t, s, "a", "12345")
+	put(t, s, "b", "123")
+	if got := s.BytesWritten(); got != 8 {
+		t.Errorf("BytesWritten = %d, want 8", got)
+	}
+	if got := s.TotalBytes(); got != 8 {
+		t.Errorf("TotalBytes = %d, want 8", got)
+	}
+	get(t, s, "a")
+	get(t, s, "a")
+	if got := s.BytesRead(); got != 10 {
+		t.Errorf("BytesRead = %d, want 10 (two full snapshot reads)", got)
+	}
+	// Replacing shrinks TotalBytes but the write counter stays cumulative.
+	put(t, s, "a", "1")
+	if got := s.TotalBytes(); got != 4 {
+		t.Errorf("TotalBytes after replace = %d, want 4", got)
+	}
+	if got := s.BytesWritten(); got != 9 {
+		t.Errorf("BytesWritten after replace = %d, want 9 (cumulative)", got)
+	}
+}

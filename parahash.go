@@ -32,6 +32,15 @@ import (
 // Config parameterises a construction run; see core.Config for the fields.
 type Config = core.Config
 
+// CheckpointConfig selects a durable on-disk partition store with a build
+// manifest, enabling crash-safe checkpoint/resume; set Config.Checkpoint.
+type CheckpointConfig = core.CheckpointConfig
+
+// ErrManifestMismatch reports a resume attempt whose configuration diverges
+// from the checkpoint's manifest; the build fails fast instead of mixing
+// partitions from two different constructions.
+var ErrManifestMismatch = core.ErrManifestMismatch
+
 // Result is a completed construction: the merged graph, the per-partition
 // subgraphs, and the run's statistics.
 type Result = core.Result
