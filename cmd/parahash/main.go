@@ -9,11 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"parahash"
 	"parahash/internal/device"
@@ -23,6 +28,11 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "parahash:", err)
+		if errors.Is(err, parahash.ErrCanceled) {
+			// Conventional exit status for a SIGINT-terminated process; the
+			// checkpoint (if any) keeps completed partitions for -resume.
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -48,6 +58,10 @@ func run(args []string, stdout io.Writer) error {
 
 		maxAttempts = fs.Int("max-attempts", 3, "per-partition attempt budget per pipeline stage (1 = fail fast)")
 		quarantine  = fs.Int("quarantine-after", 2, "consecutive failures before a processor is quarantined (0 = never)")
+
+		timeout           = fs.Duration("timeout", 0, "cancel the whole build after this wall-clock duration (0 = none)")
+		partitionDeadline = fs.Duration("partition-deadline", 0, "watchdog deadline per partition attempt; expiry counts as a processor fault (0 = none)")
+		memBudget         = fs.String("mem-budget", "", "Step 2 memory budget, e.g. 512M or 2G: concurrent predicted hash-table residency queues under this bound (empty = none)")
 
 		checkpointDir = fs.String("checkpoint-dir", "", "durable on-disk partition store + build manifest in this directory (crash-safe)")
 		resume        = fs.Bool("resume", false, "resume from the -checkpoint-dir manifest: skip verified completed partitions, rebuild corrupt ones")
@@ -93,6 +107,14 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Alpha = *alpha
 	cfg.Resilience.MaxAttempts = *maxAttempts
 	cfg.Resilience.QuarantineAfter = *quarantine
+	cfg.Resilience.PartitionDeadline = *partitionDeadline
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			return fmt.Errorf("-mem-budget: %w", err)
+		}
+		cfg.MemoryBudgetBytes = budget
+	}
 	if *hostCal {
 		cfg.Calibration = device.CalibrateHost(*threads)
 	}
@@ -120,6 +142,26 @@ func run(args []string, stdout io.Writer) error {
 			InputLabel: inputLabel(*inPath, *profile, *scale),
 		}
 	}
+	if *resume {
+		// A previous run canceled mid-write may have left "<out>.tmp"
+		// siblings behind (the atomic rename never happened); clear them so
+		// the resumed run starts clean.
+		removeOrphanTmp(stdout, *outPath, *metricsJSON, *traceOut)
+	}
+
+	// SIGINT/SIGTERM cancel the build gracefully: the pipeline stops between
+	// partitions, completed partitions stay journalled in the checkpoint, and
+	// the process exits 130 without tmp litter. A second signal kills
+	// immediately (signal.NotifyContext restores default disposition after
+	// the first).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("build exceeded -timeout=%v", *timeout))
+		defer cancel()
+	}
 
 	var res *parahash.Result
 	if *inPath != "" && *profile == "" {
@@ -130,7 +172,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if res, err = parahash.BuildFromReader(f, cfg); err != nil {
+		if res, err = parahash.BuildFromReaderContext(ctx, f, cfg); err != nil {
 			return err
 		}
 	} else {
@@ -138,7 +180,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if res, err = parahash.Build(reads, cfg); err != nil {
+		if res, err = parahash.BuildContext(ctx, reads, cfg); err != nil {
 			return err
 		}
 	}
@@ -150,20 +192,20 @@ func run(args []string, stdout io.Writer) error {
 			removed, *filterMin, res.Graph.NumVertices())
 	}
 	if *outPath != "" {
-		if err := writeFileAtomic(*outPath, res.Graph.Write); err != nil {
+		if err := writeFileAtomicCtx(ctx, *outPath, res.Graph.Write); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "graph written to %s\n", *outPath)
 	}
 
 	if *metricsJSON != "" {
-		if err := writeFileAtomic(*metricsJSON, parahash.MetricsOf(res, cfg).WriteJSON); err != nil {
+		if err := writeFileAtomicCtx(ctx, *metricsJSON, parahash.MetricsOf(res, cfg).WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsJSON)
 	}
 	if *traceOut != "" {
-		if err := writeFileAtomic(*traceOut, cfg.Trace.WriteChromeJSON); err != nil {
+		if err := writeFileAtomicCtx(ctx, *traceOut, cfg.Trace.WriteChromeJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
@@ -201,6 +243,66 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return nil
+}
+
+// writeFileAtomicCtx is writeFileAtomic honoring cancellation: a context
+// that died between the build finishing and this write starting (a signal
+// during output publication) skips the write entirely — the checkpoint, not
+// a race against the signal, is the durability story — and surfaces the
+// cancellation so the process still exits 130.
+func writeFileAtomicCtx(ctx context.Context, path string, write func(io.Writer) error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: not writing %s: %w", parahash.ErrCanceled, path, context.Cause(ctx))
+	}
+	return writeFileAtomic(path, write)
+}
+
+// removeOrphanTmp deletes "<path>.tmp" siblings of the named output paths —
+// litter a canceled previous run may have left if it died between creating
+// and renaming the tmp file.
+func removeOrphanTmp(stdout io.Writer, paths ...string) {
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		tmp := p + ".tmp"
+		if _, err := os.Stat(tmp); err == nil {
+			if err := os.Remove(tmp); err == nil {
+				fmt.Fprintf(stdout, "removed orphaned %s\n", tmp)
+			}
+		}
+	}
+}
+
+// parseBytes parses a human byte size: a plain integer, or one with a K/M/G/T
+// suffix (binary multiples; an optional trailing "B" or "iB" is accepted).
+func parseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	mult := int64(1)
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			mult, upper = 1<<10, upper[:n-1]
+		case 'M':
+			mult, upper = 1<<20, upper[:n-1]
+		case 'G':
+			mult, upper = 1<<30, upper[:n-1]
+		case 'T':
+			mult, upper = 1<<40, upper[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 1073741824, 512M, 2G)", orig)
+	}
+	if v > (1<<63-1)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", orig)
+	}
+	return v * mult, nil
 }
 
 // inputLabel identifies the input for the checkpoint manifest fingerprint.
@@ -291,6 +393,15 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 	if s.ResumedPartitions > 0 || s.RebuiltPartitions > 0 {
 		fmt.Fprintf(w, "checkpoint resume: %d partitions resumed, %d rebuilt\n",
 			s.ResumedPartitions, s.RebuiltPartitions)
+	}
+	if kills := s.TotalWatchdogKills(); kills > 0 {
+		fmt.Fprintf(w, "watchdog: %d partition attempts exceeded the deadline and were retried\n", kills)
+	}
+	if cfg.MemoryBudgetBytes > 0 {
+		st2 := s.Step2
+		fmt.Fprintf(w, "memory budget: %.1f MB; %d admissions (%d queued, %.2fs waiting), peak admitted %.1f MB\n",
+			float64(cfg.MemoryBudgetBytes)/(1<<20), st2.Admissions, st2.AdmissionWaits,
+			st2.AdmissionWaitSeconds, float64(st2.PeakAdmittedBytes)/(1<<20))
 	}
 }
 

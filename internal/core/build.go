@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"parahash/internal/fastq"
@@ -10,6 +12,22 @@ import (
 	"parahash/internal/msp"
 	"parahash/internal/store"
 )
+
+// ErrCanceled is wrapped into every error returned from a build cut short by
+// its context (cancellation, -timeout expiry, SIGINT/SIGTERM). A canceled
+// checkpointed build still journals every partition completed before the
+// cancellation, so a subsequent resume skips them.
+var ErrCanceled = errors.New("core: build canceled")
+
+// canceledErr wraps err with ErrCanceled when the build's context was done,
+// so callers distinguish "you stopped it" (resume later) from "it failed"
+// (investigate) with a single errors.Is.
+func canceledErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
 
 // Build constructs the De Bruijn graph of the reads with the full ParaHash
 // pipeline: Step 1 partitions the graph via MSP into encoded superkmer
@@ -33,7 +51,7 @@ func PartitionOnly(reads []fastq.Read, cfg Config) ([]msp.PartitionStats, StepSt
 	if err := fastq.Validate(reads, cfg.K); err != nil {
 		return nil, StepStats{}, err
 	}
-	stats, _, stepStats, err := runStep1(reads, cfg, storeSinks(newSimStore(cfg)))
+	stats, _, stepStats, err := runStep1(context.Background(), reads, cfg, storeSinks(newSimStore(cfg)))
 	return stats, stepStats, err
 }
 
@@ -66,6 +84,14 @@ func PartitionSuperkmers(reads []fastq.Read, cfg Config) ([][]msp.Superkmer, err
 }
 
 func Build(reads []fastq.Read, cfg Config) (*Result, error) {
+	return BuildContext(context.Background(), reads, cfg)
+}
+
+// BuildContext is Build under a context: canceling ctx stops the pipeline
+// promptly and leak-free, the returned error wraps ErrCanceled, and (with a
+// checkpoint configured) every partition completed before the cancellation
+// stays journalled for a later resume.
+func BuildContext(ctx context.Context, reads []fastq.Read, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,23 +102,26 @@ func Build(reads []fastq.Read, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildWithStore(reads, cfg, st, ck)
+	return buildWithStore(ctx, reads, cfg, st, ck)
 }
 
 // buildWithStore runs the validated pipeline against a caller-provided
 // store; fault-injection tests use it to exercise IO error paths. A non-nil
 // checkpoint makes the build resumable: completed, verified partitions are
 // skipped and every durable publication is journalled.
-func buildWithStore(reads []fastq.Read, cfg Config, st store.PartitionStore, ck *checkpoint) (*Result, error) {
-	partStats, step1Stats, err := buildStep1(cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
-		return runStep1(reads, cfg, sinks)
+func buildWithStore(ctx context.Context, reads []fastq.Read, cfg Config, st store.PartitionStore, ck *checkpoint) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	partStats, step1Stats, err := buildStep1(ctx, cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
+		return runStep1(ctx, reads, cfg, sinks)
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: step 1 (MSP partitioning): %w", err)
+		return nil, canceledErr(ctx, fmt.Errorf("core: step 1 (MSP partitioning): %w", err))
 	}
-	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, st, ck)
+	subgraphs, works, step2Stats, err := runStep2(ctx, partStats, cfg, st, ck)
 	if err != nil {
-		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
+		return nil, canceledErr(ctx, fmt.Errorf("core: step 2 (subgraph construction): %w", err))
 	}
 
 	res := &Result{Subgraphs: subgraphs}
@@ -132,9 +161,12 @@ func buildWithStore(reads []fastq.Read, cfg Config, st store.PartitionStore, ck 
 // rewritten), or run from scratch. run executes the step with the chosen
 // sinks; it is a closure so the in-memory and streaming entry points share
 // this resume logic.
-func buildStep1(cfg Config, st store.PartitionStore, ck *checkpoint,
+func buildStep1(ctx context.Context, cfg Config, st store.PartitionStore, ck *checkpoint,
 	run func(partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error),
 ) ([]msp.PartitionStats, StepStats, error) {
+	if err := context.Cause(ctx); ctx.Err() != nil {
+		return nil, StepStats{}, err
+	}
 	if ck != nil && ck.step1Complete() {
 		// Every partition file verified: Step 1 costs nothing, and its
 		// statistics come straight from the manifest. The per-processor

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"parahash/internal/costmodel"
 	"parahash/internal/device"
@@ -38,6 +39,11 @@ type ResilienceConfig struct {
 	// BackoffSeconds is the virtual-time backoff base charged per retry
 	// (doubling per attempt); it is accounting only, never a real sleep.
 	BackoffSeconds float64
+	// PartitionDeadline is the watchdog's wall-clock bound on one partition
+	// attempt (compute stage). An attempt that outlives it is abandoned and
+	// charged as an ordinary processor fault, feeding the retry/quarantine
+	// machinery above; 0 disables the watchdog.
+	PartitionDeadline time.Duration
 }
 
 // CheckpointConfig selects the durable partition store and checkpoint/resume
@@ -116,9 +122,18 @@ type Config struct {
 	// shrinks.
 	OutputFilterMin int
 
-	// Resilience tunes partition retries, processor quarantine and
-	// virtual-time backoff for both pipeline steps.
+	// Resilience tunes partition retries, processor quarantine,
+	// virtual-time backoff and the per-attempt watchdog for both pipeline
+	// steps.
 	Resilience ResilienceConfig
+
+	// MemoryBudgetBytes, when positive, bounds Step 2's concurrent memory
+	// residency: each partition is admitted through a weighted semaphore
+	// charging its Property-1 predicted hash table footprint, so the sum of
+	// admitted predictions never exceeds the budget (partitions queue
+	// instead of OOMing). A single partition predicted above the whole
+	// budget still runs, alone. 0 disables admission control.
+	MemoryBudgetBytes int64
 
 	// Checkpoint selects durable on-disk storage with a build manifest,
 	// enabling crash-safe checkpoint/resume. The zero value keeps the
@@ -189,6 +204,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Resilience.QuarantineAfter=%d must be non-negative", c.Resilience.QuarantineAfter)
 	case c.Resilience.BackoffSeconds < 0:
 		return fmt.Errorf("core: Resilience.BackoffSeconds=%g must be non-negative", c.Resilience.BackoffSeconds)
+	case c.Resilience.PartitionDeadline < 0:
+		return fmt.Errorf("core: Resilience.PartitionDeadline=%v must be non-negative", c.Resilience.PartitionDeadline)
+	case c.MemoryBudgetBytes < 0:
+		return fmt.Errorf("core: MemoryBudgetBytes=%d must be non-negative", c.MemoryBudgetBytes)
 	case c.Checkpoint.Resume && c.Checkpoint.Dir == "":
 		return fmt.Errorf("core: Checkpoint.Resume requires Checkpoint.Dir")
 	}
@@ -217,6 +236,7 @@ func (c Config) resiliencePolicy() pipeline.Policy {
 		QuarantineAfter: c.Resilience.QuarantineAfter,
 		BackoffSeconds:  c.Resilience.BackoffSeconds,
 		Retryable:       retryableIOFault,
+		AttemptTimeout:  c.Resilience.PartitionDeadline,
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -373,7 +374,7 @@ func TestBuildSurfacesWriteFaults(t *testing.T) {
 	store := iosim.NewStore(cfg.Medium)
 	boom := errors.New("injected write failure")
 	store.FailWritesOn(superkmerFile(3), boom)
-	if _, err := buildWithStore(reads, cfg, store, nil); !errors.Is(err, boom) {
+	if _, err := buildWithStore(context.Background(), reads, cfg, store, nil); !errors.Is(err, boom) {
 		t.Fatalf("write fault not surfaced: %v", err)
 	}
 }
@@ -384,7 +385,7 @@ func TestBuildSurfacesReadFaults(t *testing.T) {
 	store := iosim.NewStore(cfg.Medium)
 	boom := errors.New("injected read failure")
 	store.FailReadsOn(superkmerFile(5), boom)
-	if _, err := buildWithStore(reads, cfg, store, nil); !errors.Is(err, boom) {
+	if _, err := buildWithStore(context.Background(), reads, cfg, store, nil); !errors.Is(err, boom) {
 		t.Fatalf("read fault not surfaced: %v", err)
 	}
 }
@@ -395,7 +396,7 @@ func TestBuildSurfacesSubgraphWriteFaults(t *testing.T) {
 	store := iosim.NewStore(cfg.Medium)
 	boom := errors.New("injected subgraph write failure")
 	store.FailWritesOn(subgraphFile(2), boom)
-	if _, err := buildWithStore(reads, cfg, store, nil); !errors.Is(err, boom) {
+	if _, err := buildWithStore(context.Background(), reads, cfg, store, nil); !errors.Is(err, boom) {
 		t.Fatalf("subgraph write fault not surfaced: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestBuildDegradedMatchesFaultFree(t *testing.T) {
 	store := iosim.NewStore(faulty.Medium)
 	plan.ApplyStore(store)
 
-	res, err := buildWithStore(reads, faulty, store, nil)
+	res, err := buildWithStore(context.Background(), reads, faulty, store, nil)
 	if err != nil {
 		t.Fatalf("degraded build failed: %v", err)
 	}
@@ -95,7 +96,7 @@ func TestBuildDegradedMatchesFaultFree(t *testing.T) {
 	// Determinism of the degraded run itself: same plan, same graph.
 	store2 := iosim.NewStore(faulty.Medium)
 	plan.ApplyStore(store2)
-	res2, err := buildWithStore(reads, faulty, store2, nil)
+	res2, err := buildWithStore(context.Background(), reads, faulty, store2, nil)
 	if err != nil {
 		t.Fatalf("second degraded build failed: %v", err)
 	}
@@ -117,7 +118,7 @@ func TestBuildRecoversTransientWriteFault(t *testing.T) {
 	// Subgraph writes are idempotent (Create truncates), so a transient
 	// write fault must be absorbed by a retry.
 	store.FailWritesNTimes(subgraphFile(2), 1, boom)
-	res, err := buildWithStore(reads, cfg, store, nil)
+	res, err := buildWithStore(context.Background(), reads, cfg, store, nil)
 	if err != nil {
 		t.Fatalf("transient write fault not recovered: %v", err)
 	}
@@ -142,7 +143,7 @@ func TestBuildRecoversCorruptPartitionRead(t *testing.T) {
 	// footer must catch the corruption and the retry — served from the
 	// intact stored bytes — must recover, end to end.
 	store.CorruptReadsNTimes(superkmerFile(1), 1)
-	res, err := buildWithStore(reads, cfg, store, nil)
+	res, err := buildWithStore(context.Background(), reads, cfg, store, nil)
 	if err != nil {
 		t.Fatalf("corrupt read not recovered: %v", err)
 	}
@@ -159,7 +160,7 @@ func TestBuildPersistentCorruptionSurfacesTyped(t *testing.T) {
 	cfg := tinyConfig()
 	store := iosim.NewStore(cfg.Medium)
 	store.CorruptReadsNTimes(superkmerFile(4), -1) // every read corrupt
-	_, err := buildWithStore(reads, cfg, store, nil)
+	_, err := buildWithStore(context.Background(), reads, cfg, store, nil)
 	if !errors.Is(err, msp.ErrCorruptPartition) {
 		t.Fatalf("persistent corruption not surfaced as ErrCorruptPartition: %v", err)
 	}
@@ -177,7 +178,7 @@ func TestBuildAllProcessorsDead(t *testing.T) {
 		},
 	}
 	cfg.procWrap = plan.WrapProcessors
-	_, err := buildWithStore(reads, cfg, iosim.NewStore(cfg.Medium), nil)
+	_, err := buildWithStore(context.Background(), reads, cfg, iosim.NewStore(cfg.Medium), nil)
 	if !errors.Is(err, pipeline.ErrNoHealthyWorkers) {
 		t.Fatalf("expected ErrNoHealthyWorkers, got: %v", err)
 	}
@@ -193,13 +194,13 @@ func TestBuildMissingPartitionFailsFast(t *testing.T) {
 	// Deleting a partition between the steps models an unrecoverable
 	// loss: ErrNotFound is classified non-retryable, so the build must
 	// not burn its attempt budget re-reading a file that cannot appear.
-	_, err := buildWithStore(reads, cfg, store, nil)
+	_, err := buildWithStore(context.Background(), reads, cfg, store, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	store2 := iosim.NewStore(cfg.Medium)
 	store2.FailReadsOn(superkmerFile(0), iosim.ErrNotFound)
-	if _, err := buildWithStore(reads, cfg, store2, nil); !errors.Is(err, iosim.ErrNotFound) {
+	if _, err := buildWithStore(context.Background(), reads, cfg, store2, nil); !errors.Is(err, iosim.ErrNotFound) {
 		t.Fatalf("missing partition not surfaced: %v", err)
 	}
 }
@@ -209,17 +210,17 @@ type tableFullProc struct{}
 
 func (tableFullProc) Name() string      { return "full" }
 func (tableFullProc) Kind() device.Kind { return device.KindCPU }
-func (tableFullProc) Step1(reads []fastq.Read, k, p int) (device.Step1Output, error) {
+func (tableFullProc) Step1(_ context.Context, reads []fastq.Read, k, p int) (device.Step1Output, error) {
 	return device.Step1Output{}, nil
 }
-func (tableFullProc) Step2(sks []msp.Superkmer, k, tableSlots int) (device.Step2Output, error) {
+func (tableFullProc) Step2(_ context.Context, sks []msp.Superkmer, k, tableSlots int) (device.Step2Output, error) {
 	return device.Step2Output{}, hashtable.ErrTableFull
 }
 
 func TestStep2ConstructResizeExhausted(t *testing.T) {
 	cfg := tinyConfig()
 	sks := []msp.Superkmer{{Bases: tinyReads(t)[0].Bases}}
-	_, err := step2Construct(tableFullProc{}, sks, cfg)
+	_, err := step2Construct(context.Background(), tableFullProc{}, sks, cfg)
 	if !errors.Is(err, ErrResizeExhausted) {
 		t.Fatalf("unbounded resize not capped: %v", err)
 	}

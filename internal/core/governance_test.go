@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parahash/internal/fastq"
+	"parahash/internal/faultinject"
+	"parahash/internal/graph"
+	"parahash/internal/manifest"
+)
+
+func TestBuildContextAlreadyCanceled(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := tinyConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, reads, cfg); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("BuildContext under canceled ctx: %v, want ErrCanceled", err)
+	}
+	var buf bytes.Buffer
+	if err := fastq.WriteFASTQ(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromReaderContext(ctx, &buf, cfg, 0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("BuildFromReaderContext under canceled ctx: %v, want ErrCanceled", err)
+	}
+}
+
+func TestBuildContextTimeoutWrapsCause(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := tinyConfig()
+	cause := errors.New("deadline budget spent")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	_, err := BuildContext(ctx, reads, cfg)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want both ErrCanceled and the cancellation cause", err)
+	}
+}
+
+// TestCancelMidStep2JournalsCompletedPartitions stalls the Step 2 writer
+// after it has journalled three partitions, cancels the build, and verifies
+// the ISSUE's cancellation contract: the error wraps ErrCanceled, exactly
+// the completed partitions are in the manifest, and a -resume build picks
+// them up and produces the same graph as an uninterrupted run.
+func TestCancelMidStep2JournalsCompletedPartitions(t *testing.T) {
+	reads := tinyReads(t)
+	cfg, dir := ckConfig(t)
+
+	faultinject.ResetStallCounts()
+	t.Setenv(faultinject.StallEnv, "step2.partition:3")
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	cause := errors.New("operator interrupt")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := BuildContext(ctx, reads, cfg)
+		errc <- err
+	}()
+
+	// The writer journals partitions in order and stalls right after the
+	// third markStep2; wait for those three entries, then cancel.
+	mpath := filepath.Join(dir, "manifest.json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m, err := manifest.Load(mpath); err == nil && len(m.Step2) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for 3 journalled Step 2 partitions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel(cause)
+
+	err := <-errc
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled build returned %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("canceled build returned %v, want the cancellation cause preserved", err)
+	}
+	m, lerr := manifest.Load(mpath)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if len(m.Step2) != 3 {
+		t.Fatalf("manifest has %d Step 2 partitions, want exactly the 3 journalled before the stall", len(m.Step2))
+	}
+
+	// Resume must adopt the journalled partitions and finish the build.
+	t.Setenv(faultinject.StallEnv, "")
+	resumed := cfg
+	resumed.Checkpoint.Resume = true
+	res, err := BuildContext(context.Background(), reads, resumed)
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if res.Stats.ResumedPartitions != 3 {
+		t.Fatalf("resume adopted %d partitions, want 3", res.Stats.ResumedPartitions)
+	}
+	if want := graph.BuildNaive(reads, cfg.K); !res.Graph.Equal(want) {
+		t.Fatal("resumed graph diverges from the naive reference")
+	}
+}
+
+func TestBuildMemoryBudgetBelowDemandStillCompletes(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := tinyConfig()
+
+	baseline, err := Build(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 32 KiB is far below the summed Property-1 table predictions of 16
+	// partitions, so partitions must queue for admission (or run alone,
+	// clamped) — and the build must still complete, identically.
+	budgeted := cfg
+	budgeted.MemoryBudgetBytes = 32 << 10
+	res, err := Build(reads, budgeted)
+	if err != nil {
+		t.Fatalf("budgeted build failed: %v", err)
+	}
+	if !res.Graph.Equal(baseline.Graph) {
+		t.Fatal("budgeted graph differs from unbudgeted build")
+	}
+	s := res.Stats.Step2
+	if s.Admissions != int64(cfg.NumPartitions) {
+		t.Fatalf("Admissions = %d, want one per partition (%d)", s.Admissions, cfg.NumPartitions)
+	}
+	if s.PeakAdmittedBytes > budgeted.MemoryBudgetBytes {
+		t.Fatalf("PeakAdmittedBytes = %d exceeds budget %d", s.PeakAdmittedBytes, budgeted.MemoryBudgetBytes)
+	}
+	if s.PeakAdmittedBytes == 0 {
+		t.Fatal("PeakAdmittedBytes = 0; admission accounting did not run")
+	}
+	if res.Stats.PeakAdmittedBytes() != s.PeakAdmittedBytes {
+		t.Fatal("Stats.PeakAdmittedBytes() does not surface the Step 2 peak")
+	}
+}
+
+func TestBuildMemoryBudgetRejectsNegative(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MemoryBudgetBytes = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative memory budget")
+	}
+	cfg = tinyConfig()
+	cfg.Resilience.PartitionDeadline = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative partition deadline")
+	}
+}
+
+// TestWatchdogKillsHungProcessorAndRecovers injects a processor whose first
+// Step 2 call hangs until its attempt context dies. The watchdog must
+// abandon the attempt at the partition deadline, the retry machinery must
+// re-run the partition elsewhere, and the build must finish correctly.
+func TestWatchdogKillsHungProcessorAndRecovers(t *testing.T) {
+	reads := tinyReads(t)
+	cfg := tinyConfig()
+	cfg.NumGPUs = 1 // CPU (proc 0) + GPU0 (proc 1)
+	cfg.Resilience.MaxAttempts = 3
+	cfg.Resilience.QuarantineAfter = 2
+	cfg.Resilience.PartitionDeadline = 50 * time.Millisecond
+
+	plan := faultinject.Plan{
+		ProcessorFaults: []faultinject.ProcessorFault{
+			{Proc: 1, HangStep2Calls: []int{0}}, // GPU0's first partition wedges
+		},
+	}
+	cfg.procWrap = plan.WrapProcessors
+
+	res, err := Build(reads, cfg)
+	if err != nil {
+		t.Fatalf("build with hung processor failed: %v", err)
+	}
+	if got := res.Stats.Step2.WatchdogKills; got < 1 {
+		t.Fatalf("Step2.WatchdogKills = %d, want >= 1", got)
+	}
+	if got := res.Stats.TotalWatchdogKills(); got < 1 {
+		t.Fatalf("TotalWatchdogKills() = %d, want >= 1", got)
+	}
+	if res.Stats.TotalRetries() < 1 {
+		t.Fatal("hung partition was not retried")
+	}
+	if want := graph.BuildNaive(reads, cfg.K); !res.Graph.Equal(want) {
+		t.Fatal("recovered graph diverges from the naive reference")
+	}
+}

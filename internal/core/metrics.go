@@ -50,6 +50,15 @@ func MetricsOf(res *Result, cfg Config) *obs.BuildMetrics {
 			ResumedPartitions: res.Stats.ResumedPartitions,
 			RebuiltPartitions: res.Stats.RebuiltPartitions,
 		},
+		Governance: obs.GovernanceMetrics{
+			Cancellations:        res.Stats.Step1.CanceledAttempts + res.Stats.Step2.CanceledAttempts,
+			WatchdogKills:        res.Stats.TotalWatchdogKills(),
+			MemoryBudgetBytes:    cfg.MemoryBudgetBytes,
+			Admissions:           res.Stats.TotalAdmissions(),
+			AdmissionWaits:       res.Stats.Step1.AdmissionWaits + res.Stats.Step2.AdmissionWaits,
+			AdmissionWaitSeconds: res.Stats.Step1.AdmissionWaitSeconds + res.Stats.Step2.AdmissionWaitSeconds,
+			PeakAdmittedBytes:    res.Stats.PeakAdmittedBytes(),
+		},
 	}
 	return m
 }
@@ -125,5 +134,11 @@ func stepMetricsOf(name string, st StepStats) obs.StepMetrics {
 		BackoffSeconds:               st.BackoffSeconds,
 		Quarantined:                  st.Quarantined,
 		Processors:                   procs,
+		WatchdogKills:                st.WatchdogKills,
+		CanceledAttempts:             st.CanceledAttempts,
+		Admissions:                   st.Admissions,
+		AdmissionWaits:               st.AdmissionWaits,
+		AdmissionWaitSeconds:         st.AdmissionWaitSeconds,
+		PeakAdmittedBytes:            st.PeakAdmittedBytes,
 	}
 }

@@ -57,6 +57,25 @@ type StepStats struct {
 	Quarantined []string
 	// BackoffSeconds is the virtual retry backoff charged into Seconds.
 	BackoffSeconds float64
+
+	// Governance counters (cancellation, watchdog, memory-budget
+	// admission), all zero on an ungoverned run.
+
+	// WatchdogKills counts partition attempts abandoned by the
+	// per-attempt watchdog (Resilience.PartitionDeadline).
+	WatchdogKills int
+	// CanceledAttempts counts stage attempts cut short by cancellation.
+	CanceledAttempts int
+	// Admissions counts partitions admitted through the memory-budget
+	// gate (zero without MemoryBudgetBytes).
+	Admissions int64
+	// AdmissionWaits counts admissions that had to queue for budget.
+	AdmissionWaits int64
+	// AdmissionWaitSeconds is the total wall-clock time spent queued.
+	AdmissionWaitSeconds float64
+	// PeakAdmittedBytes is the largest concurrently admitted predicted
+	// footprint; by construction ≤ MemoryBudgetBytes.
+	PeakAdmittedBytes int64
 }
 
 // Degraded reports whether the step hit any fault handled by the resilient
@@ -173,6 +192,21 @@ func (s Stats) QuarantinedProcessors() []string {
 
 // Degraded reports whether either step ran in degraded mode.
 func (s Stats) Degraded() bool { return s.Step1.Degraded() || s.Step2.Degraded() }
+
+// TotalWatchdogKills sums both steps' watchdog-abandoned attempts.
+func (s Stats) TotalWatchdogKills() int { return s.Step1.WatchdogKills + s.Step2.WatchdogKills }
+
+// TotalAdmissions sums both steps' memory-budget admissions (in practice
+// only Step 2 is gated).
+func (s Stats) TotalAdmissions() int64 { return s.Step1.Admissions + s.Step2.Admissions }
+
+// PeakAdmittedBytes is the larger step's peak concurrently admitted bytes.
+func (s Stats) PeakAdmittedBytes() int64 {
+	if s.Step1.PeakAdmittedBytes > s.Step2.PeakAdmittedBytes {
+		return s.Step1.PeakAdmittedBytes
+	}
+	return s.Step2.PeakAdmittedBytes
+}
 
 // Result is a completed construction.
 type Result struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -77,6 +78,12 @@ func applyReport(st *StepStats, rep pipeline.Report, procs []device.Processor) {
 	st.Requeues = rep.Requeues
 	st.BackoffSeconds = rep.BackoffSeconds
 	st.Seconds += rep.BackoffSeconds
+	st.WatchdogKills = rep.WatchdogKills
+	st.CanceledAttempts = rep.CanceledAttempts
+	st.Admissions = rep.Admission.Admissions
+	st.AdmissionWaits = rep.Admission.Waits
+	st.AdmissionWaitSeconds = rep.Admission.WaitSeconds
+	st.PeakAdmittedBytes = rep.Admission.PeakBytes
 	for _, w := range rep.Quarantined {
 		st.Quarantined = append(st.Quarantined, procs[w].Name())
 	}
@@ -126,7 +133,7 @@ func fastqBytesOf(reads []fastq.Read) int64 { return fastq.ApproxFASTQBytes(read
 // scans it into superkmers, and the output stage routes superkmers into
 // encoded partition files via the sinks. It also returns each finalised
 // file's footprint (size and record CRC) for the build manifest.
-func runStep1(reads []fastq.Read, cfg Config, sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
+func runStep1(ctx context.Context, reads []fastq.Read, cfg Config, sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
 	chunks := fastq.PartitionReads(reads, cfg.inputChunks())
 	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, sinks)
 	if err != nil {
@@ -139,8 +146,8 @@ func runStep1(reads []fastq.Read, cfg Config, sinks partitionSinks) ([]msp.Parti
 	workers := make([]pipeline.Worker[[]fastq.Read, device.Step1Output], len(procs))
 	for i, p := range procs {
 		p := p
-		workers[i] = func(chunk []fastq.Read) (device.Step1Output, error) {
-			return p.Step1(chunk, cfg.K, cfg.P)
+		workers[i] = func(ctx context.Context, chunk []fastq.Read) (device.Step1Output, error) {
+			return p.Step1(ctx, chunk, cfg.K, cfg.P)
 		}
 	}
 
@@ -164,7 +171,7 @@ func runStep1(reads []fastq.Read, cfg Config, sinks partitionSinks) ([]msp.Parti
 		return nil
 	}
 
-	report, err := pipeline.RunResilientTraced(len(chunks), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step1", procs))
+	report, err := pipeline.RunResilientTraced(ctx, len(chunks), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step1", procs))
 	if err != nil {
 		writer.Close()
 		return nil, nil, StepStats{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -77,7 +78,7 @@ func loadPartition(st store.PartitionStore, name string) ([]msp.Superkmer, int64
 // subgraph that the output stage serialises to the store. With a checkpoint,
 // partitions whose Step 2 completion already verified are skipped entirely,
 // and every freshly published subgraph is journalled in the manifest.
-func runStep2(partStats []msp.PartitionStats, cfg Config, st store.PartitionStore, ck *checkpoint) ([]*graph.Subgraph, []step2Work, StepStats, error) {
+func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, st store.PartitionStore, ck *checkpoint) ([]*graph.Subgraph, []step2Work, StepStats, error) {
 	np := len(partStats)
 	procs := processors(cfg)
 	// pending maps pipeline slots to partition indices: only partitions not
@@ -102,8 +103,30 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, st store.PartitionStor
 	workers := make([]pipeline.Worker[[]msp.Superkmer, device.Step2Output], len(procs))
 	for i, p := range procs {
 		p := p
-		workers[i] = func(sks []msp.Superkmer) (device.Step2Output, error) {
-			return step2Construct(p, sks, cfg)
+		workers[i] = func(ctx context.Context, sks []msp.Superkmer) (device.Step2Output, error) {
+			return step2Construct(ctx, p, sks, cfg)
+		}
+	}
+
+	pol := cfg.resiliencePolicy()
+	if cfg.MemoryBudgetBytes > 0 {
+		gate, err := pipeline.NewGate(cfg.MemoryBudgetBytes)
+		if err != nil {
+			return nil, nil, StepStats{}, err
+		}
+		pol.Admission = gate
+		// A partition's admission weight is its Property-1 predicted hash
+		// table footprint — the same λ/(4α)·N_kmer pre-sizing Step 2 itself
+		// uses — so the gate bounds exactly the bytes the tables will claim.
+		pol.AdmissionWeight = func(slot int) int64 {
+			kmers := partStats[pending[slot]].Kmers
+			slots, err := hashtable.SizeForKmersChecked(kmers, cfg.Lambda, cfg.Alpha)
+			if err != nil {
+				// Sizing itself will fail in the worker with a proper error;
+				// admit under the full budget so it gets there.
+				return cfg.MemoryBudgetBytes
+			}
+			return hashtable.MemoryBytesFor(slots)
 		}
 	}
 
@@ -155,13 +178,19 @@ func runStep2(partStats []msp.PartitionStats, cfg Config, st store.PartitionStor
 			}
 		}
 		faultinject.MaybeCrash("step2.partition")
+		// The armed stall point models a build wedged after journalling this
+		// partition; the SIGINT e2e test uses it to hold the run mid-Step 2
+		// with a known set of completed partitions.
+		if err := faultinject.MaybeStall(ctx, "step2.partition"); err != nil {
+			return err
+		}
 		if cfg.KeepSubgraphs {
 			subgraphs[i] = out.Graph
 		}
 		return nil
 	}
 
-	report, err := pipeline.RunResilientTraced(len(pending), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step2", procs))
+	report, err := pipeline.RunResilientTraced(ctx, len(pending), read, workers, write, pol, stepRecorder(cfg, "step2", procs))
 	if err != nil {
 		return nil, nil, StepStats{}, err
 	}
@@ -199,7 +228,7 @@ func foldStep2Works(st *Stats, works []step2Work) int64 {
 // subgraph on processor p, doubling the table when Property 1's pre-sizing
 // under-estimated — but only maxTableResizes times, so a pathological
 // partition surfaces ErrResizeExhausted instead of looping forever.
-func step2Construct(p device.Processor, sks []msp.Superkmer, cfg Config) (device.Step2Output, error) {
+func step2Construct(ctx context.Context, p device.Processor, sks []msp.Superkmer, cfg Config) (device.Step2Output, error) {
 	var kmers int64
 	for _, sk := range sks {
 		kmers += int64(sk.NumKmers(cfg.K))
@@ -209,7 +238,7 @@ func step2Construct(p device.Processor, sks []msp.Superkmer, cfg Config) (device
 		return device.Step2Output{}, fmt.Errorf("core: sizing hash table for %d kmers: %w", kmers, err)
 	}
 	for resizes := 0; ; resizes++ {
-		out, err := p.Step2(sks, cfg.K, slots)
+		out, err := p.Step2(ctx, sks, cfg.K, slots)
 		if !errors.Is(err, hashtable.ErrTableFull) {
 			return out, err
 		}

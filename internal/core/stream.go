@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,8 +27,18 @@ const DefaultStreamChunkBases = 1 << 22
 // (0 selects DefaultStreamChunkBases). With a fully resumable checkpoint
 // (every Step 1 partition file verified) the stream is not read at all.
 func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
+	return BuildFromReaderContext(context.Background(), r, cfg, chunkBases)
+}
+
+// BuildFromReaderContext is BuildFromReader under a context: canceling ctx
+// stops the streamed build between chunks and partitions, the returned error
+// wraps ErrCanceled, and completed checkpointed partitions stay journalled.
+func BuildFromReaderContext(ctx context.Context, r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if chunkBases <= 0 {
 		chunkBases = DefaultStreamChunkBases
@@ -38,24 +49,24 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 	}
 
 	var totalReads int64 = -1 // -1: step 1 resumed, the stream was not read
-	partStats, step1Stats, err := buildStep1(cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
+	partStats, step1Stats, err := buildStep1(ctx, cfg, st, ck, func(sinks partitionSinks) ([]msp.PartitionStats, []msp.FileInfo, StepStats, error) {
 		fr, err := fastq.NewAutoReader(r)
 		if err != nil {
 			return nil, nil, StepStats{}, err
 		}
-		stats, infos, stepStats, n, err := runStep1Stream(fr, cfg, sinks, chunkBases)
+		stats, infos, stepStats, n, err := runStep1Stream(ctx, fr, cfg, sinks, chunkBases)
 		totalReads = n
 		return stats, infos, stepStats, err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: step 1 (streamed MSP partitioning): %w", err)
+		return nil, canceledErr(ctx, fmt.Errorf("core: step 1 (streamed MSP partitioning): %w", err))
 	}
 	if totalReads == 0 {
 		return nil, fmt.Errorf("core: input stream contains no usable reads")
 	}
-	subgraphs, works, step2Stats, err := runStep2(partStats, cfg, st, ck)
+	subgraphs, works, step2Stats, err := runStep2(ctx, partStats, cfg, st, ck)
 	if err != nil {
-		return nil, fmt.Errorf("core: step 2 (subgraph construction): %w", err)
+		return nil, canceledErr(ctx, fmt.Errorf("core: step 2 (subgraph construction): %w", err))
 	}
 
 	res := &Result{Subgraphs: subgraphs}
@@ -80,7 +91,7 @@ func BuildFromReader(r io.Reader, cfg Config, chunkBases int) (*Result, error) {
 // chunk-sequential — only one chunk of reads is ever resident — while the
 // virtual-time schedule still models the pipelined co-processing over the
 // same chunk sequence.
-func runStep1Stream(fr *fastq.Reader, cfg Config, sinks partitionSinks, chunkBases int) ([]msp.PartitionStats, []msp.FileInfo, StepStats, int64, error) {
+func runStep1Stream(ctx context.Context, fr *fastq.Reader, cfg Config, sinks partitionSinks, chunkBases int) ([]msp.PartitionStats, []msp.FileInfo, StepStats, int64, error) {
 	writer, err := msp.NewPartitionWriter(cfg.K, cfg.NumPartitions, sinks)
 	if err != nil {
 		return nil, nil, StepStats{}, 0, err
@@ -96,6 +107,10 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, sinks partitionSinks, chunkBas
 	chunkSize := 0
 	eof := false
 	for !eof {
+		if err := context.Cause(ctx); ctx.Err() != nil {
+			writer.Close()
+			return nil, nil, StepStats{}, 0, err
+		}
 		chunk, chunkSize = chunk[:0], 0
 		for chunkSize < chunkBases {
 			rd, err := fr.Next()
@@ -114,7 +129,7 @@ func runStep1Stream(fr *fastq.Reader, cfg Config, sinks partitionSinks, chunkBas
 			break
 		}
 		totalReads += int64(len(chunk))
-		out, err := exec.Step1(chunk, cfg.K, cfg.P)
+		out, err := exec.Step1(ctx, chunk, cfg.K, cfg.P)
 		if err != nil {
 			writer.Close()
 			return nil, nil, StepStats{}, 0, err

@@ -12,6 +12,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -94,17 +95,27 @@ type Step2Output struct {
 }
 
 // Processor abstracts a compute device for the work-stealing pipeline.
+// Kernels are cooperative: they check ctx periodically (every ctxCheckEvery
+// work items) and return ctx's error promptly when canceled, so the
+// pipeline's watchdog can abandon a hung attempt without leaking the
+// goroutine running it.
 type Processor interface {
 	// Name is unique within a run ("CPU", "GPU0", ...).
 	Name() string
 	// Kind reports the device class.
 	Kind() Kind
 	// Step1 scans a read partition into superkmers.
-	Step1(reads []fastq.Read, k, p int) (Step1Output, error)
+	Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Output, error)
 	// Step2 builds the subgraph of one superkmer partition, sizing the
 	// hash table to tableSlots.
-	Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
+	Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
 }
+
+// ctxCheckEvery is the kernel cancellation-poll stride in work items (reads
+// for Step 1, superkmers for Step 2): frequent enough that cancellation
+// latency stays far below any realistic watchdog deadline, rare enough that
+// the atomic load in ctx.Err() never shows up in a profile.
+const ctxCheckEvery = 256
 
 // CPU is the multi-threaded host processor. Its kernels use real goroutine
 // concurrency over the shared state-transfer hash table; charged time comes
@@ -126,7 +137,7 @@ func (c *CPU) Kind() Kind { return KindCPU }
 
 // Step1 scans reads into superkmers with Threads parallel workers, each
 // holding its own scanner, then concatenates in read order.
-func (c *CPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
+func (c *CPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Output, error) {
 	if c.Threads < 1 {
 		return Step1Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
 	}
@@ -139,13 +150,19 @@ func (c *CPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
 			defer wg.Done()
 			sc := msp.Scanner{K: k, P: p}
 			var out []msp.Superkmer
-			for _, rd := range chunk {
+			for j, rd := range chunk {
+				if j%ctxCheckEvery == 0 && ctx.Err() != nil {
+					return
+				}
 				out = sc.Superkmers(out, rd.Bases)
 			}
 			results[i] = out
 		}(i, chunk)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Step1Output{}, err
+	}
 
 	var all []msp.Superkmer
 	var bases int64
@@ -169,7 +186,7 @@ func (c *CPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
 
 // Step2 hashes a superkmer partition with Threads workers sharing one
 // state-transfer table, then materialises the sorted subgraph.
-func (c *CPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
+func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
 	if c.Threads < 1 {
 		return Step2Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
 	}
@@ -189,7 +206,11 @@ func (c *CPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
 		go func(w int) {
 			defer wg.Done()
 			var insertErr error
-			for i := w; i < len(sks); i += c.Threads {
+			for i, step := w, 0; i < len(sks); i, step = i+c.Threads, step+1 {
+				if step%ctxCheckEvery == 0 && ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
 				msp.ForEachKmerEdge(sks[i], k, func(e msp.KmerEdge) {
 					if insertErr != nil {
 						return
@@ -204,6 +225,9 @@ func (c *CPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Step2Output{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return Step2Output{}, fmt.Errorf("device: CPU hashing: %w", err)
@@ -246,11 +270,14 @@ func (g *GPU) Kind() Kind { return KindGPU }
 // records the host turns into superkmers — the paper's split where the GPU
 // does the O(LKP) minimizer search and the CPU the irregular memory
 // movement (§III-D).
-func (g *GPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
+func (g *GPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Output, error) {
 	sc := msp.Scanner{K: k, P: p}
 	var all []msp.Superkmer
 	var bases int64
-	for _, rd := range reads {
+	for i, rd := range reads {
+		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return Step1Output{}, ctx.Err()
+		}
 		all = sc.Superkmers(all, rd.Bases)
 		bases += int64(len(rd.Bases))
 	}
@@ -270,7 +297,7 @@ func (g *GPU) Step1(reads []fastq.Read, k, p int) (Step1Output, error) {
 // Step2 runs the hashing kernel in SIMT order: work items (k-mer edge
 // observations) are processed in warps of 32, and each warp's probe cost is
 // its slowest lane's, reproducing the thread-divergence penalty of §III-D.
-func (g *GPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
+func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
 	if g.MemoryBytes > 0 {
 		var partBytes int64
 		for _, sk := range sks {
@@ -309,7 +336,10 @@ func (g *GPU) Step2(sks []msp.Superkmer, k, tableSlots int) (Step2Output, error)
 	}
 
 	var insertErr error
-	for _, sk := range sks {
+	for i, sk := range sks {
+		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return Step2Output{}, ctx.Err()
+		}
 		kmers += int64(sk.NumKmers(k))
 		msp.ForEachKmerEdge(sk, k, func(e msp.KmerEdge) {
 			if insertErr != nil {

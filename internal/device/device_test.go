@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -42,11 +43,11 @@ func TestCPUAndGPUStep1Agree(t *testing.T) {
 	cpu := &CPU{Threads: 4, Cal: cal}
 	gpu := &GPU{Index: 0, Cal: cal}
 
-	a, err := cpu.Step1(reads, 27, 11)
+	a, err := cpu.Step1(context.Background(), reads, 27, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := gpu.Step1(reads, 27, 11)
+	b, err := gpu.Step1(context.Background(), reads, 27, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestCPUAndGPUStep2ProduceIdenticalGraphs(t *testing.T) {
 	cpu := &CPU{Threads: 4, Cal: cal}
 	gpu := &GPU{Index: 1, Cal: cal}
 
-	a, err := cpu.Step2(sks, k, slots)
+	a, err := cpu.Step2(context.Background(), sks, k, slots)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := gpu.Step2(sks, k, slots)
+	b, err := gpu.Step2(context.Background(), sks, k, slots)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestGPUStep2Accounting(t *testing.T) {
 	k, p := 27, 11
 	sks := gatherSuperkmers(t, reads, k, p)
 	gpu := &GPU{Cal: costmodel.DefaultCalibration()}
-	out, err := gpu.Step2(sks, k, 1<<16)
+	out, err := gpu.Step2(context.Background(), sks, k, 1<<16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCPUStep2ThreadCountInvariance(t *testing.T) {
 	var prev *graph.Subgraph
 	for _, threads := range []int{1, 2, 8} {
 		cpu := &CPU{Threads: threads, Cal: cal}
-		out, err := cpu.Step2(sks, k, 1<<16)
+		out, err := cpu.Step2(context.Background(), sks, k, 1<<16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,11 +158,11 @@ func TestCPUVirtualTimeScalesWithThreads(t *testing.T) {
 	k, p := 27, 11
 	sks := gatherSuperkmers(t, reads, k, p)
 	cal := costmodel.DefaultCalibration()
-	t1, err := (&CPU{Threads: 1, Cal: cal}).Step2(sks, k, 1<<16)
+	t1, err := (&CPU{Threads: 1, Cal: cal}).Step2(context.Background(), sks, k, 1<<16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t8, err := (&CPU{Threads: 8, Cal: cal}).Step2(sks, k, 1<<16)
+	t8, err := (&CPU{Threads: 8, Cal: cal}).Step2(context.Background(), sks, k, 1<<16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,10 +174,10 @@ func TestCPUVirtualTimeScalesWithThreads(t *testing.T) {
 
 func TestCPUValidation(t *testing.T) {
 	cpu := &CPU{Threads: 0, Cal: costmodel.DefaultCalibration()}
-	if _, err := cpu.Step1(nil, 27, 11); err == nil {
+	if _, err := cpu.Step1(context.Background(), nil, 27, 11); err == nil {
 		t.Error("threads=0 accepted in Step1")
 	}
-	if _, err := cpu.Step2(nil, 27, 16); err == nil {
+	if _, err := cpu.Step2(context.Background(), nil, 27, 16); err == nil {
 		t.Error("threads=0 accepted in Step2")
 	}
 }
@@ -195,7 +196,7 @@ func TestProcessorNames(t *testing.T) {
 func TestEmptyPartition(t *testing.T) {
 	cal := costmodel.DefaultCalibration()
 	cpu := &CPU{Threads: 2, Cal: cal}
-	out, err := cpu.Step2(nil, 27, 16)
+	out, err := cpu.Step2(context.Background(), nil, 27, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestEmptyPartition(t *testing.T) {
 		t.Error("empty partition should build empty graph")
 	}
 	gpu := &GPU{Cal: cal}
-	gout, err := gpu.Step2(nil, 27, 16)
+	gout, err := gpu.Step2(context.Background(), nil, 27, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,13 +217,13 @@ func TestGPUDeviceMemoryLimit(t *testing.T) {
 	reads := testReads(t)
 	sks := gatherSuperkmers(t, reads, 27, 11)
 	gpu := &GPU{Cal: costmodel.DefaultCalibration(), MemoryBytes: 1024}
-	_, err := gpu.Step2(sks, 27, 1<<16)
+	_, err := gpu.Step2(context.Background(), sks, 27, 1<<16)
 	if !errors.Is(err, ErrDeviceMemory) {
 		t.Fatalf("expected ErrDeviceMemory, got %v", err)
 	}
 	// A sufficient budget succeeds.
 	gpu.MemoryBytes = 1 << 30
-	if _, err := gpu.Step2(sks, 27, 1<<16); err != nil {
+	if _, err := gpu.Step2(context.Background(), sks, 27, 1<<16); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -261,12 +262,12 @@ func AblationDivergence(opts Options) (Report, error) {
 				pk += int64(sk.NumKmers(cfg.K))
 			}
 			slots := hashtable.SizeForKmers(pk, cfg.Lambda, cfg.Alpha)
-			out, err := gpu.Step2(sks, cfg.K, slots)
+			out, err := gpu.Step2(context.Background(), sks, cfg.K, slots)
 			if err != nil {
 				// Resize path: double until it fits (rare, tiny partitions).
 				for {
 					slots *= 2
-					if out, err = gpu.Step2(sks, cfg.K, slots); err == nil {
+					if out, err = gpu.Step2(context.Background(), sks, cfg.K, slots); err == nil {
 						break
 					}
 				}

@@ -53,17 +53,42 @@ func (f Format) String() string {
 // ErrBadRecord reports a structurally invalid FASTA/FASTQ record.
 var ErrBadRecord = errors.New("fastq: malformed record")
 
+// ErrRecordTooLarge reports a record (line, or FASTA sequence) exceeding the
+// reader's MaxRecordBytes cap. A malformed or hostile stream — a header with
+// no newline, a gigabase single-record FASTA — must fail with a typed error
+// instead of ballooning memory.
+var ErrRecordTooLarge = errors.New("fastq: record exceeds size cap")
+
+// DefaultMaxRecordBytes is the default per-record size cap: 64 MiB, two
+// orders of magnitude above any real sequencing read and comfortably above
+// chromosome-scale FASTA lines, while still bounding a hostile stream.
+const DefaultMaxRecordBytes = 64 << 20
+
 // Reader streams reads from a FASTA or FASTQ source. The format is sniffed
 // from the first record marker.
 type Reader struct {
 	br     *bufio.Reader
 	format Format
 	n      int // records delivered, for error context
+
+	// MaxRecordBytes caps a single line (and a full FASTA record's
+	// sequence) in bytes; longer records fail with ErrRecordTooLarge.
+	// NewReader sets DefaultMaxRecordBytes; non-positive values select the
+	// default.
+	MaxRecordBytes int
 }
 
 // NewReader wraps r in a streaming FASTA/FASTQ parser.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), MaxRecordBytes: DefaultMaxRecordBytes}
+}
+
+// maxRecordBytes resolves the effective record cap.
+func (r *Reader) maxRecordBytes() int {
+	if r.MaxRecordBytes > 0 {
+		return r.MaxRecordBytes
+	}
+	return DefaultMaxRecordBytes
 }
 
 // Format returns the detected input format, valid after the first Next call.
@@ -90,13 +115,25 @@ func (r *Reader) sniff() error {
 	}
 }
 
-// readLine returns the next line without the trailing newline or CR.
+// readLine returns the next line without the trailing newline or CR,
+// accumulating buffer-sized fragments so an unterminated line can never grow
+// past the record cap.
 func (r *Reader) readLine() (string, error) {
-	line, err := r.br.ReadString('\n')
-	if err != nil && (line == "" || err != io.EOF) {
-		return "", err
+	var buf []byte
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > r.maxRecordBytes() {
+			return "", fmt.Errorf("%w: line longer than %d bytes", ErrRecordTooLarge, r.maxRecordBytes())
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil && (len(buf) == 0 || err != io.EOF) {
+			return "", err
+		}
+		return strings.TrimRight(string(buf), "\r\n"), nil
 	}
-	return strings.TrimRight(line, "\r\n"), nil
 }
 
 // Next returns the next read, or io.EOF at end of input.
@@ -129,13 +166,22 @@ func (r *Reader) nextFASTQ() (Read, error) {
 	}
 	seq, err := r.readLine()
 	if err != nil {
+		if errors.Is(err, ErrRecordTooLarge) {
+			return Read{}, fmt.Errorf("record %d: %w", r.n, err)
+		}
 		return Read{}, fmt.Errorf("%w: record %d truncated after header", ErrBadRecord, r.n)
 	}
 	plus, err := r.readLine()
 	if err != nil || !strings.HasPrefix(plus, "+") {
+		if errors.Is(err, ErrRecordTooLarge) {
+			return Read{}, fmt.Errorf("record %d: %w", r.n, err)
+		}
 		return Read{}, fmt.Errorf("%w: record %d missing '+' separator", ErrBadRecord, r.n)
 	}
 	if _, err := r.readLine(); err != nil { // quality line, discarded
+		if errors.Is(err, ErrRecordTooLarge) {
+			return Read{}, fmt.Errorf("record %d: %w", r.n, err)
+		}
 		return Read{}, fmt.Errorf("%w: record %d missing quality line", ErrBadRecord, r.n)
 	}
 	r.n++
@@ -172,6 +218,10 @@ func (r *Reader) nextFASTA() (Read, error) {
 			return Read{}, err
 		}
 		bases = dna.EncodeSeq(bases, line)
+		if len(bases) > r.maxRecordBytes() {
+			return Read{}, fmt.Errorf("%w: record %d sequence longer than %d bases",
+				ErrRecordTooLarge, r.n, r.maxRecordBytes())
+		}
 	}
 	if len(bases) == 0 {
 		return Read{}, fmt.Errorf("%w: record %d has empty sequence", ErrBadRecord, r.n)

@@ -52,6 +52,36 @@ func FuzzReadAllAuto(f *testing.F) {
 	})
 }
 
+// FuzzReaderLimits drives the parser with a tiny record cap: it must never
+// panic, never return a record above the cap, and any failure on a stream
+// of oversized lines must be the typed ErrRecordTooLarge (or a structural
+// ErrBadRecord), never an unbounded allocation.
+func FuzzReaderLimits(f *testing.F) {
+	f.Add([]byte(sampleFASTQ), 64)
+	f.Add([]byte(sampleFASTA), 64)
+	f.Add([]byte("@r\nACGT\n+\nIIII\n"), 8)
+	f.Add([]byte(">s\n"+strings.Repeat("ACGT", 64)), 32)
+	f.Add([]byte("@"+strings.Repeat("h", 512)), 16)
+	f.Add([]byte(""), 1)
+	f.Fuzz(func(t *testing.T, data []byte, cap int) {
+		if cap > 1<<20 {
+			cap = 1 << 20
+		}
+		r := NewReader(bytes.NewReader(data))
+		r.MaxRecordBytes = cap
+		limit := r.maxRecordBytes()
+		for {
+			rd, err := r.Next()
+			if err != nil {
+				return // any typed error terminates the stream; no panic is the contract
+			}
+			if len(rd.Bases) > limit {
+				t.Fatalf("record of %d bases exceeds cap %d", len(rd.Bases), limit)
+			}
+		}
+	})
+}
+
 func TestFuzzSeedsParse(t *testing.T) {
 	// The well-formed seeds must actually parse.
 	for _, s := range []string{sampleFASTQ, sampleFASTA} {

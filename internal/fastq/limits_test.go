@@ -1,0 +1,99 @@
+package fastq
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReadLineOverCapReturnsErrRecordTooLarge(t *testing.T) {
+	// A header with no newline must fail with the typed error instead of
+	// accumulating the whole stream.
+	r := NewReader(strings.NewReader("@" + strings.Repeat("x", 200)))
+	r.MaxRecordBytes = 64
+	if _, err := r.Next(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("unterminated oversized header: %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestOversizedSequenceLineReturnsErrRecordTooLarge(t *testing.T) {
+	seq := strings.Repeat("A", 300)
+	in := "@r\n" + seq + "\n+\n" + strings.Repeat("I", 300) + "\n"
+	r := NewReader(strings.NewReader(in))
+	r.MaxRecordBytes = 128
+	if _, err := r.Next(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized FASTQ sequence: %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestOversizedFASTARecordReturnsErrRecordTooLarge(t *testing.T) {
+	// Many short lines accumulating past the cap: the per-line check alone
+	// would miss this, the per-record check must not.
+	var sb strings.Builder
+	sb.WriteString(">chr\n")
+	for i := 0; i < 20; i++ {
+		sb.WriteString(strings.Repeat("ACGT", 8))
+		sb.WriteByte('\n')
+	}
+	r := NewReader(strings.NewReader(sb.String()))
+	r.MaxRecordBytes = 256
+	if _, err := r.Next(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized FASTA record: %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestRecordCapDefaultsAndUnderCapParses(t *testing.T) {
+	r := NewReader(strings.NewReader(sampleFASTQ))
+	if r.MaxRecordBytes != DefaultMaxRecordBytes {
+		t.Fatalf("NewReader cap = %d, want DefaultMaxRecordBytes", r.MaxRecordBytes)
+	}
+	r.MaxRecordBytes = 0 // non-positive selects the default
+	if got := r.maxRecordBytes(); got != DefaultMaxRecordBytes {
+		t.Fatalf("maxRecordBytes() with zero field = %d, want default", got)
+	}
+	// A record just under a small cap still parses.
+	r2 := NewReader(strings.NewReader("@r\nACGTACGT\n+\nIIIIIIII\n"))
+	r2.MaxRecordBytes = 64
+	rd, err := r2.Next()
+	if err != nil {
+		t.Fatalf("under-cap record: %v", err)
+	}
+	if len(rd.Bases) != 8 {
+		t.Fatalf("parsed %d bases, want 8", len(rd.Bases))
+	}
+}
+
+func TestLineSpanningBufferFragmentsParses(t *testing.T) {
+	// A line far larger than bufio's internal buffer (64 KiB) but under the
+	// cap must be accumulated correctly across ReadSlice fragments.
+	seq := strings.Repeat("ACGT", 40_000) // 160 KB
+	in := "@long\n" + seq + "\n+\n" + strings.Repeat("I", len(seq)) + "\n"
+	r := NewReader(strings.NewReader(in))
+	rd, err := r.Next()
+	if err != nil {
+		t.Fatalf("long line: %v", err)
+	}
+	if len(rd.Bases) != len(seq) {
+		t.Fatalf("parsed %d bases, want %d", len(rd.Bases), len(seq))
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+func TestPartialLineAtEOFStillParses(t *testing.T) {
+	// The final quality line lacking its newline is still a complete record
+	// — the bounded readLine must preserve the original EOF semantics.
+	r := NewReader(strings.NewReader("@r\nACGT\n+\nIIII"))
+	rd, err := r.Next()
+	if err != nil {
+		t.Fatalf("record with unterminated final line: %v", err)
+	}
+	if rd.ID != "r" || len(rd.Bases) != 4 {
+		t.Fatalf("parsed %q/%d bases, want r/4", rd.ID, len(rd.Bases))
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}

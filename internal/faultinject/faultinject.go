@@ -11,6 +11,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -71,6 +72,59 @@ func MaybeCrash(point string) {
 	os.Exit(137) // unreachable on unix; abrupt-exit fallback elsewhere
 }
 
+// StallEnv is the environment variable that arms a stall point for
+// SIGINT/cancellation testing. Its value is "<point>" or "<point>:<n>": the
+// n-th (1-based, default 1) call to MaybeStall with that point name blocks
+// until the caller's context is canceled. Unlike CrashEnv's abrupt kill,
+// this models a build that hangs mid-flight, so graceful-shutdown paths can
+// be exercised deterministically from an e2e test.
+//
+//	PARAHASH_STALL_POINT=step2.partition:3 parahash -profile tiny -checkpoint-dir ck
+const StallEnv = "PARAHASH_STALL_POINT"
+
+var (
+	stallMu     sync.Mutex
+	stallCounts = map[string]int{}
+)
+
+// ResetStallCounts clears every stall point's hit counter, so in-process
+// tests that arm the same point are isolated from each other.
+func ResetStallCounts() {
+	stallMu.Lock()
+	stallCounts = map[string]int{}
+	stallMu.Unlock()
+}
+
+// MaybeStall blocks until ctx is canceled if the StallEnv variable arms the
+// named stall point and its hit count has been reached; it then returns
+// ctx's error. With the variable unset (every production run) it is a cheap
+// no-op returning nil.
+func MaybeStall(ctx context.Context, point string) error {
+	spec := os.Getenv(StallEnv)
+	if spec == "" {
+		return nil
+	}
+	name, hit := spec, 1
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		if n, err := strconv.Atoi(spec[i+1:]); err == nil && n > 0 {
+			name, hit = spec[:i], n
+		}
+	}
+	if name != point {
+		return nil
+	}
+	stallMu.Lock()
+	stallCounts[point]++
+	fire := stallCounts[point] == hit
+	stallMu.Unlock()
+	if !fire {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "faultinject: stall point %q hit %d — blocking until canceled\n", point, hit)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
 // ErrInjected is the default error carried by scripted faults.
 var ErrInjected = errors.New("faultinject: injected fault")
 
@@ -109,6 +163,11 @@ type ProcessorFault struct {
 	// FailStep2Calls lists 0-based Step2 call indices that fail once each
 	// with Err, modelling sporadic per-partition kernel failures.
 	FailStep2Calls []int
+	// HangStep2Calls lists 0-based Step2 call indices that hang — blocking
+	// on the call's context until it is canceled — modelling a wedged
+	// kernel the pipeline watchdog must abandon. Each listed call hangs
+	// once.
+	HangStep2Calls []int
 	// Err overrides the injected error for FailStep2Calls; nil selects
 	// ErrInjected.
 	Err error
@@ -178,6 +237,7 @@ type Flaky struct {
 	successes  int
 	step2Calls int
 	failStep2  map[int]bool
+	hangStep2  map[int]bool
 }
 
 var _ device.Processor = (*Flaky)(nil)
@@ -196,6 +256,12 @@ func NewFlaky(p device.Processor, f ProcessorFault) *Flaky {
 			fl.failStep2[c] = true
 		}
 	}
+	if len(f.HangStep2Calls) > 0 {
+		fl.hangStep2 = make(map[int]bool, len(f.HangStep2Calls))
+		for _, c := range f.HangStep2Calls {
+			fl.hangStep2[c] = true
+		}
+	}
 	return fl
 }
 
@@ -209,14 +275,14 @@ func (f *Flaky) Kind() device.Kind { return f.inner.Kind() }
 func (f *Flaky) deadLocked() bool { return f.dieAfter >= 0 && f.successes >= f.dieAfter }
 
 // Step1 implements device.Processor, honouring the drop-out script.
-func (f *Flaky) Step1(reads []fastq.Read, k, p int) (device.Step1Output, error) {
+func (f *Flaky) Step1(ctx context.Context, reads []fastq.Read, k, p int) (device.Step1Output, error) {
 	f.mu.Lock()
 	if f.deadLocked() {
 		f.mu.Unlock()
 		return device.Step1Output{}, fmt.Errorf("%s step1: %w", f.inner.Name(), ErrProcessorDead)
 	}
 	f.mu.Unlock()
-	out, err := f.inner.Step1(reads, k, p)
+	out, err := f.inner.Step1(ctx, reads, k, p)
 	if err == nil {
 		f.mu.Lock()
 		f.successes++
@@ -225,9 +291,9 @@ func (f *Flaky) Step1(reads []fastq.Read, k, p int) (device.Step1Output, error) 
 	return out, err
 }
 
-// Step2 implements device.Processor, honouring the drop-out and
-// per-call failure scripts.
-func (f *Flaky) Step2(sks []msp.Superkmer, k, tableSlots int) (device.Step2Output, error) {
+// Step2 implements device.Processor, honouring the drop-out, per-call
+// failure and hang scripts.
+func (f *Flaky) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int) (device.Step2Output, error) {
 	f.mu.Lock()
 	call := f.step2Calls
 	f.step2Calls++
@@ -240,8 +306,17 @@ func (f *Flaky) Step2(sks []msp.Superkmer, k, tableSlots int) (device.Step2Outpu
 		f.mu.Unlock()
 		return device.Step2Output{}, fmt.Errorf("%s step2 (call %d): %w", f.inner.Name(), call, f.err)
 	}
+	if f.hangStep2[call] {
+		delete(f.hangStep2, call)
+		f.mu.Unlock()
+		// A wedged kernel holds the attempt until the watchdog (or the run)
+		// cancels the context; a cooperative hang keeps the test leak-free.
+		<-ctx.Done()
+		return device.Step2Output{}, fmt.Errorf("%s step2 (call %d): hang released: %w",
+			f.inner.Name(), call, ctx.Err())
+	}
 	f.mu.Unlock()
-	out, err := f.inner.Step2(sks, k, tableSlots)
+	out, err := f.inner.Step2(ctx, sks, k, tableSlots)
 	if err == nil {
 		f.mu.Lock()
 		f.successes++

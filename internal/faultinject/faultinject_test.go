@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -92,15 +93,15 @@ func TestFlakyDieAfter(t *testing.T) {
 	fl := NewFlaky(cpu(), ProcessorFault{DieAfter: 2})
 	sks := testSuperkmers()
 	for i := 0; i < 2; i++ {
-		if _, err := fl.Step2(sks, 27, 1024); err != nil {
+		if _, err := fl.Step2(context.Background(), sks, 27, 1024); err != nil {
 			t.Fatalf("call %d before drop-out: %v", i, err)
 		}
 	}
-	if _, err := fl.Step2(sks, 27, 1024); !errors.Is(err, ErrProcessorDead) {
+	if _, err := fl.Step2(context.Background(), sks, 27, 1024); !errors.Is(err, ErrProcessorDead) {
 		t.Fatalf("call after drop-out: %v, want ErrProcessorDead", err)
 	}
 	// Step1 is dead too — the whole device dropped out, not one kernel.
-	if _, err := fl.Step1(testReads(), 27, 11); !errors.Is(err, ErrProcessorDead) {
+	if _, err := fl.Step1(context.Background(), testReads(), 27, 11); !errors.Is(err, ErrProcessorDead) {
 		t.Fatalf("step1 after drop-out: %v, want ErrProcessorDead", err)
 	}
 }
@@ -109,7 +110,7 @@ func TestFlakyZeroValueNeverDies(t *testing.T) {
 	fl := NewFlaky(cpu(), ProcessorFault{})
 	sks := testSuperkmers()
 	for i := 0; i < 10; i++ {
-		if _, err := fl.Step2(sks, 27, 1024); err != nil {
+		if _, err := fl.Step2(context.Background(), sks, 27, 1024); err != nil {
 			t.Fatalf("zero-value fault killed call %d: %v", i, err)
 		}
 	}
@@ -117,10 +118,10 @@ func TestFlakyZeroValueNeverDies(t *testing.T) {
 
 func TestFlakyDeadOnArrival(t *testing.T) {
 	fl := NewFlaky(cpu(), ProcessorFault{DeadOnArrival: true})
-	if _, err := fl.Step1(testReads(), 27, 11); !errors.Is(err, ErrProcessorDead) {
+	if _, err := fl.Step1(context.Background(), testReads(), 27, 11); !errors.Is(err, ErrProcessorDead) {
 		t.Fatalf("DOA step1: %v", err)
 	}
-	if _, err := fl.Step2(testSuperkmers(), 27, 1024); !errors.Is(err, ErrProcessorDead) {
+	if _, err := fl.Step2(context.Background(), testSuperkmers(), 27, 1024); !errors.Is(err, ErrProcessorDead) {
 		t.Fatalf("DOA step2: %v", err)
 	}
 }
@@ -129,13 +130,13 @@ func TestFlakyFailStep2Calls(t *testing.T) {
 	boom := errors.New("sporadic kernel fault")
 	fl := NewFlaky(cpu(), ProcessorFault{FailStep2Calls: []int{1}, Err: boom})
 	sks := testSuperkmers()
-	if _, err := fl.Step2(sks, 27, 1024); err != nil {
+	if _, err := fl.Step2(context.Background(), sks, 27, 1024); err != nil {
 		t.Fatalf("call 0: %v", err)
 	}
-	if _, err := fl.Step2(sks, 27, 1024); !errors.Is(err, boom) {
+	if _, err := fl.Step2(context.Background(), sks, 27, 1024); !errors.Is(err, boom) {
 		t.Fatalf("call 1: %v, want scripted fault", err)
 	}
-	if _, err := fl.Step2(sks, 27, 1024); err != nil {
+	if _, err := fl.Step2(context.Background(), sks, 27, 1024); err != nil {
 		t.Fatalf("call 2 (fault is one-shot): %v", err)
 	}
 	if fl.Name() != "CPU" || fl.Kind() != device.KindCPU {
@@ -150,10 +151,10 @@ func TestWrapProcessorsIsFreshPerCall(t *testing.T) {
 	sks := testSuperkmers()
 	for round := 0; round < 2; round++ {
 		wrapped := plan.WrapProcessors(procs)
-		if _, err := wrapped[0].Step2(sks, 27, 1024); err != nil {
+		if _, err := wrapped[0].Step2(context.Background(), sks, 27, 1024); err != nil {
 			t.Fatalf("round %d call 0: %v", round, err)
 		}
-		if _, err := wrapped[0].Step2(sks, 27, 1024); !errors.Is(err, ErrProcessorDead) {
+		if _, err := wrapped[0].Step2(context.Background(), sks, 27, 1024); !errors.Is(err, ErrProcessorDead) {
 			t.Fatalf("round %d call 1: %v, want ErrProcessorDead", round, err)
 		}
 	}
@@ -166,7 +167,7 @@ func TestWrapProcessorsIsFreshPerCall(t *testing.T) {
 func TestWrapProcessorsOutOfRangeIgnored(t *testing.T) {
 	plan := Plan{ProcessorFaults: []ProcessorFault{{Proc: 5, DeadOnArrival: true}, {Proc: -1}}}
 	wrapped := plan.WrapProcessors([]device.Processor{cpu()})
-	if _, err := wrapped[0].Step2(testSuperkmers(), 27, 1024); err != nil {
+	if _, err := wrapped[0].Step2(context.Background(), testSuperkmers(), 27, 1024); err != nil {
 		t.Fatalf("out-of-range fault affected processor 0: %v", err)
 	}
 }

@@ -81,6 +81,12 @@ type StepMetrics struct {
 	BackoffSeconds               float64            `json:"backoff_seconds"`
 	Quarantined                  []string           `json:"quarantined,omitempty"`
 	Processors                   []ProcessorMetrics `json:"processors"`
+	WatchdogKills                int                `json:"watchdog_kills"`
+	CanceledAttempts             int                `json:"canceled_attempts"`
+	Admissions                   int64              `json:"admissions"`
+	AdmissionWaits               int64              `json:"admission_waits"`
+	AdmissionWaitSeconds         float64            `json:"admission_wait_seconds"`
+	PeakAdmittedBytes            int64              `json:"peak_admitted_bytes"`
 }
 
 // RunInfo pins the configuration a metrics file was produced under.
@@ -115,6 +121,29 @@ type ResilienceMetrics struct {
 	RebuiltPartitions int      `json:"rebuilt_partitions"`
 }
 
+// GovernanceMetrics aggregates the run-governance counters across both
+// steps: cancellation accounting, watchdog kills, and the memory-budget
+// admission controller's work. All zero on an ungoverned run.
+type GovernanceMetrics struct {
+	// Cancellations counts stage attempts cut short by context
+	// cancellation (a completed run that was never canceled reports 0).
+	Cancellations int `json:"cancellations"`
+	// WatchdogKills counts partition attempts abandoned after exceeding
+	// the configured partition deadline.
+	WatchdogKills int `json:"watchdog_kills"`
+	// MemoryBudgetBytes echoes the configured admission budget (0 = off).
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	// Admissions counts partitions admitted through the budget gate.
+	Admissions int64 `json:"admissions"`
+	// AdmissionWaits counts admissions that queued for budget.
+	AdmissionWaits int64 `json:"admission_waits"`
+	// AdmissionWaitSeconds is total wall-clock time spent queued.
+	AdmissionWaitSeconds float64 `json:"admission_wait_seconds"`
+	// PeakAdmittedBytes is the largest concurrently admitted predicted
+	// footprint; by construction ≤ MemoryBudgetBytes when the gate is on.
+	PeakAdmittedBytes int64 `json:"peak_admitted_bytes"`
+}
+
 // BuildMetrics is the one-stop registry for a finished construction run —
 // the struct the -metrics-json flag serialises. Field order is the schema;
 // keep additions append-only within each struct.
@@ -126,6 +155,7 @@ type BuildMetrics struct {
 	MSP        MSPMetrics        `json:"msp"`
 	Steps      []StepMetrics     `json:"steps"`
 	Resilience ResilienceMetrics `json:"resilience"`
+	Governance GovernanceMetrics `json:"governance"`
 }
 
 // WriteJSON serialises the registry with stable field ordering and a

@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the memory-budget admission controller: a weighted
+// semaphore that bounds how many bytes of predicted partition working set
+// (Property 1 hash table footprints, in Step 2) may be resident at once.
+// The paper's operating assumption is that the machine, not the dataset, is
+// the limit — "we do not assume that the entire graph fits into machine
+// memory" — so when the configured budget is smaller than the sum of
+// predicted table sizes, partitions queue for admission instead of driving
+// the process into the OOM killer. Out-of-core counters with the same shape
+// (MSPKmerCounter, Gerbil) degrade to serialized execution under memory
+// pressure the same way.
+
+// GateStats is a point-in-time summary of an admission Gate's work, the
+// source of the parahash.metrics/v1 governance counters.
+type GateStats struct {
+	// Budget is the configured byte budget.
+	Budget int64
+	// Admissions counts granted admissions.
+	Admissions int64
+	// Clamped counts admissions whose weight exceeded the whole budget and
+	// was clamped to it (the partition runs alone rather than deadlocking).
+	Clamped int64
+	// Waits counts admissions that had to queue before being granted.
+	Waits int64
+	// WaitSeconds is the total wall-clock time spent queued.
+	WaitSeconds float64
+	// PeakBytes is the largest concurrently admitted weight sum observed;
+	// by construction PeakBytes <= Budget.
+	PeakBytes int64
+}
+
+// gateWaiter is one queued Acquire, granted in FIFO order.
+type gateWaiter struct {
+	weight  int64
+	ready   chan struct{}
+	granted bool
+}
+
+// Gate is a weighted-semaphore admission controller. Acquire blocks until
+// the requested weight fits under the budget (FIFO, so a large partition is
+// never starved by a stream of small ones) or the context is canceled.
+// A nil *Gate admits everything immediately, so callers can thread an
+// optional gate without branching.
+type Gate struct {
+	mu       sync.Mutex
+	budget   int64
+	admitted int64
+	waiters  []*gateWaiter
+
+	stats GateStats
+}
+
+// NewGate creates a gate with the given byte budget; budget must be
+// positive (callers model "no budget" as a nil *Gate).
+func NewGate(budget int64) (*Gate, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("pipeline: admission budget %d must be positive", budget)
+	}
+	return &Gate{budget: budget, stats: GateStats{Budget: budget}}, nil
+}
+
+// clamp bounds a weight to [0, budget]: negative weights admit freely, and
+// a weight larger than the whole budget is charged as the whole budget so
+// the partition still runs (alone) instead of deadlocking the pipeline.
+func (g *Gate) clamp(weight int64) int64 {
+	if weight < 0 {
+		return 0
+	}
+	if weight > g.budget {
+		return g.budget
+	}
+	return weight
+}
+
+// Acquire admits weight bytes, blocking while the budget is exhausted.
+// It returns ctx's cause if the context is done first. Acquired weight must
+// be returned with Release(weight) exactly once.
+func (g *Gate) Acquire(ctx context.Context, weight int64) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	w := g.clamp(weight)
+	if len(g.waiters) == 0 && g.admitted+w <= g.budget {
+		g.admitted += w
+		g.bookLocked(weight)
+		g.mu.Unlock()
+		return nil
+	}
+	waiter := &gateWaiter{weight: w, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, waiter)
+	g.stats.Waits++
+	g.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-waiter.ready:
+		// grantLocked already reserved the weight; book the admission only.
+		g.mu.Lock()
+		g.stats.WaitSeconds += time.Since(start).Seconds()
+		g.bookLocked(weight)
+		g.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		g.stats.WaitSeconds += time.Since(start).Seconds()
+		if waiter.granted {
+			// A racing Release granted the slot between ctx firing and us
+			// taking the lock; give the grant back before bailing out.
+			g.admitted -= w
+			g.grantLocked()
+		} else {
+			for i, q := range g.waiters {
+				if q == waiter {
+					g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		g.mu.Unlock()
+		return context.Cause(ctx)
+	}
+}
+
+// bookLocked records one granted admission (the weight itself is reserved
+// by the caller or by grantLocked).
+func (g *Gate) bookLocked(requested int64) {
+	g.stats.Admissions++
+	if requested > g.budget {
+		g.stats.Clamped++
+	}
+	if g.admitted > g.stats.PeakBytes {
+		g.stats.PeakBytes = g.admitted
+	}
+}
+
+// grantLocked wakes queued waiters, in order, while they fit. The grant
+// reserves the weight immediately (before the waiter's Acquire resumes), so
+// later Releases never over-admit past the budget.
+func (g *Gate) grantLocked() {
+	for len(g.waiters) > 0 {
+		head := g.waiters[0]
+		if g.admitted+head.weight > g.budget {
+			return
+		}
+		g.admitted += head.weight
+		head.granted = true
+		close(head.ready)
+		g.waiters = g.waiters[1:]
+	}
+}
+
+// Release returns weight bytes to the budget. weight must match the value
+// passed to the corresponding Acquire.
+func (g *Gate) Release(weight int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.admitted -= g.clamp(weight)
+	if g.admitted < 0 {
+		g.admitted = 0
+	}
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateNilAdmitsEverything(t *testing.T) {
+	var g *Gate
+	if err := g.Acquire(context.Background(), 1<<40); err != nil {
+		t.Fatalf("nil gate Acquire: %v", err)
+	}
+	g.Release(1 << 40)
+	if s := g.Stats(); s != (GateStats{}) {
+		t.Fatalf("nil gate stats = %+v, want zero", s)
+	}
+}
+
+func TestGateRejectsNonPositiveBudget(t *testing.T) {
+	for _, b := range []int64{0, -1} {
+		if _, err := NewGate(b); err == nil {
+			t.Fatalf("NewGate(%d) succeeded, want error", b)
+		}
+	}
+}
+
+func TestGateAdmitsUnderBudgetWithoutWaiting(t *testing.T) {
+	g, err := NewGate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := g.Acquire(context.Background(), 25); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	s := g.Stats()
+	if s.Admissions != 4 || s.Waits != 0 || s.PeakBytes != 100 {
+		t.Fatalf("stats = %+v, want 4 admissions, 0 waits, peak 100", s)
+	}
+	for i := 0; i < 4; i++ {
+		g.Release(25)
+	}
+	if err := g.Acquire(context.Background(), 100); err != nil {
+		t.Fatalf("budget not fully returned: %v", err)
+	}
+}
+
+func TestGateQueuesAndGrantsFIFO(t *testing.T) {
+	g, err := NewGate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a large waiter first, then a small one that would fit right now.
+	// FIFO admission must not let the small one starve the large one: after
+	// the release only the large head fits (9 of 10), so the small waiter (2)
+	// stays queued behind it.
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := g.Acquire(context.Background(), 9); err != nil {
+			t.Errorf("large acquire: %v", err)
+		}
+		order <- 9
+	}()
+	waitForWaiters(t, g, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := g.Acquire(context.Background(), 2); err != nil {
+			t.Errorf("small acquire: %v", err)
+		}
+		order <- 2
+	}()
+	waitForWaiters(t, g, 2)
+
+	g.Release(8)
+	if first := <-order; first != 9 {
+		t.Fatalf("admission order starts with weight %d, want the FIFO head (9)", first)
+	}
+	g.Release(9)
+	wg.Wait()
+	if second := <-order; second != 2 {
+		t.Fatalf("second admission has weight %d, want 2", second)
+	}
+	g.Release(2)
+	s := g.Stats()
+	if s.Waits != 2 {
+		t.Fatalf("Waits = %d, want 2", s.Waits)
+	}
+	if s.PeakBytes > 10 {
+		t.Fatalf("PeakBytes = %d exceeds budget 10", s.PeakBytes)
+	}
+}
+
+func TestGateClampsOversizedWeight(t *testing.T) {
+	g, err := NewGate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partition predicted above the whole budget is admitted (alone)
+	// rather than deadlocking the pipeline.
+	if err := g.Acquire(context.Background(), 1000); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	s := g.Stats()
+	if s.Clamped != 1 {
+		t.Fatalf("Clamped = %d, want 1", s.Clamped)
+	}
+	if s.PeakBytes != 10 {
+		t.Fatalf("PeakBytes = %d, want clamped to budget 10", s.PeakBytes)
+	}
+	// Nothing else fits while it runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Acquire(ctx, 1); err == nil {
+		t.Fatal("second acquire admitted alongside a clamped full-budget grant")
+	}
+	g.Release(1000)
+	if err := g.Acquire(context.Background(), 10); err != nil {
+		t.Fatalf("budget not restored after clamped release: %v", err)
+	}
+}
+
+func TestGateCancelWhileQueued(t *testing.T) {
+	g, err := NewGate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("giving up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, 5) }()
+	waitForWaiters(t, g, 1)
+	cancel(cause)
+	if err := <-done; !errors.Is(err, cause) {
+		t.Fatalf("queued acquire returned %v, want cause %v", err, cause)
+	}
+	// The abandoned waiter must not leak reserved weight.
+	g.Release(10)
+	if err := g.Acquire(context.Background(), 10); err != nil {
+		t.Fatalf("budget leaked by canceled waiter: %v", err)
+	}
+}
+
+func TestGateConcurrentStressStaysUnderBudget(t *testing.T) {
+	const budget = 64
+	g, err := NewGate(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := int64(1 + i%7*9) // weights 1..55
+			for j := 0; j < 50; j++ {
+				if err := g.Acquire(context.Background(), w); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				g.Release(w)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.PeakBytes > budget {
+		t.Fatalf("PeakBytes = %d exceeds budget %d", s.PeakBytes, budget)
+	}
+	if s.Admissions != 16*50 {
+		t.Fatalf("Admissions = %d, want %d", s.Admissions, 16*50)
+	}
+	if err := g.Acquire(context.Background(), budget); err != nil {
+		t.Fatalf("budget out of balance after stress: %v", err)
+	}
+}
+
+// waitForWaiters blocks until the gate's queue reaches n entries.
+func waitForWaiters(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		q := len(g.waiters)
+		g.mu.Unlock()
+		if q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate queue stuck at %d waiters, want %d", q, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,7 +14,7 @@ import (
 func TestRunProcessesAllPartitionsInOrder(t *testing.T) {
 	const n = 50
 	read := func(i int) (int, error) { return i, nil }
-	double := func(x int) (int, error) { return 2 * x, nil }
+	double := func(_ context.Context, x int) (int, error) { return 2 * x, nil }
 	workers := []Worker[int, int]{double, double, double}
 
 	var got []int
@@ -24,7 +25,7 @@ func TestRunProcessesAllPartitionsInOrder(t *testing.T) {
 		got = append(got, i)
 		return nil
 	}
-	assignment, err := Run(n, read, workers, write)
+	assignment, err := Run(context.Background(), n, read, workers, write)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +55,12 @@ func TestRunWorkStealing(t *testing.T) {
 	workers := make([]Worker[int, int], 4)
 	for w := range workers {
 		w := w
-		workers[w] = func(x int) (int, error) {
+		workers[w] = func(_ context.Context, x int) (int, error) {
 			perWorker[w].Add(1)
 			return x, nil
 		}
 	}
-	_, err := Run(n, func(i int) (int, error) { return i, nil }, workers,
+	_, err := Run(context.Background(), n, func(i int) (int, error) { return i, nil }, workers,
 		func(i, o int) error { return nil })
 	if err != nil {
 		t.Fatal(err)
@@ -75,14 +76,14 @@ func TestRunWorkStealing(t *testing.T) {
 
 func TestRunReadError(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := Run(10,
+	_, err := Run(context.Background(), 10,
 		func(i int) (int, error) {
 			if i == 3 {
 				return 0, boom
 			}
 			return i, nil
 		},
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(i, o int) error { return nil })
 	if !errors.Is(err, boom) {
 		t.Fatalf("read error not surfaced: %v", err)
@@ -91,9 +92,9 @@ func TestRunReadError(t *testing.T) {
 
 func TestRunWorkerError(t *testing.T) {
 	boom := errors.New("kaput")
-	_, err := Run(10,
+	_, err := Run(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
-		[]Worker[int, int]{func(x int) (int, error) {
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) {
 			if x == 5 {
 				return 0, boom
 			}
@@ -107,9 +108,9 @@ func TestRunWorkerError(t *testing.T) {
 
 func TestRunWriteError(t *testing.T) {
 	boom := errors.New("disk full")
-	_, err := Run(10,
+	_, err := Run(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(i, o int) error {
 			if i == 7 {
 				return boom
@@ -122,20 +123,20 @@ func TestRunWriteError(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(-1, func(i int) (int, error) { return 0, nil },
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+	if _, err := Run(context.Background(), -1, func(i int) (int, error) { return 0, nil },
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(int, int) error { return nil }); err == nil {
 		t.Error("negative n accepted")
 	}
-	if _, err := Run[int, int](5, func(i int) (int, error) { return 0, nil }, nil,
+	if _, err := Run[int, int](context.Background(), 5, func(i int) (int, error) { return 0, nil }, nil,
 		func(int, int) error { return nil }); err == nil {
 		t.Error("no workers accepted")
 	}
 }
 
 func TestRunZeroPartitions(t *testing.T) {
-	_, err := Run(0, func(i int) (int, error) { return i, nil },
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+	_, err := Run(context.Background(), 0, func(i int) (int, error) { return i, nil },
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(i, o int) error { return nil })
 	if err != nil {
 		t.Fatal(err)
@@ -147,9 +148,9 @@ func TestRunAssignmentOnFailure(t *testing.T) {
 	// before the sentinel, untouched partitions were mis-attributed to
 	// worker 0 (the zero value).
 	boom := errors.New("boom")
-	assignment, err := Run(8,
+	assignment, err := Run(context.Background(), 8,
 		func(i int) (int, error) { return 0, boom },
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(i, o int) error { return nil })
 	if !errors.Is(err, boom) {
 		t.Fatalf("read error not surfaced: %v", err)
@@ -176,7 +177,7 @@ func TestRunPromptShutdown(t *testing.T) {
 		}
 		return i, nil
 	}
-	worker := func(x int) (int, error) {
+	worker := func(_ context.Context, x int) (int, error) {
 		if x == 0 {
 			<-readFailed
 			// The failed flag is set by the reader after read returns; give
@@ -186,7 +187,7 @@ func TestRunPromptShutdown(t *testing.T) {
 		processed[x].Store(true)
 		return x, nil
 	}
-	_, err := Run(3, read, []Worker[int, int]{worker},
+	_, err := Run(context.Background(), 3, read, []Worker[int, int]{worker},
 		func(i, o int) error { return nil })
 	if err == nil {
 		t.Fatal("expected read failure")
@@ -217,9 +218,9 @@ func (l *spanLog) StageSpan(stage string, partition, worker int, start, end time
 func TestRunTracedRecordsSpans(t *testing.T) {
 	const n = 10
 	var log spanLog
-	_, err := RunTraced(n,
+	_, err := RunTraced(context.Background(), n,
 		func(i int) (int, error) { return i, nil },
-		[]Worker[int, int]{func(x int) (int, error) { return x, nil }},
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) { return x, nil }},
 		func(i, o int) error { return nil },
 		&log)
 	if err != nil {

@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,8 +48,10 @@ type SpanRecorder interface {
 // Worker consumes one input partition and produces one output partition.
 // A Worker models a processor in the consuming-and-producing stage; Run
 // invokes each worker from its own goroutine only, so workers may keep
-// unsynchronised internal state.
-type Worker[I, O any] func(item I) (O, error)
+// unsynchronised internal state. The context carries the run's (and, under
+// the resilient runner's watchdog, the attempt's) cancellation: workers
+// doing long compute must check it periodically and return its error.
+type Worker[I, O any] func(ctx context.Context, item I) (O, error)
 
 // Run pipelines n partitions through three overlapped stages:
 //
@@ -58,17 +61,21 @@ type Worker[I, O any] func(item I) (O, error)
 //	write(i,o) — stage 3, called sequentially in partition order.
 //
 // Run returns the first error from any stage, after all goroutines have
-// stopped. The assignment of partitions to workers is returned for
-// workload-distribution reporting; partitions never produced by any worker
-// (because a stage failed first) are reported as -1, matching
-// Report.Assignment's convention.
-func Run[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error) ([]int, error) {
-	return RunTraced(n, read, workers, write, nil)
+// stopped. Canceling ctx stops every stage promptly (between partitions, and
+// within cooperative workers) and returns the context's cause. The
+// assignment of partitions to workers is returned for workload-distribution
+// reporting; partitions never produced by any worker (because a stage failed
+// first) are reported as -1, matching Report.Assignment's convention.
+func Run[I, O any](ctx context.Context, n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error) ([]int, error) {
+	return RunTraced(ctx, n, read, workers, write, nil)
 }
 
 // RunTraced is Run with an optional SpanRecorder observing every stage
 // invocation; rec may be nil.
-func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, rec SpanRecorder) ([]int, error) {
+func RunTraced[I, O any](ctx context.Context, n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, rec SpanRecorder) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n < 0 {
 		return nil, fmt.Errorf("pipeline: negative partition count %d", n)
 	}
@@ -97,6 +104,15 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 		failed.Store(true)
 		errCh <- err
 	}
+	// canceled doubles as the failure flag for spin loops; the cause is
+	// surfaced once, after the goroutines join.
+	canceled := func() bool {
+		if ctx.Err() != nil {
+			failed.Store(true)
+			return true
+		}
+		return false
+	}
 
 	var wg sync.WaitGroup
 
@@ -105,7 +121,7 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			if failed.Load() {
+			if failed.Load() || canceled() {
 				return
 			}
 			start := time.Now()
@@ -133,7 +149,7 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 				// when every input is already served a worker would otherwise
 				// fully process the partition it claims after another stage
 				// has failed.
-				if failed.Load() {
+				if failed.Load() || canceled() {
 					return
 				}
 				id := cns.Add(1) - 1
@@ -141,13 +157,13 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 					return
 				}
 				for srv.Load() <= id {
-					if failed.Load() {
+					if failed.Load() || canceled() {
 						return
 					}
 					runtime.Gosched()
 				}
 				start := time.Now()
-				out, err := workers[w](inputs[id])
+				out, err := workers[w](ctx, inputs[id])
 				if rec != nil {
 					rec.StageSpan(StageCompute, int(id), w, start, time.Now())
 				}
@@ -169,7 +185,7 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 		defer wg.Done()
 		for ; wrt < int64(n); wrt++ {
 			for !outReady[wrt].Load() {
-				if failed.Load() {
+				if failed.Load() || canceled() {
 					return
 				}
 				runtime.Gosched()
@@ -188,6 +204,9 @@ func RunTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I,
 
 	wg.Wait()
 	close(errCh)
+	if err := ctx.Err(); err != nil {
+		return assignment, fmt.Errorf("pipeline: run canceled: %w", context.Cause(ctx))
+	}
 	if err := <-errCh; err != nil {
 		return assignment, err
 	}

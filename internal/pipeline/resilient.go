@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,11 +15,28 @@ import (
 // partition-granular construction makes per-partition recovery cheap: a
 // failed partition can simply be re-read or re-hashed, and a failed
 // processor's partitions re-queued onto the survivors. RunResilient
-// implements exactly that policy.
+// implements exactly that policy, plus three governors:
+//
+//   - cancellation: the run's context cancels promptly and leak-free — no
+//     new stage attempt starts, condition waits wake, and every pipeline
+//     goroutine exits before RunResilient returns;
+//   - a watchdog: Policy.AttemptTimeout bounds each work-stage attempt in
+//     wall-clock time, and an expired attempt is abandoned and treated as an
+//     ordinary worker fault, feeding the existing retry/quarantine machinery
+//     (a hung device kernel must not hang the whole build);
+//   - admission control: Policy.Admission gates each partition's predicted
+//     working-set bytes through a weighted semaphore, so concurrent
+//     residency queues under a memory budget instead of OOMing.
 
 // ErrNoHealthyWorkers reports that every worker was quarantined before the
 // run completed; the partitions that were not yet produced fail with it.
 var ErrNoHealthyWorkers = errors.New("pipeline: all workers quarantined")
+
+// ErrAttemptTimeout reports a work-stage attempt the watchdog abandoned
+// because it exceeded Policy.AttemptTimeout. It counts as an ordinary worker
+// fault: the partition is retried (possibly on another processor) and the
+// worker's consecutive-failure count advances toward quarantine.
+var ErrAttemptTimeout = errors.New("pipeline: partition attempt deadline exceeded")
 
 // Policy configures RunResilient's fault handling. The zero value retries
 // nothing and never quarantines, making RunResilient behave like Run except
@@ -44,6 +62,22 @@ type Policy struct {
 	// (heterogeneous) worker may well succeed where this one failed.
 	// nil treats every error as retryable.
 	Retryable func(error) bool
+
+	// AttemptTimeout is the watchdog deadline for one work-stage attempt in
+	// wall-clock time; 0 disables the watchdog. An expired attempt is
+	// abandoned (its context is canceled, so cooperative workers return
+	// promptly) and charged as a worker fault wrapping ErrAttemptTimeout.
+	AttemptTimeout time.Duration
+	// Admission, when non-nil, is the memory-budget gate each partition
+	// must pass before its read stage loads it: admitted before read,
+	// released when the partition reaches a terminal state (written or
+	// permanently failed). Reads are sequential, so admission order equals
+	// write order and the gate can never deadlock the in-order writer.
+	Admission *Gate
+	// AdmissionWeight returns a partition's admission weight in bytes
+	// (typically its Property-1 predicted hash table footprint). nil
+	// weights every partition 1 byte. Ignored without Admission.
+	AdmissionWeight func(i int) int64
 }
 
 // PartitionError records one failed attempt at one partition. Recovered
@@ -100,6 +134,19 @@ type Report struct {
 	Faults []PartitionError
 	// FailedPartitions lists permanently failed partitions, sorted.
 	FailedPartitions []int
+
+	// WatchdogKills counts work-stage attempts the watchdog abandoned
+	// because they exceeded Policy.AttemptTimeout.
+	WatchdogKills int
+	// Canceled reports that the run was cut short by its context; Written
+	// still marks exactly the partitions whose outputs were committed.
+	Canceled bool
+	// CanceledAttempts counts stage attempts cut short by cancellation
+	// (their partitions are not charged a failed attempt).
+	CanceledAttempts int
+	// Admission summarises the memory-budget gate's work (zero without
+	// Policy.Admission).
+	Admission GateStats
 }
 
 // runState is the shared mutable state of one RunResilient invocation,
@@ -116,7 +163,12 @@ type runState struct {
 	quarantined []bool
 	healthy     int
 	abandoned   bool // all workers quarantined
+	canceled    bool // the run context was canceled
 	writerDone  bool
+
+	admitted []bool // partition holds an admission grant
+	released []bool // partition's grant was returned
+	weights  []int64
 
 	pol         Policy
 	maxAttempts int
@@ -130,11 +182,23 @@ func (st *runState) chargeRetryLocked(attempt int) {
 	st.rep.BackoffSeconds += st.pol.BackoffSeconds * float64(int64(1)<<uint(attempt-1))
 }
 
-// failLocked marks a partition permanently failed (first failure wins).
+// failLocked marks a partition permanently failed (first failure wins) and
+// returns its admission grant — a dead partition must not hold budget that
+// live partitions are queueing for.
 func (st *runState) failLocked(i int, err error) {
 	if st.failed[i] == nil {
 		st.failed[i] = err
 	}
+	st.releaseLocked(i)
+}
+
+// releaseLocked returns partition i's admission grant exactly once.
+func (st *runState) releaseLocked(i int) {
+	if st.pol.Admission == nil || !st.admitted[i] || st.released[i] {
+		return
+	}
+	st.released[i] = true
+	st.pol.Admission.Release(st.weights[i])
 }
 
 // abandonLocked fails every partition that has no output yet; called when
@@ -147,6 +211,7 @@ func (st *runState) abandonLocked(cause error) {
 		if !st.produced[i] && st.failed[i] == nil {
 			st.failed[i] = fmt.Errorf("pipeline: partition %d: %w (last worker fault: %w)",
 				i, ErrNoHealthyWorkers, cause)
+			st.releaseLocked(i)
 		}
 	}
 }
@@ -159,24 +224,37 @@ func (st *runState) abandonLocked(cause error) {
 //     deterministic virtual-time backoff;
 //   - a failed worker attempt re-queues the partition (any worker may pick
 //     it up) until the partition's attempt budget is exhausted;
+//   - a work-stage attempt that outlives pol.AttemptTimeout is abandoned by
+//     the watchdog and charged as a worker fault (wrapping
+//     ErrAttemptTimeout), so a hung processor feeds the same retry and
+//     quarantine machinery as a failing one;
 //   - a worker whose consecutive-failure count reaches pol.QuarantineAfter
 //     is quarantined — it stops claiming work and its partition is
 //     re-queued for free, so the build degrades gracefully onto the
 //     surviving processors and still succeeds with >= 1 healthy worker;
+//   - each partition passes pol.Admission (when set) before its read stage,
+//     bounding concurrent working-set bytes under the memory budget;
 //   - permanently failed partitions do not abort the run: the remaining
 //     partitions are still processed and written in order, and all
 //     permanent errors are aggregated (errors.Join) into the returned
-//     error.
+//     error;
+//   - canceling ctx stops the run promptly and leak-free: in-flight stage
+//     attempts are released via their attempt contexts, no new attempt
+//     starts, already-written partitions stay committed (Report.Written),
+//     and the returned error wraps the context's cause.
 //
 // The Report is always valid, even when an error is returned.
-func RunResilient[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy) (Report, error) {
-	return RunResilientTraced(n, read, workers, write, pol, nil)
+func RunResilient[I, O any](ctx context.Context, n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy) (Report, error) {
+	return RunResilientTraced(ctx, n, read, workers, write, pol, nil)
 }
 
 // RunResilientTraced is RunResilient with an optional SpanRecorder
 // observing every stage attempt (retries included); rec may be nil.
-func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy, rec SpanRecorder) (Report, error) {
+func RunResilientTraced[I, O any](ctx context.Context, n int, read func(i int) (I, error), workers []Worker[I, O], write func(i int, o O) error, pol Policy, rec SpanRecorder) (Report, error) {
 	rep := Report{}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n < 0 {
 		return rep, fmt.Errorf("pipeline: negative partition count %d", n)
 	}
@@ -198,6 +276,10 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 	if retryable == nil {
 		retryable = func(error) bool { return true }
 	}
+	weigh := pol.AdmissionWeight
+	if weigh == nil {
+		weigh = func(int) int64 { return 1 }
+	}
 
 	inputs := make([]I, n)
 	outputs := make([]O, n)
@@ -209,29 +291,88 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 		consec:      make([]int, len(workers)),
 		quarantined: make([]bool, len(workers)),
 		healthy:     len(workers),
+		admitted:    make([]bool, n),
+		released:    make([]bool, n),
+		weights:     make([]int64, n),
 		pol:         pol,
 		maxAttempts: pol.MaxAttempts,
 		rep:         &rep,
 	}
 	st.cond = sync.NewCond(&st.mu)
 
+	// runCtx cancels with the caller's ctx, and additionally when the run
+	// abandons (all workers quarantined) so an admission wait never blocks a
+	// run that can no longer make progress.
+	runCtx, runCancel := context.WithCancelCause(ctx)
+	defer runCancel(nil)
+
+	// The watcher translates the caller's cancellation into shared state and
+	// wakes every condition wait. It watches the caller's ctx, not runCtx, so
+	// an internal abandon is not misreported as a cancellation.
+	watcherStop := make(chan struct{})
+	var watcherWg sync.WaitGroup
+	watcherWg.Add(1)
+	go func() {
+		defer watcherWg.Done()
+		select {
+		case <-ctx.Done():
+			st.mu.Lock()
+			st.canceled = true
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		case <-watcherStop:
+		}
+	}()
+
 	var wg sync.WaitGroup
 
-	// Stage 1: input. Reads partitions in order, retrying transient
-	// faults; a permanently unreadable partition is recorded and skipped.
+	// Stage 1: input. Reads partitions in order — acquiring each partition's
+	// admission grant first — retrying transient faults; a permanently
+	// unreadable partition is recorded and skipped.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
 			st.mu.Lock()
-			if st.abandoned {
+			if st.abandoned || st.canceled {
 				st.mu.Unlock()
 				return
 			}
+			st.weights[i] = weigh(i)
+			w := st.weights[i]
 			st.mu.Unlock()
+
+			if pol.Admission != nil {
+				if err := pol.Admission.Acquire(runCtx, w); err != nil {
+					// Canceled or abandoned while queued; the loop exit above
+					// records which on the next iteration's check — just stop.
+					st.mu.Lock()
+					if st.canceled {
+						st.rep.CanceledAttempts++
+					}
+					st.mu.Unlock()
+					return
+				}
+				st.mu.Lock()
+				st.admitted[i] = true
+				if st.abandoned || st.canceled {
+					st.releaseLocked(i)
+					st.mu.Unlock()
+					return
+				}
+				st.mu.Unlock()
+			}
 
 			item, ok := func() (I, bool) {
 				for attempt := 1; ; attempt++ {
+					if runCtx.Err() != nil {
+						st.mu.Lock()
+						st.rep.CanceledAttempts++
+						st.releaseLocked(i)
+						st.mu.Unlock()
+						var zero I
+						return zero, false
+					}
 					start := time.Now()
 					item, err := read(i)
 					if rec != nil {
@@ -256,10 +397,17 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 				}
 			}()
 			if !ok {
+				st.mu.Lock()
+				canceled := st.canceled
+				st.mu.Unlock()
+				if canceled {
+					return
+				}
 				continue
 			}
 			st.mu.Lock()
-			if st.abandoned {
+			if st.abandoned || st.canceled {
+				st.releaseLocked(i)
 				st.mu.Unlock()
 				return
 			}
@@ -272,17 +420,18 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 
 	// Stage 2: workers. Each claims queued partitions until quarantined or
 	// the run completes. Failures re-queue the partition; crossing the
-	// quarantine threshold retires the worker.
+	// quarantine threshold retires the worker; the watchdog abandons
+	// attempts that outlive pol.AttemptTimeout.
 	for w := range workers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
 				st.mu.Lock()
-				for len(st.queue) == 0 && !st.writerDone && !st.quarantined[w] && !st.abandoned {
+				for len(st.queue) == 0 && !st.writerDone && !st.quarantined[w] && !st.abandoned && !st.canceled {
 					st.cond.Wait()
 				}
-				if st.writerDone || st.quarantined[w] || st.abandoned {
+				if st.writerDone || st.quarantined[w] || st.abandoned || st.canceled {
 					st.mu.Unlock()
 					return
 				}
@@ -291,7 +440,7 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 				st.mu.Unlock()
 
 				start := time.Now()
-				out, err := workers[w](inputs[id])
+				out, err := runAttempt(runCtx, pol.AttemptTimeout, workers[w], inputs[id])
 				if rec != nil {
 					rec.StageSpan(StageCompute, id, w, start, time.Now())
 				}
@@ -306,9 +455,19 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 					st.mu.Unlock()
 					continue
 				}
+				if runCtx.Err() != nil && !errors.Is(err, ErrAttemptTimeout) {
+					// The run is being canceled (or abandoned); the aborted
+					// attempt is not the partition's fault.
+					st.rep.CanceledAttempts++
+					st.mu.Unlock()
+					return
+				}
 				attempt := st.attempts[id] + 1
 				st.rep.Faults = append(st.rep.Faults,
 					PartitionError{Partition: id, Stage: "work", Worker: w, Attempt: attempt, Err: err})
+				if errors.Is(err, ErrAttemptTimeout) {
+					st.rep.WatchdogKills++
+				}
 				st.consec[w]++
 				if st.pol.QuarantineAfter > 0 && st.consec[w] >= st.pol.QuarantineAfter {
 					st.quarantined[w] = true
@@ -321,6 +480,7 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 						st.queue = append(st.queue, id)
 					} else {
 						st.abandonLocked(err)
+						runCancel(ErrNoHealthyWorkers)
 					}
 					st.cond.Broadcast()
 					st.mu.Unlock()
@@ -342,13 +502,19 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 
 	// Stage 3: output. Writes produced partitions in order, skipping
 	// permanently failed ones so one bad partition never blocks the rest.
+	// Cancellation stops it before the next partition; the in-flight write
+	// is allowed to finish so committed outputs are never half-published.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
 			st.mu.Lock()
-			for !st.produced[i] && st.failed[i] == nil {
+			for !st.produced[i] && st.failed[i] == nil && !st.canceled {
 				st.cond.Wait()
+			}
+			if st.canceled && !st.produced[i] {
+				st.mu.Unlock()
+				return
 			}
 			if st.failed[i] != nil {
 				st.mu.Unlock()
@@ -358,6 +524,12 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 			st.mu.Unlock()
 
 			for attempt := 1; ; attempt++ {
+				if runCtx.Err() != nil {
+					st.mu.Lock()
+					st.rep.CanceledAttempts++
+					st.mu.Unlock()
+					return
+				}
 				start := time.Now()
 				err := write(i, out)
 				if rec != nil {
@@ -366,6 +538,7 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 				if err == nil {
 					st.mu.Lock()
 					st.rep.Written[i] = true
+					st.releaseLocked(i)
 					st.mu.Unlock()
 					break
 				}
@@ -389,6 +562,34 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 	}()
 
 	wg.Wait()
+	close(watcherStop)
+	watcherWg.Wait()
+
+	// Return any grants still held (e.g. partitions admitted but never
+	// reaching a terminal state before cancellation), so a shared gate is
+	// left balanced.
+	st.mu.Lock()
+	for i := range st.admitted {
+		st.releaseLocked(i)
+	}
+	canceled := st.canceled
+	st.mu.Unlock()
+
+	if pol.Admission != nil {
+		rep.Admission = pol.Admission.Stats()
+	}
+
+	if canceled {
+		rep.Canceled = true
+		written := 0
+		for _, w := range rep.Written {
+			if w {
+				written++
+			}
+		}
+		return rep, fmt.Errorf("pipeline: run canceled after %d of %d partitions written: %w",
+			written, n, context.Cause(ctx))
+	}
 
 	var errs []error
 	for i, e := range st.failed {
@@ -402,4 +603,41 @@ func RunResilientTraced[I, O any](n int, read func(i int) (I, error), workers []
 			len(errs), n, errors.Join(errs...))
 	}
 	return rep, nil
+}
+
+// runAttempt invokes one work-stage attempt under the watchdog: with a
+// positive timeout the worker runs under a deadline context and is abandoned
+// — its context canceled, its eventual result discarded — once the deadline
+// expires. A worker that returns its own deadline error is normalised to the
+// same ErrAttemptTimeout, so cooperative and abandoned expiries are
+// indistinguishable to the fault accounting.
+func runAttempt[I, O any](ctx context.Context, timeout time.Duration, worker Worker[I, O], item I) (O, error) {
+	if timeout <= 0 {
+		return worker(ctx, item)
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	type result struct {
+		out O
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := worker(actx, item)
+		ch <- result{out, err}
+	}()
+	var zero O
+	select {
+	case r := <-ch:
+		if r.err != nil && ctx.Err() == nil && errors.Is(r.err, context.DeadlineExceeded) {
+			return zero, fmt.Errorf("%w (after %v): %v", ErrAttemptTimeout, timeout, r.err)
+		}
+		return r.out, r.err
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// The whole run is stopping, not just this attempt.
+			return zero, context.Cause(ctx)
+		}
+		return zero, fmt.Errorf("%w (after %v)", ErrAttemptTimeout, timeout)
+	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,12 +10,12 @@ import (
 )
 
 // okWorker passes items through unchanged.
-func okWorker(x int) (int, error) { return x, nil }
+func okWorker(_ context.Context, x int) (int, error) { return x, nil }
 
 func TestRunResilientFaultFreeMatchesRun(t *testing.T) {
 	const n = 64
 	var got []int
-	rep, err := RunResilient(n,
+	rep, err := RunResilient(context.Background(), n,
 		func(i int) (int, error) { return i, nil },
 		[]Worker[int, int]{okWorker, okWorker, okWorker},
 		func(i, o int) error {
@@ -49,7 +50,7 @@ func TestRunResilientFaultFreeMatchesRun(t *testing.T) {
 func TestRunResilientRetriesTransientRead(t *testing.T) {
 	boom := errors.New("flaky disk")
 	var failures atomic.Int64
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) {
 			if i == 4 && failures.Add(1) <= 2 {
 				return 0, boom
@@ -76,7 +77,7 @@ func TestRunResilientRetriesTransientRead(t *testing.T) {
 
 func TestRunResilientReadRetriesExhausted(t *testing.T) {
 	boom := errors.New("dead disk")
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) {
 			if i == 3 {
 				return 0, boom
@@ -97,7 +98,7 @@ func TestRunResilientReadRetriesExhausted(t *testing.T) {
 func TestRunResilientNonRetryableFailsFast(t *testing.T) {
 	fatal := errors.New("no such file")
 	var reads atomic.Int64
-	_, err := RunResilient(4,
+	_, err := RunResilient(context.Background(), 4,
 		func(i int) (int, error) {
 			if i == 1 {
 				reads.Add(1)
@@ -119,14 +120,14 @@ func TestRunResilientNonRetryableFailsFast(t *testing.T) {
 func TestRunResilientWorkerErrorRetriedMidStream(t *testing.T) {
 	boom := errors.New("kernel fault")
 	var failed atomic.Bool
-	worker := func(x int) (int, error) {
+	worker := func(_ context.Context, x int) (int, error) {
 		if x == 5 && !failed.Swap(true) {
 			return 0, boom
 		}
 		return 2 * x, nil
 	}
 	var got []int
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
 		[]Worker[int, int]{worker},
 		func(i, o int) error {
@@ -152,7 +153,7 @@ func TestRunResilientAggregatesAllPartitionErrors(t *testing.T) {
 	boomA := errors.New("fault A")
 	boomB := errors.New("fault B")
 	var written atomic.Int64
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) {
 			switch i {
 			case 2:
@@ -179,7 +180,7 @@ func TestRunResilientAggregatesAllPartitionErrors(t *testing.T) {
 func TestRunResilientWriteErrorAfterPartialOutput(t *testing.T) {
 	boom := errors.New("disk full")
 	var got []int
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
 		[]Worker[int, int]{okWorker},
 		func(i, o int) error {
@@ -214,7 +215,7 @@ func TestRunResilientWriteErrorAfterPartialOutput(t *testing.T) {
 
 func TestRunResilientWrittenMarksDurablePartitions(t *testing.T) {
 	boom := errors.New("disk full")
-	rep, err := RunResilient(10,
+	rep, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
 		[]Worker[int, int]{okWorker},
 		func(i, o int) error {
@@ -250,8 +251,8 @@ func TestRunResilientQuarantineWithOneSurvivor(t *testing.T) {
 	release := make(chan struct{})
 	var failures atomic.Int64
 	workers := []Worker[int, int]{
-		func(x int) (int, error) { <-release; return x, nil },
-		func(x int) (int, error) {
+		func(_ context.Context, x int) (int, error) { <-release; return x, nil },
+		func(_ context.Context, x int) (int, error) {
 			if failures.Add(1) == 2 {
 				close(release)
 			}
@@ -259,7 +260,7 @@ func TestRunResilientQuarantineWithOneSurvivor(t *testing.T) {
 		},
 	}
 	var got []int
-	rep, err := RunResilient(n,
+	rep, err := RunResilient(context.Background(), n,
 		func(i int) (int, error) { return i, nil },
 		workers,
 		func(i, o int) error {
@@ -289,10 +290,10 @@ func TestRunResilientQuarantineWithOneSurvivor(t *testing.T) {
 func TestRunResilientAllWorkersQuarantined(t *testing.T) {
 	dead := errors.New("total device loss")
 	workers := []Worker[int, int]{
-		func(x int) (int, error) { return 0, dead },
-		func(x int) (int, error) { return 0, dead },
+		func(_ context.Context, x int) (int, error) { return 0, dead },
+		func(_ context.Context, x int) (int, error) { return 0, dead },
 	}
-	rep, err := RunResilient(20,
+	rep, err := RunResilient(context.Background(), 20,
 		func(i int) (int, error) { return i, nil },
 		workers,
 		func(i, o int) error { return nil },
@@ -312,15 +313,15 @@ func TestRunResilientAllWorkersQuarantined(t *testing.T) {
 }
 
 func TestRunResilientValidationAndZero(t *testing.T) {
-	if _, err := RunResilient(-1, func(i int) (int, error) { return 0, nil },
+	if _, err := RunResilient(context.Background(), -1, func(i int) (int, error) { return 0, nil },
 		[]Worker[int, int]{okWorker}, func(int, int) error { return nil }, Policy{}); err == nil {
 		t.Error("negative n accepted")
 	}
-	if _, err := RunResilient[int, int](5, func(i int) (int, error) { return 0, nil },
+	if _, err := RunResilient[int, int](context.Background(), 5, func(i int) (int, error) { return 0, nil },
 		nil, func(int, int) error { return nil }, Policy{}); err == nil {
 		t.Error("no workers accepted")
 	}
-	rep, err := RunResilient(0, func(i int) (int, error) { return 0, nil },
+	rep, err := RunResilient(context.Background(), 0, func(i int) (int, error) { return 0, nil },
 		[]Worker[int, int]{okWorker}, func(int, int) error { return nil }, Policy{})
 	if err != nil || len(rep.Assignment) != 0 {
 		t.Errorf("zero partitions: %v %+v", err, rep)
@@ -332,9 +333,9 @@ func TestRunResilientZeroPolicyFailsFastButAggregates(t *testing.T) {
 	// like Run, but with error aggregation instead of first-error abort.
 	boom := errors.New("boom")
 	var processed atomic.Int64
-	_, err := RunResilient(10,
+	_, err := RunResilient(context.Background(), 10,
 		func(i int) (int, error) { return i, nil },
-		[]Worker[int, int]{func(x int) (int, error) {
+		[]Worker[int, int]{func(_ context.Context, x int) (int, error) {
 			if x%2 == 1 {
 				return 0, boom
 			}
@@ -362,7 +363,7 @@ func TestRunResilientStress(t *testing.T) {
 
 	workers := make([]Worker[int, int], 4)
 	for w := range workers {
-		workers[w] = func(x int) (int, error) {
+		workers[w] = func(_ context.Context, x int) (int, error) {
 			if x%13 == 0 && !workFailed[x].Swap(true) {
 				return 0, transient
 			}
@@ -371,7 +372,7 @@ func TestRunResilientStress(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := make([]int, 0, n)
-	rep, err := RunResilient(n,
+	rep, err := RunResilient(context.Background(), n,
 		func(i int) (int, error) {
 			if i%17 == 0 && !readFailed[i].Swap(true) {
 				return 0, transient

@@ -19,6 +19,7 @@
 package parahash
 
 import (
+	"context"
 	"io"
 
 	"parahash/internal/core"
@@ -40,6 +41,11 @@ type CheckpointConfig = core.CheckpointConfig
 // from the checkpoint's manifest; the build fails fast instead of mixing
 // partitions from two different constructions.
 var ErrManifestMismatch = core.ErrManifestMismatch
+
+// ErrCanceled is wrapped into every error returned from a build cut short by
+// its context (cancellation, timeout, SIGINT/SIGTERM). A canceled
+// checkpointed build keeps its completed partitions journalled for resume.
+var ErrCanceled = core.ErrCanceled
 
 // Result is a completed construction: the merged graph, the per-partition
 // subgraphs, and the run's statistics.
@@ -103,11 +109,23 @@ func DefaultCalibration() Calibration { return costmodel.DefaultCalibration() }
 // two-step pipeline.
 func Build(reads []Read, cfg Config) (*Result, error) { return core.Build(reads, cfg) }
 
+// BuildContext is Build under a context: canceling ctx stops the pipeline
+// promptly and leak-free, and the returned error wraps ErrCanceled.
+func BuildContext(ctx context.Context, reads []Read, cfg Config) (*Result, error) {
+	return core.BuildContext(ctx, reads, cfg)
+}
+
 // BuildFromReader constructs the graph from a plain or gzip-compressed
 // FASTA/FASTQ stream without materialising the full read set: Step 1 holds
 // one chunk of reads at a time, matching the paper's out-of-core operation.
 func BuildFromReader(r io.Reader, cfg Config) (*Result, error) {
 	return core.BuildFromReader(r, cfg, 0)
+}
+
+// BuildFromReaderContext is BuildFromReader under a context; see
+// BuildContext for the cancellation contract.
+func BuildFromReaderContext(ctx context.Context, r io.Reader, cfg Config) (*Result, error) {
+	return core.BuildFromReaderContext(ctx, r, cfg, 0)
 }
 
 // NewTrace returns an empty span trace ready to hang on Config.Trace.
