@@ -1,0 +1,548 @@
+// Command bench measures the hot-path overhaul — rolling canonicalization,
+// the zero-allocation scanner, kmer-weighted Step 2 claiming, and sharded
+// table counters — against emulations of the pre-overhaul implementations,
+// and writes the results to a JSON report (BENCH_hotpath.json at the repo
+// root). Regenerate with:
+//
+//	go run ./cmd/bench -out BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parahash/internal/dna"
+	"parahash/internal/graph"
+	"parahash/internal/hashtable"
+	"parahash/internal/msp"
+)
+
+// Report is the JSON schema of BENCH_hotpath.json.
+type Report struct {
+	Schema string `json:"schema"`
+	// HostCPUs records the measuring machine's core count: the scheduling
+	// and counter-sharding wall-clock deltas only manifest with real
+	// parallelism, so single-core hosts should expect ~1x there while the
+	// imbalance figures still capture the scheduling improvement.
+	HostCPUs         int                  `json:"host_cpus"`
+	Canonicalization CanonicalizationPart `json:"canonicalization"`
+	Scanner          ScannerPart          `json:"scanner"`
+	Step2            Step2Part            `json:"step2"`
+	Counters         CountersPart         `json:"counters"`
+}
+
+// CanonicalizationPart compares per-kmer canonical orientation costs: the
+// pre-overhaul form re-derived each k-mer's reverse complement with an
+// O(k) base loop; the overhauled form maintains it as a rolling window.
+type CanonicalizationPart struct {
+	K               int     `json:"k"`
+	BeforeNsPerKmer float64 `json:"before_ns_per_kmer"`
+	AfterNsPerKmer  float64 `json:"after_ns_per_kmer"`
+	Speedup         float64 `json:"speedup"`
+	// The reverse-complement primitive alone: O(k) loop vs bit tricks.
+	RCBeforeNs float64 `json:"rc_before_ns"`
+	RCAfterNs  float64 `json:"rc_after_ns"`
+	RCSpeedup  float64 `json:"rc_speedup"`
+}
+
+// ScannerPart reports the warmed Step 1 scanner's per-base cost and
+// allocation count per read (the overhaul's target is 0).
+type ScannerPart struct {
+	NsPerBase     float64 `json:"ns_per_base"`
+	AllocsPerRead float64 `json:"allocs_per_read"`
+}
+
+// Step2Part compares the full Step 2 kernel — insert, collect, sort — as
+// the seed ran it (index-striped superkmer split, sequential vertex sort)
+// against the overhauled form (kmer-weighted chunk claiming, parallel
+// merge sort) on a skewed partition.
+type Step2Part struct {
+	Workers       int     `json:"workers"`
+	Superkmers    int     `json:"superkmers"`
+	Kmers         int64   `json:"kmers"`
+	Distinct      int     `json:"distinct"`
+	BeforeSeconds float64 `json:"before_seconds"`
+	AfterSeconds  float64 `json:"after_seconds"`
+	Speedup       float64 `json:"speedup"`
+	// The max/mean per-worker k-mer weight of each split — the makespan
+	// ratio an idealised machine with Workers real cores would see. The
+	// striped figure is the static assignment's; the chunked figure
+	// simulates claim-when-free list scheduling of the weighted chunks.
+	StripedImbalance float64 `json:"striped_imbalance"`
+	ChunkedImbalance float64 `json:"chunked_imbalance"`
+}
+
+// CountersPart compares parallel inserts with every worker funnelling
+// through one metrics shard (the pre-overhaul shared atomics) against
+// per-worker shards.
+type CountersPart struct {
+	Workers          int     `json:"workers"`
+	SharedNsPerEdge  float64 `json:"shared_shard_ns_per_edge"`
+	ShardedNsPerEdge float64 `json:"sharded_ns_per_edge"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// config sizes the measurement; the test uses a tiny variant.
+type config struct {
+	minDur   time.Duration // per-measurement wall budget
+	reads    int           // scanner/canonicalization read count
+	readLen  int
+	smallSks int // Step 2 skewed partition shape
+	giantSks int
+	giantLen int
+	edges    int // counter benchmark edge count
+}
+
+func defaultConfig() config {
+	return config{
+		minDur:   300 * time.Millisecond,
+		reads:    200,
+		readLen:  151,
+		smallSks: 2048,
+		giantSks: 16,
+		giantLen: 2000,
+		edges:    1 << 17,
+	}
+}
+
+// timeIt runs fn in batches until minDur has elapsed and returns the mean
+// nanoseconds per call.
+func timeIt(minDur time.Duration, fn func()) float64 {
+	fn() // warm-up
+	var n int64
+	var elapsed time.Duration
+	batch := 1
+	for elapsed < minDur {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		elapsed += time.Since(start)
+		n += int64(batch)
+		if batch < 1<<20 {
+			batch *= 2
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / float64(n)
+}
+
+func randomReads(rng *rand.Rand, n, l int) [][]dna.Base {
+	reads := make([][]dna.Base, n)
+	for i := range reads {
+		r := make([]dna.Base, l)
+		for j := range r {
+			r[j] = dna.Base(rng.Intn(4))
+		}
+		reads[i] = r
+	}
+	return reads
+}
+
+func measureCanonicalization(cfg config) CanonicalizationPart {
+	const k, p = 27, 11
+	rng := rand.New(rand.NewSource(1))
+	var sks []msp.Superkmer
+	var kmers int64
+	for _, r := range randomReads(rng, cfg.reads, cfg.readLen) {
+		sks = msp.SuperkmersFromRead(sks, r, k, p)
+	}
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(k))
+	}
+
+	var sink int64
+	// Before: the seed enumerator re-derived each k-mer's canonical form
+	// with the O(k) reverse-complement loop.
+	before := timeIt(cfg.minDur, func() {
+		for _, sk := range sks {
+			n := sk.NumKmers(k)
+			km := dna.KmerFromBases(sk.Bases, k)
+			for t := 0; t < n; t++ {
+				if t > 0 {
+					km = km.AppendBase(sk.Bases[t+k-1], k)
+				}
+				rc := km.ReverseComplementNaive(k)
+				if rc.Less(km) {
+					sink += int64(rc.Lo)
+				} else {
+					sink += int64(km.Lo)
+				}
+			}
+		}
+	}) / float64(kmers)
+	after := timeIt(cfg.minDur, func() {
+		for _, sk := range sks {
+			msp.ForEachKmerEdge(sk, k, func(e msp.KmerEdge) { sink += int64(e.Canon.Lo) })
+		}
+	}) / float64(kmers)
+
+	km := dna.KmerFromBases(randomReads(rng, 1, k)[0], k)
+	rcBefore := timeIt(cfg.minDur, func() { km = km.ReverseComplementNaive(k) })
+	rcAfter := timeIt(cfg.minDur, func() { km = km.ReverseComplement(k) })
+	_ = sink
+
+	return CanonicalizationPart{
+		K:               k,
+		BeforeNsPerKmer: before,
+		AfterNsPerKmer:  after,
+		Speedup:         before / after,
+		RCBeforeNs:      rcBefore,
+		RCAfterNs:       rcAfter,
+		RCSpeedup:       rcBefore / rcAfter,
+	}
+}
+
+func measureScanner(cfg config) ScannerPart {
+	const k, p = 27, 11
+	rng := rand.New(rand.NewSource(2))
+	reads := randomReads(rng, cfg.reads, cfg.readLen)
+	sc := &msp.Scanner{K: k, P: p, NumPartitions: 512}
+	dst := make([]msp.Superkmer, 0, 256)
+	for _, r := range reads {
+		dst = sc.Superkmers(dst[:0], r) // warm the scratch
+	}
+	bases := int64(cfg.reads) * int64(cfg.readLen)
+	ns := timeIt(cfg.minDur, func() {
+		for _, r := range reads {
+			dst = sc.Superkmers(dst[:0], r)
+		}
+	}) / float64(bases)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = sc.Superkmers(dst[:0], reads[0])
+	})
+	return ScannerPart{NsPerBase: ns, AllocsPerRead: allocs}
+}
+
+// skewedPartition builds a partition whose k-mer mass concentrates in a few
+// giant superkmers (low-complexity regions produce exactly this shape) so
+// that a split balancing record counts, not k-mer counts, idles workers.
+func skewedPartition(cfg config, k int) ([]msp.Superkmer, int64) {
+	rng := rand.New(rand.NewSource(3))
+	sks := make([]msp.Superkmer, 0, cfg.smallSks+cfg.giantSks)
+	mk := func(l int) msp.Superkmer {
+		b := make([]dna.Base, l)
+		for j := range b {
+			b[j] = dna.Base(rng.Intn(4))
+		}
+		return msp.Superkmer{Bases: b, Minimizer: rng.Uint64()}
+	}
+	for i := 0; i < cfg.smallSks; i++ {
+		sks = append(sks, mk(k+rng.Intn(8)))
+	}
+	for i := 0; i < cfg.giantSks; i++ {
+		sks = append(sks, mk(cfg.giantLen+k-1))
+	}
+	rng.Shuffle(len(sks), func(i, j int) { sks[i], sks[j] = sks[j], sks[i] })
+	var kmers int64
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(k))
+	}
+	return sks, kmers
+}
+
+func insertRange(tab *hashtable.Table, worker int, sks []msp.Superkmer, k int) error {
+	ins := tab.Inserter(worker)
+	var firstErr error
+	for _, sk := range sks {
+		msp.ForEachKmerEdge(sk, k, func(e msp.KmerEdge) {
+			if err := ins.InsertEdge(e); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return firstErr
+}
+
+func measureStep2(cfg config) (Step2Part, error) {
+	const k = 27
+	const workers = 8
+	sks, kmers := skewedPartition(cfg, k)
+	slots := int(float64(kmers) / 0.65) // random kmers are ~all distinct; size for load factor directly
+	tab, err := hashtable.New(k, slots)
+	if err != nil {
+		return Step2Part{}, err
+	}
+	var insErr atomic.Value
+	vbuf := make([]graph.Vertex, 0, slots)
+	collect := func() []graph.Vertex {
+		vs := vbuf[:0]
+		tab.ForEach(func(e hashtable.Entry) {
+			vs = append(vs, graph.Vertex{Kmer: e.Kmer, Counts: e.Counts})
+		})
+		return vs
+	}
+	// The parallel sort pays for itself only with real cores behind it —
+	// the same clamp the Step 2 kernel applies.
+	sortWorkers := workers
+	if mp := runtime.GOMAXPROCS(0); sortWorkers > mp {
+		sortWorkers = mp
+	}
+
+	// Before: index-striped split — worker w processes records w, w+T,
+	// w+2T, ... — followed by the sequential vertex sort.
+	runBefore := func() float64 {
+		return timeIt(cfg.minDur, func() {
+			tab.Reset()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ins := tab.Inserter(w)
+					for i := w; i < len(sks); i += workers {
+						msp.ForEachKmerEdge(sks[i], k, func(e msp.KmerEdge) {
+							if err := ins.InsertEdge(e); err != nil {
+								insErr.Store(err)
+							}
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			g := &graph.Subgraph{K: k, Vertices: collect()}
+			g.Sort()
+		})
+	}
+
+	// After: kmer-weighted chunks claimed from an atomic cursor plus the
+	// parallel merge sort (the device.CPU Step 2 strategy).
+	grain := kmers / int64(workers*8)
+	if grain < 1 {
+		grain = 1
+	}
+	var ends []int
+	var acc int64
+	for i := range sks {
+		acc += int64(sks[i].NumKmers(k))
+		if acc >= grain {
+			ends = append(ends, i+1)
+			acc = 0
+		}
+	}
+	if n := len(sks); n > 0 && (len(ends) == 0 || ends[len(ends)-1] != n) {
+		ends = append(ends, n)
+	}
+	runAfter := func() float64 {
+		return timeIt(cfg.minDur, func() {
+			tab.Reset()
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						ci := int(cursor.Add(1)) - 1
+						if ci >= len(ends) {
+							return
+						}
+						lo := 0
+						if ci > 0 {
+							lo = ends[ci-1]
+						}
+						if err := insertRange(tab, w, sks[lo:ends[ci]], k); err != nil {
+							insErr.Store(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			g := &graph.Subgraph{K: k, Vertices: collect()}
+			g.SortParallel(sortWorkers)
+		})
+	}
+	// Alternate the two variants and keep each one's best run, so drift on
+	// a shared host cannot bias the comparison.
+	before, after := math.Inf(1), math.Inf(1)
+	for round := 0; round < 3; round++ {
+		before = math.Min(before, runBefore())
+		after = math.Min(after, runAfter())
+	}
+	if err, _ := insErr.Load().(error); err != nil {
+		return Step2Part{}, err
+	}
+	return Step2Part{
+		Workers:          workers,
+		Superkmers:       len(sks),
+		Kmers:            kmers,
+		Distinct:         tab.Len(),
+		BeforeSeconds:    before / 1e9,
+		AfterSeconds:     after / 1e9,
+		Speedup:          before / after,
+		StripedImbalance: stripedImbalance(sks, k, workers),
+		ChunkedImbalance: chunkedImbalance(sks, ends, k, workers),
+	}, nil
+}
+
+// stripedImbalance returns max/mean per-worker k-mer weight under the
+// former static index-striped split.
+func stripedImbalance(sks []msp.Superkmer, k, workers int) float64 {
+	loads := make([]int64, workers)
+	for i := range sks {
+		loads[i%workers] += int64(sks[i].NumKmers(k))
+	}
+	return maxMean(loads)
+}
+
+// chunkedImbalance returns max/mean per-worker k-mer weight when the
+// weighted chunks are claimed in order by whichever worker frees first
+// (greedy list scheduling — what the atomic cursor realises with equal-
+// speed workers).
+func chunkedImbalance(sks []msp.Superkmer, ends []int, k, workers int) float64 {
+	loads := make([]int64, workers)
+	lo := 0
+	for _, end := range ends {
+		var w int64
+		for _, sk := range sks[lo:end] {
+			w += int64(sk.NumKmers(k))
+		}
+		lo = end
+		min := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += w
+	}
+	return maxMean(loads)
+}
+
+func maxMean(loads []int64) float64 {
+	var max, sum int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(loads)) / float64(sum)
+}
+
+func measureCounters(cfg config) (CountersPart, error) {
+	const k = 27
+	const workers = 8
+	rng := rand.New(rand.NewSource(4))
+	pool := make([]dna.Kmer, 1<<14)
+	for i := range pool {
+		b := make([]dna.Base, k)
+		for j := range b {
+			b[j] = dna.Base(rng.Intn(4))
+		}
+		pool[i], _ = dna.KmerFromBases(b, k).Canonical(k)
+	}
+	edges := make([]msp.KmerEdge, cfg.edges)
+	for i := range edges {
+		edges[i] = msp.KmerEdge{
+			Canon: pool[rng.Intn(len(pool))],
+			Left:  int8(rng.Intn(4)),
+			Right: int8(rng.Intn(4)),
+		}
+	}
+	tab, err := hashtable.New(k, int(float64(len(edges))/0.65))
+	if err != nil {
+		return CountersPart{}, err
+	}
+	var insErr atomic.Value
+	run := func(sharded bool) float64 {
+		return timeIt(cfg.minDur, func() {
+			tab.Reset()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					shard := 0
+					if sharded {
+						shard = w
+					}
+					ins := tab.Inserter(shard)
+					for i := w; i < len(edges); i += workers {
+						if err := ins.InsertEdge(edges[i]); err != nil {
+							insErr.Store(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}) / float64(len(edges))
+	}
+	// Alternate variants, keep each one's best run (same rationale as the
+	// Step 2 comparison).
+	shared, sharded := math.Inf(1), math.Inf(1)
+	for round := 0; round < 3; round++ {
+		shared = math.Min(shared, run(false))
+		sharded = math.Min(sharded, run(true))
+	}
+	if err, _ := insErr.Load().(error); err != nil {
+		return CountersPart{}, err
+	}
+	return CountersPart{
+		Workers:          workers,
+		SharedNsPerEdge:  shared,
+		ShardedNsPerEdge: sharded,
+		Speedup:          shared / sharded,
+	}, nil
+}
+
+func measureAll(cfg config) (Report, error) {
+	rep := Report{Schema: "parahash.bench_hotpath/v1", HostCPUs: runtime.NumCPU()}
+	rep.Canonicalization = measureCanonicalization(cfg)
+	rep.Scanner = measureScanner(cfg)
+	s2, err := measureStep2(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Step2 = s2
+	ctr, err := measureCounters(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Counters = ctr
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "report output path")
+	flag.Parse()
+	rep, err := measureAll(defaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("canonicalization: %.1f -> %.1f ns/kmer (%.1fx); RC %.1f -> %.1f ns (%.1fx)\n",
+		rep.Canonicalization.BeforeNsPerKmer, rep.Canonicalization.AfterNsPerKmer, rep.Canonicalization.Speedup,
+		rep.Canonicalization.RCBeforeNs, rep.Canonicalization.RCAfterNs, rep.Canonicalization.RCSpeedup)
+	fmt.Printf("scanner: %.2f ns/base, %.0f allocs/read\n", rep.Scanner.NsPerBase, rep.Scanner.AllocsPerRead)
+	fmt.Printf("step2 kernel: %.4fs -> %.4fs (%.2fx); imbalance %.2f -> %.2f max/mean\n",
+		rep.Step2.BeforeSeconds, rep.Step2.AfterSeconds, rep.Step2.Speedup,
+		rep.Step2.StripedImbalance, rep.Step2.ChunkedImbalance)
+	fmt.Printf("counters: %.1f -> %.1f ns/edge (%.2fx)\n",
+		rep.Counters.SharedNsPerEdge, rep.Counters.ShardedNsPerEdge, rep.Counters.Speedup)
+	fmt.Println("wrote", *out)
+}

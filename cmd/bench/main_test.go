@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps the measurement loops to a few milliseconds so the test
+// exercises every code path without benchmark-grade runtimes.
+func tinyConfig() config {
+	return config{
+		minDur:   2 * time.Millisecond,
+		reads:    20,
+		readLen:  101,
+		smallSks: 64,
+		giantSks: 4,
+		giantLen: 200,
+		edges:    1 << 10,
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	rep, err := measureAll(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "parahash.bench_hotpath/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	c := rep.Canonicalization
+	if c.BeforeNsPerKmer <= 0 || c.AfterNsPerKmer <= 0 || c.RCSpeedup <= 0 {
+		t.Errorf("canonicalization not measured: %+v", c)
+	}
+	if rep.Scanner.NsPerBase <= 0 {
+		t.Errorf("scanner not measured: %+v", rep.Scanner)
+	}
+	if rep.Scanner.AllocsPerRead != 0 {
+		t.Errorf("warmed scanner allocates %.1f objects/read, want 0", rep.Scanner.AllocsPerRead)
+	}
+	if rep.Step2.BeforeSeconds <= 0 || rep.Step2.AfterSeconds <= 0 {
+		t.Errorf("step2 not measured: %+v", rep.Step2)
+	}
+	if rep.Counters.SharedNsPerEdge <= 0 || rep.Counters.ShardedNsPerEdge <= 0 {
+		t.Errorf("counters not measured: %+v", rep.Counters)
+	}
+	if _, err := json.MarshalIndent(rep, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedPartitionShape(t *testing.T) {
+	cfg := tinyConfig()
+	sks, kmers := skewedPartition(cfg, 27)
+	if len(sks) != cfg.smallSks+cfg.giantSks {
+		t.Fatalf("partition has %d superkmers", len(sks))
+	}
+	var giantKmers int64
+	for _, sk := range sks {
+		if n := int64(sk.NumKmers(27)); n >= int64(cfg.giantLen) {
+			giantKmers += n
+		}
+	}
+	// The giants must dominate the k-mer mass, or the split comparison
+	// would measure nothing.
+	if 2*giantKmers < kmers {
+		t.Fatalf("giants hold %d of %d kmers; partition not skewed", giantKmers, kmers)
+	}
+}

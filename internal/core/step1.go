@@ -54,13 +54,18 @@ func (nopSink) Close() error                { return nil }
 func processors(cfg Config) []device.Processor {
 	procs := make([]device.Processor, 0, cfg.NumProcessors())
 	if cfg.UseCPU {
-		procs = append(procs, &device.CPU{Threads: cfg.CPUThreads, Cal: cfg.Calibration})
+		procs = append(procs, &device.CPU{
+			Threads:    cfg.CPUThreads,
+			Cal:        cfg.Calibration,
+			Partitions: cfg.NumPartitions,
+		})
 	}
 	for g := 0; g < cfg.NumGPUs; g++ {
 		procs = append(procs, &device.GPU{
 			Index:       g,
 			Cal:         cfg.Calibration,
 			MemoryBytes: cfg.GPUMemoryBytes,
+			Partitions:  cfg.NumPartitions,
 		})
 	}
 	if cfg.procWrap != nil {
@@ -160,15 +165,14 @@ func runStep1(ctx context.Context, reads []fastq.Read, cfg Config, sinks partiti
 		w.reads = int64(len(chunks[i]))
 		w.bases = out.Bases
 		w.fastqBytes = fastqBytesOf(chunks[i])
-		for _, sk := range out.Superkmers[written[i]:] {
-			if err := writer.WriteSuperkmer(sk); err != nil {
-				return err
-			}
-			written[i]++
-			w.superkmers++
-			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
-		}
-		return nil
+		// The batch is routed by the scan-time partition stamps, so this
+		// sequential stage does no minimizer hashing; a partial batch
+		// resumes after the records already encoded.
+		n, bytes, err := writer.WriteBatch(out.Superkmers[written[i]:])
+		written[i] += n
+		w.superkmers += int64(n)
+		w.encodedBytes += bytes
+		return err
 	}
 
 	report, err := pipeline.RunResilientTraced(ctx, len(chunks), read, workers, write, cfg.resiliencePolicy(), stepRecorder(cfg, "step1", procs))
@@ -193,7 +197,7 @@ func step1Cost(cfg Config, p device.Processor, w step1Work) float64 {
 	if p.Kind() == device.KindCPU {
 		return cfg.Calibration.CPUStep1Seconds(w.bases, cpuThreadsOf(p))
 	}
-	transfer := w.bases/4 + w.superkmers*12
+	transfer := device.Step1TransferBytes(w.bases, w.superkmers)
 	return cfg.Calibration.GPUStep1Seconds(w.bases, transfer)
 }
 

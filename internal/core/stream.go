@@ -139,13 +139,12 @@ func runStep1Stream(ctx context.Context, fr *fastq.Reader, cfg Config, sinks par
 			bases:      out.Bases,
 			fastqBytes: fastqBytesOf(chunk),
 		}
-		for _, sk := range out.Superkmers {
-			if err := writer.WriteSuperkmer(sk); err != nil {
-				writer.Close()
-				return nil, nil, StepStats{}, 0, err
-			}
-			w.superkmers++
-			w.encodedBytes += int64(msp.EncodedSize(len(sk.Bases)))
+		n, bytes, err := writer.WriteBatch(out.Superkmers)
+		w.superkmers += int64(n)
+		w.encodedBytes += bytes
+		if err != nil {
+			writer.Close()
+			return nil, nil, StepStats{}, 0, err
 		}
 		works = append(works, w)
 	}

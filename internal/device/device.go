@@ -15,7 +15,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"parahash/internal/costmodel"
 	"parahash/internal/fastq"
@@ -120,11 +122,28 @@ const ctxCheckEvery = 256
 // CPU is the multi-threaded host processor. Its kernels use real goroutine
 // concurrency over the shared state-transfer hash table; charged time comes
 // from the calibration so experiments are host-independent.
+//
+// A CPU carries per-worker scratch reused across kernel invocations, so a
+// single CPU value must not run two kernels concurrently — the pipeline
+// already guarantees this (one worker goroutine per processor).
 type CPU struct {
 	// Threads is the worker count (the paper machine runs 20).
 	Threads int
 	// Cal is the timing calibration.
 	Cal costmodel.Calibration
+	// Partitions, when positive, is propagated to the Step 1 scanners so
+	// every superkmer leaves the scan already stamped with its partition
+	// index (msp.Scanner.NumPartitions), moving the routing hash off the
+	// sequential output stage.
+	Partitions int
+
+	// Per-worker Step 1 scratch: scanners keep their minimizer/p-mer/deque
+	// buffers warm, skBufs keep the per-worker superkmer slices, so a warmed
+	// CPU scans with zero allocations per read.
+	scanners []msp.Scanner
+	skBufs   [][]msp.Superkmer
+	// chunkEnds is the Step 2 kmer-weighted chunk boundary scratch.
+	chunkEnds []int
 }
 
 var _ Processor = (*CPU)(nil)
@@ -136,27 +155,36 @@ func (c *CPU) Name() string { return "CPU" }
 func (c *CPU) Kind() Kind { return KindCPU }
 
 // Step1 scans reads into superkmers with Threads parallel workers, each
-// holding its own scanner, then concatenates in read order.
+// holding its own persistent scanner, then concatenates in read order. The
+// per-worker scanners and superkmer buffers are reused across calls, so the
+// only allocation a warmed CPU makes per chunk is the concatenated output
+// slice — which the pipeline retains past the call and cannot be reused.
 func (c *CPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Output, error) {
 	if c.Threads < 1 {
 		return Step1Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
 	}
 	chunks := fastq.PartitionReads(reads, c.Threads)
-	results := make([][]msp.Superkmer, len(chunks))
+	for len(c.scanners) < len(chunks) {
+		c.scanners = append(c.scanners, msp.Scanner{})
+	}
+	for len(c.skBufs) < len(chunks) {
+		c.skBufs = append(c.skBufs, nil)
+	}
 	var wg sync.WaitGroup
 	for i, chunk := range chunks {
 		wg.Add(1)
 		go func(i int, chunk []fastq.Read) {
 			defer wg.Done()
-			sc := msp.Scanner{K: k, P: p}
-			var out []msp.Superkmer
+			sc := &c.scanners[i]
+			sc.K, sc.P, sc.NumPartitions = k, p, c.Partitions
+			out := c.skBufs[i][:0]
 			for j, rd := range chunk {
 				if j%ctxCheckEvery == 0 && ctx.Err() != nil {
 					return
 				}
 				out = sc.Superkmers(out, rd.Bases)
 			}
-			results[i] = out
+			c.skBufs[i] = out
 		}(i, chunk)
 	}
 	wg.Wait()
@@ -164,17 +192,16 @@ func (c *CPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Out
 		return Step1Output{}, err
 	}
 
-	var all []msp.Superkmer
 	var bases int64
 	for _, rd := range reads {
 		bases += int64(len(rd.Bases))
 	}
 	total := 0
-	for _, r := range results {
+	for _, r := range c.skBufs[:len(chunks)] {
 		total += len(r)
 	}
-	all = make([]msp.Superkmer, 0, total)
-	for _, r := range results {
+	all := make([]msp.Superkmer, 0, total)
+	for _, r := range c.skBufs[:len(chunks)] {
 		all = append(all, r...)
 	}
 	return Step1Output{
@@ -184,8 +211,42 @@ func (c *CPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Out
 	}, nil
 }
 
+// step2ChunksPerThread is the Step 2 work-claiming granularity: the
+// partition is cut into about this many kmer-weighted chunks per worker, so
+// the tail imbalance is bounded by one chunk (~1/8 of a thread's share)
+// while the claim cursor stays far too cold to contend.
+const step2ChunksPerThread = 8
+
+// step2Chunks cuts sks into contiguous chunks of near-equal k-mer weight,
+// appending each chunk's exclusive end index to ends. An index-striped split
+// balances record counts, not k-mer counts; skewed superkmer lengths then
+// idle every thread behind the one holding the long records.
+func step2Chunks(ends []int, sks []msp.Superkmer, k int, kmers int64, workers int) []int {
+	grain := kmers / int64(workers*step2ChunksPerThread)
+	if grain < 1 {
+		grain = 1
+	}
+	var acc int64
+	for i := range sks {
+		acc += int64(sks[i].NumKmers(k))
+		if acc >= grain {
+			ends = append(ends, i+1)
+			acc = 0
+		}
+	}
+	if n := len(sks); n > 0 && (len(ends) == 0 || ends[len(ends)-1] != n) {
+		ends = append(ends, n)
+	}
+	return ends
+}
+
 // Step2 hashes a superkmer partition with Threads workers sharing one
-// state-transfer table, then materialises the sorted subgraph.
+// state-transfer table, then materialises the sorted subgraph. Work is
+// distributed by kmer-weighted chunk claiming: workers pull contiguous
+// chunks of near-equal k-mer weight from an atomic cursor, so skewed
+// superkmer lengths cannot idle threads the way the former index-striped
+// split could. Each worker updates its own padded metrics shard via a
+// per-worker table handle.
 func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int) (Step2Output, error) {
 	if c.Threads < 1 {
 		return Step2Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
@@ -198,28 +259,46 @@ func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 	for _, sk := range sks {
 		kmers += int64(sk.NumKmers(k))
 	}
+	ends := step2Chunks(c.chunkEnds[:0], sks, k, kmers, c.Threads)
+	c.chunkEnds = ends
 
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	errs := make([]error, c.Threads)
 	for w := 0; w < c.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ins := table.Inserter(w)
 			var insertErr error
-			for i, step := w, 0; i < len(sks); i, step = i+c.Threads, step+1 {
-				if step%ctxCheckEvery == 0 && ctx.Err() != nil {
+			for {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= len(ends) {
+					return
+				}
+				if ctx.Err() != nil {
 					errs[w] = ctx.Err()
 					return
 				}
-				msp.ForEachKmerEdge(sks[i], k, func(e msp.KmerEdge) {
-					if insertErr != nil {
+				start := 0
+				if ci > 0 {
+					start = ends[ci-1]
+				}
+				for i, step := start, 0; i < ends[ci]; i, step = i+1, step+1 {
+					if step%ctxCheckEvery == 0 && step > 0 && ctx.Err() != nil {
+						errs[w] = ctx.Err()
 						return
 					}
-					insertErr = table.InsertEdge(e)
-				})
-				if insertErr != nil {
-					errs[w] = insertErr
-					return
+					msp.ForEachKmerEdge(sks[i], k, func(e msp.KmerEdge) {
+						if insertErr != nil {
+							return
+						}
+						insertErr = ins.InsertEdge(e)
+					})
+					if insertErr != nil {
+						errs[w] = insertErr
+						return
+					}
 				}
 			}
 		}(w)
@@ -233,10 +312,19 @@ func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 			return Step2Output{}, fmt.Errorf("device: CPU hashing: %w", err)
 		}
 	}
-	out := collectStep2(table, k, kmers)
+	out := collectStep2(table, k, kmers, c.Threads)
 	out.Seconds = c.Cal.CPUStep2Seconds(kmers, c.Threads, out.TableBytes)
 	out.ComputeSeconds = out.Seconds
 	return out, nil
+}
+
+// Step1TransferBytes is the GPU Step 1 host<->device traffic model: the
+// 2-bit encoded reads travel down (bases/4 bytes) and one 12-byte
+// (id, offset, length) record per superkmer travels back up (§III-D). The
+// kernel accounting and the scheduler cost model both use this single
+// definition, so the two formulas can never drift apart.
+func Step1TransferBytes(bases, superkmers int64) int64 {
+	return bases/4 + superkmers*12
 }
 
 // ErrDeviceMemory reports that a partition's working set does not fit in
@@ -246,7 +334,8 @@ func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 // a larger partition count.
 var ErrDeviceMemory = errors.New("device: partition exceeds GPU memory; increase the partition count")
 
-// GPU is the simulated device processor.
+// GPU is the simulated device processor. Like CPU it carries kernel scratch
+// reused across calls, so one GPU value must not run two kernels at once.
 type GPU struct {
 	// Index distinguishes multiple devices ("GPU0", "GPU1").
 	Index int
@@ -255,6 +344,11 @@ type GPU struct {
 	// MemoryBytes bounds the device working set (hash table + resident
 	// partition). Zero means unlimited; the paper's K40m has 12 GB.
 	MemoryBytes int64
+	// Partitions mirrors CPU.Partitions: scan-time partition stamping.
+	Partitions int
+
+	// scan is the persistent Step 1 scanner (warm minimizer buffers).
+	scan msp.Scanner
 }
 
 var _ Processor = (*GPU)(nil)
@@ -271,7 +365,8 @@ func (g *GPU) Kind() Kind { return KindGPU }
 // does the O(LKP) minimizer search and the CPU the irregular memory
 // movement (§III-D).
 func (g *GPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Output, error) {
-	sc := msp.Scanner{K: k, P: p}
+	sc := &g.scan
+	sc.K, sc.P, sc.NumPartitions = k, p, g.Partitions
 	var all []msp.Superkmer
 	var bases int64
 	for i, rd := range reads {
@@ -281,9 +376,7 @@ func (g *GPU) Step1(ctx context.Context, reads []fastq.Read, k, p int) (Step1Out
 		all = sc.Superkmers(all, rd.Bases)
 		bases += int64(len(rd.Bases))
 	}
-	// Transfer: encoded reads down, superkmer (id, offset, length) records
-	// (12 bytes each) back up.
-	transfer := bases/4 + int64(len(all))*12
+	transfer := Step1TransferBytes(bases, int64(len(all)))
 	seconds := g.Cal.GPUStep1Seconds(bases, transfer)
 	return Step1Output{
 		Superkmers:      all,
@@ -335,6 +428,7 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 		lane = 0
 	}
 
+	ins := table.Inserter(0)
 	var insertErr error
 	for i, sk := range sks {
 		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
@@ -345,7 +439,7 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 			if insertErr != nil {
 				return
 			}
-			probes, err := table.InsertEdgeCounted(e)
+			probes, err := ins.InsertEdgeCounted(e)
 			if err != nil {
 				insertErr = err
 				return
@@ -362,7 +456,7 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 	}
 	flushWarp()
 
-	out := collectStep2(table, k, kmers)
+	out := collectStep2(table, k, kmers, runtime.GOMAXPROCS(0))
 	// Transfer: the encoded superkmer partition down, the subgraph up.
 	var skBytes int64
 	for _, sk := range sks {
@@ -379,12 +473,19 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 }
 
 // collectStep2 materialises the table into a sorted subgraph plus counters.
-func collectStep2(table *hashtable.Table, k int, kmers int64) Step2Output {
+// The sort runs on up to sortWorkers goroutines, clamped to the physical
+// parallelism available — beyond that the merge rounds only add copying —
+// and the result is identical to the sequential sort (vertex keys are
+// unique).
+func collectStep2(table *hashtable.Table, k int, kmers int64, sortWorkers int) Step2Output {
 	sub := &graph.Subgraph{K: k, Vertices: make([]graph.Vertex, 0, table.Len())}
 	table.ForEach(func(e hashtable.Entry) {
 		sub.Vertices = append(sub.Vertices, graph.Vertex{Kmer: e.Kmer, Counts: e.Counts})
 	})
-	sub.Sort()
+	if mp := runtime.GOMAXPROCS(0); sortWorkers > mp {
+		sortWorkers = mp
+	}
+	sub.SortParallel(sortWorkers)
 	m := table.Metrics().Snapshot()
 	return Step2Output{
 		Graph:           sub,

@@ -1,0 +1,151 @@
+package device
+
+import (
+	"context"
+	"testing"
+
+	"parahash/internal/costmodel"
+	"parahash/internal/msp"
+)
+
+// Tests and benchmarks for the hot-path overhaul on the device layer:
+// scan-time partition stamping, per-device scratch reuse, the shared GPU
+// transfer formula, and the kmer-weighted Step 2 chunking.
+
+func TestStep1PartitionStamps(t *testing.T) {
+	reads := testReads(t)
+	cal := costmodel.DefaultCalibration()
+	const np = 64
+	for _, proc := range []Processor{
+		&CPU{Threads: 4, Cal: cal, Partitions: np},
+		&GPU{Cal: cal, Partitions: np},
+	} {
+		out, err := proc.Step1(context.Background(), reads, 27, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sk := range out.Superkmers {
+			if !sk.PartValid {
+				t.Fatalf("%s: superkmer %d missing partition stamp", proc.Name(), i)
+			}
+			if want := msp.Partition(sk.Minimizer, np); int(sk.Part) != want {
+				t.Fatalf("%s: superkmer %d stamped %d, want %d", proc.Name(), i, sk.Part, want)
+			}
+		}
+	}
+}
+
+func TestCPUStep1ScratchReuseDeterministic(t *testing.T) {
+	// One CPU value reused across chunks — the pipeline's usage — must keep
+	// producing the same output as a fresh device.
+	reads := testReads(t)
+	cal := costmodel.DefaultCalibration()
+	reused := &CPU{Threads: 4, Cal: cal, Partitions: 16}
+	for round := 0; round < 3; round++ {
+		got, err := reused.Step1(context.Background(), reads, 27, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := (&CPU{Threads: 4, Cal: cal, Partitions: 16}).Step1(context.Background(), reads, 27, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Superkmers) != len(want.Superkmers) || got.Bases != want.Bases {
+			t.Fatalf("round %d: reused device output diverged", round)
+		}
+		for i := range got.Superkmers {
+			g, w := got.Superkmers[i], want.Superkmers[i]
+			if g.Minimizer != w.Minimizer || g.Part != w.Part || len(g.Bases) != len(w.Bases) {
+				t.Fatalf("round %d: superkmer %d differs between reused and fresh device", round, i)
+			}
+		}
+	}
+}
+
+func TestStep1TransferBytesShared(t *testing.T) {
+	if got := Step1TransferBytes(400, 10); got != 400/4+10*12 {
+		t.Fatalf("Step1TransferBytes(400, 10) = %d", got)
+	}
+	// The GPU's reported transfer must use the shared formula.
+	reads := testReads(t)
+	gpu := &GPU{Cal: costmodel.DefaultCalibration()}
+	out, err := gpu.Step1(context.Background(), reads, 27, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Step1TransferBytes(out.Bases, int64(len(out.Superkmers))); out.TransferBytes != want {
+		t.Fatalf("GPU transfer %d, want %d", out.TransferBytes, want)
+	}
+}
+
+func TestStep2Chunks(t *testing.T) {
+	reads := testReads(t)
+	sks := gatherSuperkmers(t, reads, 27, 11)
+	var kmers int64
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(27))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		ends := step2Chunks(nil, sks, 27, kmers, workers)
+		if len(ends) == 0 || ends[len(ends)-1] != len(sks) {
+			t.Fatalf("workers=%d: chunk ends %v do not cover the input", workers, ends)
+		}
+		prev := 0
+		grain := kmers / int64(workers*step2ChunksPerThread)
+		if grain < 1 {
+			grain = 1
+		}
+		for ci, end := range ends {
+			if end <= prev {
+				t.Fatalf("workers=%d: chunk %d empty or out of order (%v)", workers, ci, ends)
+			}
+			var w int64
+			for _, sk := range sks[prev:end] {
+				w += int64(sk.NumKmers(27))
+			}
+			// Every chunk except the last must have reached the grain.
+			if ci < len(ends)-1 && w < grain {
+				t.Fatalf("workers=%d: chunk %d weight %d below grain %d", workers, ci, w, grain)
+			}
+			prev = end
+		}
+	}
+	if ends := step2Chunks(nil, nil, 27, 0, 4); len(ends) != 0 {
+		t.Fatalf("empty input produced chunks %v", ends)
+	}
+}
+
+func BenchmarkStep1Scan(b *testing.B) {
+	reads := testReads(b)
+	var bases int64
+	for _, rd := range reads {
+		bases += int64(len(rd.Bases))
+	}
+	cpu := &CPU{Threads: 1, Cal: costmodel.DefaultCalibration(), Partitions: 64}
+	ctx := context.Background()
+	if _, err := cpu.Step1(ctx, reads, 27, 11); err != nil { // warm scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Step1(ctx, reads, 27, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*bases), "ns/base")
+}
+
+func BenchmarkCPUStep2(b *testing.B) {
+	reads := testReads(b)
+	sks := gatherSuperkmers(b, reads, 27, 11)
+	cpu := &CPU{Threads: 8, Cal: costmodel.DefaultCalibration()}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Step2(ctx, sks, 27, 1<<16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

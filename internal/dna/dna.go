@@ -10,6 +10,7 @@ package dna
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -208,8 +209,44 @@ func (km Kmer) Compare(other Kmer) int {
 	}
 }
 
+// revComp2 reverses the order of the 32 2-bit base codes in one word and
+// complements each: bits.Reverse64 reverses bit order (which also swaps the
+// two bits inside every base code), the masked shift pair swaps them back,
+// and the XOR applies the A<->T / C<->G complement (b^3 per base).
+func revComp2(x uint64) uint64 {
+	x = bits.Reverse64(x)
+	x = (x&0x5555555555555555)<<1 | (x>>1)&0x5555555555555555
+	return ^x
+}
+
 // ReverseComplement returns the reverse complement of a length-k k-mer.
+// It is loop-free: the packed 128-bit value is base-reversed and
+// complemented with word-level bit tricks, then shifted down so the result
+// occupies the low 2k bits — O(1) regardless of k, where the naive oracle
+// (ReverseComplementNaive) walks all k bases.
 func (km Kmer) ReverseComplement(k int) Kmer {
+	// Reversing all 128 bits base-wise puts the k-mer in the high 2k bits;
+	// the complement happens in the same pass.
+	hi, lo := revComp2(km.Lo), revComp2(km.Hi)
+	// Shift the reversed value down into the low 2k bits. k <= MaxK = 63,
+	// so shift >= 2; the shifted-in high bits are zero, masking the result.
+	shift := uint(128 - 2*k)
+	switch {
+	case shift < 64:
+		lo = lo>>shift | hi<<(64-shift)
+		hi >>= shift
+	case shift == 64:
+		lo, hi = hi, 0
+	default:
+		lo, hi = hi>>(shift-64), 0
+	}
+	return Kmer{Hi: hi, Lo: lo}
+}
+
+// ReverseComplementNaive is the direct O(k) base-loop implementation of
+// ReverseComplement, kept as the test and fuzz oracle for the bit-trick
+// version (mirroring the Minimizers / MinimizersNaive pattern).
+func (km Kmer) ReverseComplementNaive(k int) Kmer {
 	var rc Kmer
 	cur := km
 	for i := 0; i < k; i++ {

@@ -55,8 +55,27 @@ func CanonicalPmers(dst []uint64, read []Base, p int) []uint64 {
 // p-mer value over offsets i..i+k-p. The result is appended to dst.
 //
 // The computation uses a monotonic-deque sliding-window minimum, so a read
-// of length L costs O(L) rather than the O(L*K*P) naive rescan.
+// of length L costs O(L) rather than the O(L*K*P) naive rescan. This
+// convenience form allocates fresh scratch per call; hot loops should hold a
+// MinimizerBuf (msp.Scanner does) so repeated reads cost zero allocations.
 func Minimizers(dst []uint64, read []Base, k, p int) []uint64 {
+	var mb MinimizerBuf
+	return mb.Minimizers(dst, read, k, p)
+}
+
+// MinimizerBuf holds the reusable scratch of the minimizer computation: the
+// per-position canonical p-mer values and the monotonic deque of the
+// sliding-window minimum. After warming up on the longest read, Minimizers
+// performs zero allocations per call. A MinimizerBuf is not safe for
+// concurrent use; each worker owns one.
+type MinimizerBuf struct {
+	pmers []uint64
+	deque []int32
+}
+
+// Minimizers is the scratch-reusing form of the package-level Minimizers;
+// both produce identical output.
+func (mb *MinimizerBuf) Minimizers(dst []uint64, read []Base, k, p int) []uint64 {
 	if p > k {
 		panic("dna: minimizer length P exceeds K")
 	}
@@ -64,23 +83,31 @@ func Minimizers(dst []uint64, read []Base, k, p int) []uint64 {
 	if nk <= 0 {
 		return dst
 	}
-	pmers := CanonicalPmers(nil, read, p)
+	mb.pmers = CanonicalPmers(mb.pmers[:0], read, p)
+	pmers := mb.pmers
 	w := k - p + 1 // window: each k-mer spans w consecutive p-mers
 
-	// deque holds indices into pmers with non-decreasing values.
-	deque := make([]int, 0, w)
+	// The deque holds indices into pmers with non-decreasing values. The
+	// front is tracked with an index rather than re-slicing so the buffer's
+	// full capacity survives reuse across calls.
+	if cap(mb.deque) < len(pmers) {
+		mb.deque = make([]int32, 0, len(pmers))
+	}
+	deque := mb.deque[:0]
+	head := 0
 	for j := 0; j < len(pmers); j++ {
-		for len(deque) > 0 && pmers[deque[len(deque)-1]] > pmers[j] {
+		for len(deque) > head && pmers[deque[len(deque)-1]] > pmers[j] {
 			deque = deque[:len(deque)-1]
 		}
-		deque = append(deque, j)
+		deque = append(deque, int32(j))
 		if start := j - w + 1; start >= 0 {
-			if deque[0] < start {
-				deque = deque[1:]
+			if int(deque[head]) < start {
+				head++
 			}
-			dst = append(dst, pmers[deque[0]])
+			dst = append(dst, pmers[deque[head]])
 		}
 	}
+	mb.deque = deque[:0]
 	return dst
 }
 

@@ -1,0 +1,147 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The bit-trick ReverseComplement must agree with the per-base loop oracle
+// on every k and every base pattern; these tests and the fuzz target pin
+// that equivalence.
+
+func TestReverseComplementMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for k := 1; k <= MaxK; k++ {
+		for trial := 0; trial < 20; trial++ {
+			km := KmerFromString(randomSeq(rng, k))
+			fast := km.ReverseComplement(k)
+			naive := km.ReverseComplementNaive(k)
+			if fast != naive {
+				t.Fatalf("k=%d: bit-trick RC %v != naive %v for %s", k, fast, naive, km.String(k))
+			}
+		}
+	}
+}
+
+func TestReverseComplementEdgePatterns(t *testing.T) {
+	// All-same-base kmers at the word-boundary lengths exercise the three
+	// shift regimes (shift < 64, == 64, > 64) of the bit-trick RC.
+	for _, k := range []int{1, 31, 32, 33, 63} {
+		for b := Base(0); b < 4; b++ {
+			bases := make([]Base, k)
+			for i := range bases {
+				bases[i] = b
+			}
+			km := KmerFromBases(bases, k)
+			if got, want := km.ReverseComplement(k), km.ReverseComplementNaive(k); got != want {
+				t.Fatalf("k=%d base=%v: %v != %v", k, b, got, want)
+			}
+		}
+	}
+}
+
+func FuzzReverseComplement(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, 4)
+	f.Add([]byte{3, 3, 3}, 3)
+	f.Add(make([]byte, 63), 63)
+	f.Fuzz(func(t *testing.T, raw []byte, k int) {
+		if k < 1 || k > MaxK || len(raw) < k {
+			return
+		}
+		bases := make([]Base, k)
+		for i := 0; i < k; i++ {
+			bases[i] = Base(raw[i] % 4)
+		}
+		km := KmerFromBases(bases, k)
+		fast := km.ReverseComplement(k)
+		naive := km.ReverseComplementNaive(k)
+		if fast != naive {
+			t.Fatalf("k=%d: bit-trick RC %v != naive %v for %s", k, fast, naive, km.String(k))
+		}
+		if back := fast.ReverseComplement(k); back != km {
+			t.Fatalf("k=%d: RC not involutive for %s", k, km.String(k))
+		}
+	})
+}
+
+func TestMinimizerBufMatchesPackageForm(t *testing.T) {
+	// One warm MinimizerBuf reused across reads of varying length must
+	// produce exactly the allocate-per-call package form's output.
+	rng := rand.New(rand.NewSource(61))
+	var mb MinimizerBuf
+	var dst []uint64
+	for trial := 0; trial < 50; trial++ {
+		read := make([]Base, 30+rng.Intn(200))
+		for i := range read {
+			read[i] = Base(rng.Intn(4))
+		}
+		k := 15 + rng.Intn(13)
+		p := 1 + rng.Intn(k)
+		if p > MaxP {
+			p = MaxP
+		}
+		dst = mb.Minimizers(dst[:0], read, k, p)
+		want := Minimizers(nil, read, k, p)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(dst), len(want))
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d i=%d: %d vs %d", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMinimizerBufZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	read := make([]Base, 151)
+	for i := range read {
+		read[i] = Base(rng.Intn(4))
+	}
+	var mb MinimizerBuf
+	dst := make([]uint64, 0, len(read))
+	dst = mb.Minimizers(dst, read, 27, 11) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = mb.Minimizers(dst[:0], read, 27, 11)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed MinimizerBuf allocates %.1f objects/read, want 0", allocs)
+	}
+}
+
+func BenchmarkReverseComplement(b *testing.B) {
+	km := KmerFromString(randomSeq(rand.New(rand.NewSource(63)), 27))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		km = km.ReverseComplement(27)
+	}
+	sinkKmer = km
+}
+
+func BenchmarkReverseComplementNaive(b *testing.B) {
+	km := KmerFromString(randomSeq(rand.New(rand.NewSource(63)), 27))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		km = km.ReverseComplementNaive(27)
+	}
+	sinkKmer = km
+}
+
+func BenchmarkMinimizerBuf(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	read := make([]Base, 101)
+	for i := range read {
+		read[i] = Base(rng.Intn(4))
+	}
+	var mb MinimizerBuf
+	dst := make([]uint64, 0, len(read))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = mb.Minimizers(dst[:0], read, 27, 11)
+	}
+}
+
+// sinkKmer defeats dead-code elimination in the RC benchmarks.
+var sinkKmer Kmer

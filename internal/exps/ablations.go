@@ -56,7 +56,7 @@ func AblationLocking(opts Options) (Report, error) {
 		}
 	}
 	stElapsed := time.Since(start)
-	locked := stTable.Metrics().Inserts.Load()
+	locked := stTable.Metrics().Snapshot().Inserts
 
 	mxTable, err := hashtable.NewMutexTable(27, slots)
 	if err != nil {

@@ -253,9 +253,9 @@ func Contention(opts Options) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		m := table.Metrics()
-		locked += m.Inserts.Load()
-		lockFree += m.Updates.Load()
+		m := table.Metrics().Snapshot()
+		locked += m.Inserts
+		lockFree += m.Updates
 		kmers += pk
 	}
 	reduction := float64(lockFree) / float64(locked+lockFree)

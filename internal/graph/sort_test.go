@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+func randomVertices(seed int64, n, k int) []Vertex {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[dna.Kmer]bool, n)
+	out := make([]Vertex, 0, n)
+	bases := make([]dna.Base, k)
+	for len(out) < n {
+		for j := range bases {
+			bases[j] = dna.Base(rng.Intn(4))
+		}
+		canon, _ := dna.KmerFromBases(bases, k).Canonical(k)
+		if seen[canon] {
+			continue // vertex k-mers are unique within a subgraph
+		}
+		seen[canon] = true
+		v := Vertex{Kmer: canon}
+		for c := range v.Counts {
+			v.Counts[c] = rng.Uint32() % 7
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestSortParallelMatchesSort(t *testing.T) {
+	for _, n := range []int{0, 1, 100, sortParallelMin - 1, sortParallelMin, 3*sortParallelMin + 17} {
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			vs := randomVertices(int64(n)*1000+int64(workers), n, 27)
+			want := &Subgraph{K: 27, Vertices: append([]Vertex(nil), vs...)}
+			want.Sort()
+			got := &Subgraph{K: 27, Vertices: append([]Vertex(nil), vs...)}
+			got.SortParallel(workers)
+			if len(got.Vertices) != len(want.Vertices) {
+				t.Fatalf("n=%d workers=%d: length %d vs %d", n, workers, len(got.Vertices), len(want.Vertices))
+			}
+			for i := range want.Vertices {
+				if got.Vertices[i] != want.Vertices[i] {
+					t.Fatalf("n=%d workers=%d: vertex %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSortParallel(b *testing.B) {
+	vs := randomVertices(99, 1<<16, 27)
+	scratch := make([]Vertex, len(vs))
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "sequential", 8: "workers-8"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, vs)
+				g := &Subgraph{K: 27, Vertices: scratch}
+				g.SortParallel(workers)
+			}
+		})
+	}
+}

@@ -41,21 +41,31 @@ const countersPerSlot = 8
 // callers that cannot guarantee sizing should rebuild via Grow.
 var ErrTableFull = errors.New("hashtable: table full")
 
-// Metrics counts the hashing work a table has performed. All fields are
-// updated atomically and may be read during construction; they feed both
-// the contention experiments and the cost model.
+// metricsShards is the number of per-worker counter shards; a power of two
+// comfortably above typical thread counts, so concurrent workers using
+// distinct handles land on distinct cache lines.
+const metricsShards = 32
+
+// metricsShard is one worker's slice of the table counters, padded out to
+// two cache lines so neighbouring shards never share a line (the counters
+// themselves span 40 bytes; the pad covers prefetcher-pair effects too).
+type metricsShard struct {
+	inserts, updates, probes, lockWaits, casFailures atomic.Int64
+	_                                                [88]byte
+}
+
+// Metrics counts the hashing work a table has performed. The counters are
+// sharded per worker — every table handle (see Table.Inserter) bumps its own
+// padded shard, so the hot probe loop never bounces a shared cache line
+// between threads — and merged into a Snapshot on demand. They feed both the
+// contention experiments and the cost model.
 type Metrics struct {
-	// Inserts is the number of first-time key insertions (distinct
-	// vertices), each of which takes the slot lock exactly once.
-	Inserts atomic.Int64
-	// Updates is the number of duplicate-key visits, which never lock.
-	Updates atomic.Int64
-	// Probes is the total number of slots examined.
-	Probes atomic.Int64
-	// LockWaits counts loop iterations spent waiting on a locked slot.
-	LockWaits atomic.Int64
-	// CASFailures counts lost empty->locked races.
-	CASFailures atomic.Int64
+	shards [metricsShards]metricsShard
+}
+
+// shard returns the padded counter shard for a worker index.
+func (m *Metrics) shard(worker int) *metricsShard {
+	return &m.shards[uint(worker)%metricsShards]
 }
 
 // Snapshot is a point-in-time copy of a table's work counters, safe to keep
@@ -73,25 +83,44 @@ func (s Snapshot) ContentionReduction() float64 {
 	return float64(s.Updates) / float64(s.Inserts+s.Updates)
 }
 
-// Snapshot reads every counter atomically (each on its own; the set is not
-// a single consistent cut, which monotonic counters tolerate).
+// Snapshot merges every shard, reading each counter atomically (each on its
+// own; the set is not a single consistent cut, which monotonic counters
+// tolerate). Counter semantics are identical to the former shared-atomic
+// implementation: totals, not per-shard views.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
-		Inserts:     m.Inserts.Load(),
-		Updates:     m.Updates.Load(),
-		Probes:      m.Probes.Load(),
-		LockWaits:   m.LockWaits.Load(),
-		CASFailures: m.CASFailures.Load(),
+	var s Snapshot
+	for i := range m.shards {
+		sh := &m.shards[i]
+		s.Inserts += sh.inserts.Load()
+		s.Updates += sh.updates.Load()
+		s.Probes += sh.probes.Load()
+		s.LockWaits += sh.lockWaits.Load()
+		s.CASFailures += sh.casFailures.Load()
 	}
+	return s
 }
 
 // Reset zeroes every counter. It must not run concurrently with writers.
 func (m *Metrics) Reset() {
-	m.Inserts.Store(0)
-	m.Updates.Store(0)
-	m.Probes.Store(0)
-	m.LockWaits.Store(0)
-	m.CASFailures.Store(0)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.inserts.Store(0)
+		sh.updates.Store(0)
+		sh.probes.Store(0)
+		sh.lockWaits.Store(0)
+		sh.casFailures.Store(0)
+	}
+}
+
+// add folds a snapshot into the first shard; Grow uses it to carry counters
+// into the replacement table.
+func (m *Metrics) add(s Snapshot) {
+	sh := &m.shards[0]
+	sh.inserts.Add(s.Inserts)
+	sh.updates.Add(s.Updates)
+	sh.probes.Add(s.Probes)
+	sh.lockWaits.Add(s.LockWaits)
+	sh.casFailures.Add(s.CASFailures)
 }
 
 // Table is the concurrent De Bruijn subgraph hash table. All methods are
@@ -227,13 +256,30 @@ func MemoryBytesFor(capacity int) int64 {
 	return n*4 + n*8*2 + n*countersPerSlot*4
 }
 
+// Inserter is a per-worker insertion handle: it performs exactly the same
+// table operations as Table.InsertEdge but accounts its work into one
+// padded counter shard, so concurrent workers using distinct handles never
+// contend on metrics cache lines. Handles are cheap values; a worker
+// typically obtains one per partition. Any number of Inserters may run
+// concurrently (including alongside Table.InsertEdge, which is handle 0).
+type Inserter struct {
+	t  *Table
+	sh *metricsShard
+}
+
+// Inserter returns the insertion handle for a worker index. Indexes beyond
+// the shard count fold together (still correct, marginally more contended).
+func (t *Table) Inserter(worker int) Inserter {
+	return Inserter{t: t, sh: t.metrics.shard(worker)}
+}
+
 // InsertEdge records one canonical-oriented k-mer observation: the vertex
 // is inserted if absent, and its left/right neighbour counters are
 // incremented per the edge's adjacent bases. This is the hash table
 // lookup / insertion / update of §III-C2, with the state-transfer partial
 // locking of §III-C3.
 func (t *Table) InsertEdge(e msp.KmerEdge) error {
-	_, err := t.InsertEdgeCounted(e)
+	_, err := t.Inserter(0).InsertEdgeCounted(e)
 	return err
 }
 
@@ -241,14 +287,26 @@ func (t *Table) InsertEdge(e msp.KmerEdge) error {
 // which the simulated GPU uses to account for intra-warp divergence (lanes
 // in a warp diverge to different probe walk lengths, §III-D).
 func (t *Table) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
-	slot, inserted, probes, err := t.findOrInsert(e.Canon)
+	return t.Inserter(0).InsertEdgeCounted(e)
+}
+
+// InsertEdge records one observation through the handle's counter shard.
+func (in Inserter) InsertEdge(e msp.KmerEdge) error {
+	_, err := in.InsertEdgeCounted(e)
+	return err
+}
+
+// InsertEdgeCounted is InsertEdge returning the probe walk length.
+func (in Inserter) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
+	t := in.t
+	slot, inserted, probes, err := t.findOrInsert(e.Canon, in.sh)
 	if err != nil {
 		return probes, err
 	}
 	if inserted {
-		t.metrics.Inserts.Add(1)
+		in.sh.inserts.Add(1)
 	} else {
-		t.metrics.Updates.Add(1)
+		in.sh.updates.Add(1)
 	}
 	base := slot * countersPerSlot
 	if e.Left != msp.NoBase {
@@ -262,8 +320,8 @@ func (t *Table) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
 
 // findOrInsert locates the slot holding km, claiming an empty slot when the
 // key is new. It reports whether this call performed the insertion and how
-// many slots it probed.
-func (t *Table) findOrInsert(km dna.Kmer) (slot int, inserted bool, probes int, err error) {
+// many slots it probed; probe-walk work is accounted to the caller's shard.
+func (t *Table) findOrInsert(km dna.Kmer, sh *metricsShard) (slot int, inserted bool, probes int, err error) {
 	h := km.Hash()
 	for i := uint64(0); i <= t.mask; i++ {
 		idx := (h + i) & t.mask
@@ -276,7 +334,7 @@ func (t *Table) findOrInsert(km dna.Kmer) (slot int, inserted bool, probes int, 
 				// happens-after the key write, so a plain read here is
 				// ordered by the atomic load above.
 				if t.keysHi[idx] == km.Hi && t.keysLo[idx] == km.Lo {
-					t.metrics.Probes.Add(int64(probes))
+					sh.probes.Add(int64(probes))
 					return int(idx), false, probes, nil
 				}
 				break slotLoop // probe next slot
@@ -286,16 +344,16 @@ func (t *Table) findOrInsert(km dna.Kmer) (slot int, inserted bool, probes int, 
 					t.keysLo[idx] = km.Lo
 					atomic.StoreUint32(&t.states[idx], stateOccupied)
 					t.distinct.Add(1)
-					t.metrics.Probes.Add(int64(probes))
+					sh.probes.Add(int64(probes))
 					return int(idx), true, probes, nil
 				}
 				// Lost the race; the slot is now locked or occupied —
 				// re-examine it.
-				t.metrics.CASFailures.Add(1)
+				sh.casFailures.Add(1)
 			case stateLocked:
 				// Another thread is writing this key; per the paper,
 				// readers of a locked entry block until it turns occupied.
-				t.metrics.LockWaits.Add(1)
+				sh.lockWaits.Add(1)
 				runtime.Gosched()
 			}
 		}
@@ -401,11 +459,12 @@ func (t *Table) Grow() (*Table, error) {
 		return nil, err
 	}
 	var growErr error
+	rehash := bigger.metrics.shard(0)
 	t.ForEach(func(e Entry) {
 		if growErr != nil {
 			return
 		}
-		slot, _, _, err := bigger.findOrInsert(e.Kmer)
+		slot, _, _, err := bigger.findOrInsert(e.Kmer, rehash)
 		if err != nil {
 			growErr = err
 			return
@@ -418,12 +477,11 @@ func (t *Table) Grow() (*Table, error) {
 	if growErr != nil {
 		return nil, growErr
 	}
-	// Carry work counters across so metrics stay cumulative.
-	bigger.metrics.Inserts.Store(t.metrics.Inserts.Load())
-	bigger.metrics.Updates.Store(t.metrics.Updates.Load())
-	bigger.metrics.Probes.Store(t.metrics.Probes.Load())
-	bigger.metrics.LockWaits.Store(t.metrics.LockWaits.Load())
-	bigger.metrics.CASFailures.Store(t.metrics.CASFailures.Load())
+	// Carry work counters across so metrics stay cumulative. The rehash walk
+	// above accounted probes of its own; discard those first so the
+	// replacement reports exactly the original's counters, as it always has.
+	bigger.metrics.Reset()
+	bigger.metrics.add(t.metrics.Snapshot())
 	return bigger, nil
 }
 
@@ -432,9 +490,5 @@ func (t *Table) Grow() (*Table, error) {
 // On the paper's datasets this is about 0.8 ("reduce the contentious lock
 // on the keys by 80%").
 func (t *Table) ContentionReduction() float64 {
-	ins, upd := t.metrics.Inserts.Load(), t.metrics.Updates.Load()
-	if ins+upd == 0 {
-		return 0
-	}
-	return float64(upd) / float64(ins+upd)
+	return t.metrics.Snapshot().ContentionReduction()
 }

@@ -112,11 +112,11 @@ func TestTableConcurrentCorrectness(t *testing.T) {
 	wg.Wait()
 	checkAgainstRef(t, tab, ref)
 
-	m := tab.Metrics()
-	if got := m.Inserts.Load(); got != int64(len(ref)) {
+	m := tab.Metrics().Snapshot()
+	if got := m.Inserts; got != int64(len(ref)) {
 		t.Errorf("Inserts = %d, want %d", got, len(ref))
 	}
-	if got := m.Updates.Load(); got != int64(len(edges)-len(ref)) {
+	if got := m.Updates; got != int64(len(edges)-len(ref)) {
 		t.Errorf("Updates = %d, want %d", got, len(edges)-len(ref))
 	}
 }
@@ -428,7 +428,7 @@ func TestStateTransferLocksOncePerKey(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if got := tab.Metrics().Inserts.Load(); got != int64(len(ref)) {
+	if got := tab.Metrics().Snapshot().Inserts; got != int64(len(ref)) {
 		t.Errorf("lock-taking inserts = %d, want exactly %d (one per distinct key)", got, len(ref))
 	}
 }

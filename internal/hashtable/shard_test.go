@@ -1,0 +1,103 @@
+package hashtable
+
+import (
+	"sync"
+	"testing"
+)
+
+// Tests and benchmarks for the sharded metrics counters: per-worker
+// Inserter handles must keep Snapshot totals exact under concurrency, and
+// the parallel insert benchmark contrasts the single shared shard (every
+// worker funnelling through Table.InsertEdge, i.e. shard 0) with per-worker
+// shards.
+
+func TestInserterShardedConcurrent(t *testing.T) {
+	edges, ref := randomEdges(80, 1000, 40000, 27)
+	tab, err := New(27, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ins := tab.Inserter(w)
+			for i := w; i < len(edges); i += workers {
+				if err := ins.InsertEdge(edges[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkAgainstRef(t, tab, ref)
+	m := tab.Metrics().Snapshot()
+	if got := m.Inserts; got != int64(len(ref)) {
+		t.Errorf("Inserts = %d, want %d", got, len(ref))
+	}
+	if got := m.Updates; got != int64(len(edges)-len(ref)) {
+		t.Errorf("Updates = %d, want %d", got, len(edges)-len(ref))
+	}
+	if m.Probes < int64(len(edges)) {
+		t.Errorf("Probes = %d, want at least one per access (%d)", m.Probes, len(edges))
+	}
+}
+
+func TestInserterWorkerIndexAnyValue(t *testing.T) {
+	// Worker indices beyond the shard count (and negative ones) must map to
+	// a valid shard rather than panic; totals stay exact.
+	edges, ref := randomEdges(81, 64, 512, 27)
+	tab, err := New(27, 1<<11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
+		if err := tab.Inserter(i*37 - 5).InsertEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.Metrics().Snapshot().Inserts; got != int64(len(ref)) {
+		t.Errorf("Inserts = %d, want %d", got, len(ref))
+	}
+}
+
+func benchmarkParallelInsert(b *testing.B, sharded bool) {
+	edges, _ := randomEdges(82, 1<<15, 1<<18, 27)
+	tab, err := New(27, 1<<19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Reset()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ins := tab.Inserter(0)
+				if sharded {
+					ins = tab.Inserter(w)
+				}
+				for j := w; j < len(edges); j += workers {
+					if err := ins.InsertEdge(edges[j]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(edges))), "ns/edge")
+}
+
+func BenchmarkInsertEdgeParallel(b *testing.B) {
+	b.Run("shared-shard", func(b *testing.B) { benchmarkParallelInsert(b, false) })
+	b.Run("sharded", func(b *testing.B) { benchmarkParallelInsert(b, true) })
+}

@@ -1,0 +1,188 @@
+package msp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"parahash/internal/dna"
+)
+
+// Tests for the hot-path overhaul: the rolling-canonicalization k-mer
+// enumerator against its per-instance oracle, scan-time partition stamps,
+// the batched output route, and the scanner's zero-allocation guarantee.
+
+func TestForEachKmerEdgeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 80; trial++ {
+		read := randomRead(rng, 40+rng.Intn(200))
+		k := 5 + rng.Intn(dna.MaxK-4)
+		p := 1 + rng.Intn(k)
+		if p > dna.MaxP {
+			p = dna.MaxP
+		}
+		for _, sk := range SuperkmersFromRead(nil, read, k, p) {
+			var fast, naive []KmerEdge
+			ForEachKmerEdge(sk, k, func(e KmerEdge) { fast = append(fast, e) })
+			ForEachKmerEdgeNaive(sk, k, func(e KmerEdge) { naive = append(naive, e) })
+			if len(fast) != len(naive) {
+				t.Fatalf("trial %d k=%d: %d edges vs %d", trial, k, len(fast), len(naive))
+			}
+			for i := range fast {
+				if fast[i] != naive[i] {
+					t.Fatalf("trial %d k=%d edge %d: rolling %+v != naive %+v (sk=%s)",
+						trial, k, i, fast[i], naive[i], sk)
+				}
+			}
+		}
+	}
+}
+
+func TestScannerPartitionStamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sc := &Scanner{K: 27, P: 11, NumPartitions: 64}
+	var sks []Superkmer
+	for trial := 0; trial < 20; trial++ {
+		sks = sc.Superkmers(sks[:0], randomRead(rng, 150))
+		for i, sk := range sks {
+			if !sk.PartValid {
+				t.Fatalf("trial %d superkmer %d: stamp missing", trial, i)
+			}
+			if want := Partition(sk.Minimizer, 64); int(sk.Part) != want {
+				t.Fatalf("trial %d superkmer %d: stamp %d, want %d", trial, i, sk.Part, want)
+			}
+		}
+	}
+	// Without NumPartitions the stamp stays unset.
+	sc2 := &Scanner{K: 27, P: 11}
+	for _, sk := range sc2.Superkmers(nil, randomRead(rng, 150)) {
+		if sk.PartValid {
+			t.Fatal("stampless scanner set PartValid")
+		}
+	}
+}
+
+type captureSink struct{ buf *bytes.Buffer }
+
+func (c captureSink) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c captureSink) Close() error                { return nil }
+
+func capturingWriter(t *testing.T, k, np int) (*Writer, []*bytes.Buffer) {
+	t.Helper()
+	bufs := make([]*bytes.Buffer, np)
+	w, err := NewPartitionWriter(k, np, func(i int) (io.WriteCloser, error) {
+		bufs[i] = &bytes.Buffer{}
+		return captureSink{bufs[i]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, bufs
+}
+
+func TestWriteBatchMatchesWriteSuperkmer(t *testing.T) {
+	// The batched route — stamped or not — must produce byte-identical
+	// partition files and identical stats to the per-record route.
+	rng := rand.New(rand.NewSource(72))
+	k, p, np := 27, 11, 16
+	stamped := &Scanner{K: k, P: p, NumPartitions: np}
+	var sks []Superkmer
+	for i := 0; i < 30; i++ {
+		sks = stamped.Superkmers(sks, randomRead(rng, 120))
+	}
+
+	ref, refBufs := capturingWriter(t, k, np)
+	var refBytes int64
+	for _, sk := range sks {
+		unstamped := sk
+		unstamped.PartValid, unstamped.Part = false, 0
+		if err := ref.WriteSuperkmer(unstamped); err != nil {
+			t.Fatal(err)
+		}
+		refBytes += int64(EncodedSize(len(sk.Bases)))
+	}
+
+	got, gotBufs := capturingWriter(t, k, np)
+	n, bytesWritten, err := got.WriteBatch(sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(sks) || bytesWritten != refBytes {
+		t.Fatalf("WriteBatch = (%d, %d), want (%d, %d)", n, bytesWritten, len(sks), refBytes)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range refBufs {
+		if !bytes.Equal(refBufs[i].Bytes(), gotBufs[i].Bytes()) {
+			t.Fatalf("partition %d bytes differ between batched and per-record routes", i)
+		}
+	}
+	refStats, gotStats := ref.Stats(), got.Stats()
+	for i := range refStats {
+		if refStats[i] != gotStats[i] {
+			t.Fatalf("partition %d stats differ: %+v vs %+v", i, refStats[i], gotStats[i])
+		}
+	}
+}
+
+func TestWriterIgnoresOutOfRangeStamp(t *testing.T) {
+	// A stamp outside the writer's partition range (e.g. from a differently
+	// configured scanner) must fall back to the minimizer hash, not crash.
+	w, _ := capturingWriter(t, 5, 4)
+	sk := Superkmer{Bases: randomRead(rand.New(rand.NewSource(73)), 8), Minimizer: 42, Part: 99, PartValid: true}
+	if err := w.WriteSuperkmer(sk); err != nil {
+		t.Fatal(err)
+	}
+	stats := w.Stats()
+	if got := stats[Partition(42, 4)].Superkmers; got != 1 {
+		t.Fatalf("record not routed by minimizer hash fallback: %+v", stats)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScannerZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	read := randomRead(rng, 151)
+	sc := &Scanner{K: 27, P: 11, NumPartitions: 64}
+	dst := make([]Superkmer, 0, 64)
+	dst = sc.Superkmers(dst, read) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = sc.Superkmers(dst[:0], read)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Scanner allocates %.1f objects/read, want 0", allocs)
+	}
+}
+
+func benchmarkEdges(b *testing.B, each func(Superkmer, int, func(KmerEdge))) {
+	rng := rand.New(rand.NewSource(75))
+	k, p := 27, 11
+	var sks []Superkmer
+	var kmers int64
+	for i := 0; i < 20; i++ {
+		sks = SuperkmersFromRead(sks, randomRead(rng, 151), k, p)
+	}
+	for _, sk := range sks {
+		kmers += int64(sk.NumKmers(k))
+	}
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sk := range sks {
+			each(sk, k, func(e KmerEdge) { sink += int64(e.Left) })
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*kmers), "ns/kmer")
+	_ = sink
+}
+
+func BenchmarkForEachKmerEdge(b *testing.B)      { benchmarkEdges(b, ForEachKmerEdge) }
+func BenchmarkForEachKmerEdgeNaive(b *testing.B) { benchmarkEdges(b, ForEachKmerEdgeNaive) }

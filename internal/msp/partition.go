@@ -66,19 +66,57 @@ func NewPartitionWriter(k, numPartitions int, open func(i int) (io.WriteCloser, 
 // NumPartitions returns the partition count.
 func (w *Writer) NumPartitions() int { return w.numPartitions }
 
+// partitionOf resolves a superkmer's partition index: the scan-time stamp
+// when present and in range, the minimizer hash otherwise.
+func (w *Writer) partitionOf(sk *Superkmer) int {
+	if sk.PartValid {
+		if idx := int(sk.Part); idx >= 0 && idx < w.numPartitions {
+			return idx
+		}
+	}
+	return Partition(sk.Minimizer, w.numPartitions)
+}
+
 // WriteSuperkmer encodes sk into its partition.
 func (w *Writer) WriteSuperkmer(sk Superkmer) error {
-	idx := Partition(sk.Minimizer, w.numPartitions)
+	idx := w.partitionOf(&sk)
 	if err := w.encoders[idx].Encode(sk); err != nil {
 		return fmt.Errorf("msp: writing partition %d: %w", idx, err)
 	}
-	st := &w.stats[idx]
-	st.Superkmers++
-	st.Kmers += int64(sk.NumKmers(w.k))
-	st.Bases += int64(len(sk.Bases))
-	st.EncodedBytes += int64(EncodedSize(len(sk.Bases)))
-	st.PlainBytes += int64(PlainEncodedSize(len(sk.Bases)))
+	w.account(idx, &sk)
 	return nil
+}
+
+// account folds one routed record into its partition's statistics.
+func (w *Writer) account(idx int, sk *Superkmer) {
+	st := &w.stats[idx]
+	n := len(sk.Bases)
+	st.Superkmers++
+	st.Kmers += int64(n - w.k + 1)
+	st.Bases += int64(n)
+	st.EncodedBytes += int64(EncodedSize(n))
+	st.PlainBytes += int64(PlainEncodedSize(n))
+}
+
+// WriteBatch routes a batch of superkmers — the Step 1 output stage's unit
+// of work — returning how many records were fully written and their total
+// encoded bytes. Records carrying a scan-time partition stamp skip the
+// per-record minimizer hash entirely; a failed record stops the batch, and
+// the returned count lets a retried write resume after the prefix already
+// routed (encoded partition files are append-ordered, so a resumed batch
+// stays byte-identical).
+func (w *Writer) WriteBatch(sks []Superkmer) (int, int64, error) {
+	var bytes int64
+	for i := range sks {
+		sk := &sks[i]
+		idx := w.partitionOf(sk)
+		if err := w.encoders[idx].Encode(*sk); err != nil {
+			return i, bytes, fmt.Errorf("msp: writing partition %d: %w", idx, err)
+		}
+		w.account(idx, sk)
+		bytes += int64(EncodedSize(len(sk.Bases)))
+	}
+	return len(sks), bytes, nil
 }
 
 // WriteRead scans a read with the scanner and writes all its superkmers.

@@ -34,6 +34,13 @@ type Superkmer struct {
 	Left dna.Base
 	// Right is the following base when HasRight.
 	Right dna.Base
+	// Part is the partition index precomputed at scan time, valid only when
+	// PartValid. A Scanner with NumPartitions set fills it so the sequential
+	// Step 1 output stage routes records without re-hashing the minimizer;
+	// it is not part of the encoded record format.
+	Part int32
+	// PartValid reports whether Part holds a scan-time partition index.
+	PartValid bool
 }
 
 // NumKmers returns the number of k-mers contained in the superkmer.
@@ -55,14 +62,21 @@ func SuperkmersFromRead(dst []Superkmer, read []dna.Base, k, p int) []Superkmer 
 	return s.Superkmers(dst, read)
 }
 
-// Scanner splits reads into superkmers while reusing its minimizer scratch
-// buffer across calls. A Scanner is not safe for concurrent use; each worker
-// owns one.
+// Scanner splits reads into superkmers while reusing its minimizer and
+// p-mer scratch buffers across calls: after warming up on the longest read
+// it performs zero allocations per read (the caller owns the output slice).
+// A Scanner is not safe for concurrent use; each worker owns one.
 type Scanner struct {
 	// K is the k-mer length, P the minimizer length; P <= K <= dna.MaxK.
 	K, P int
+	// NumPartitions, when positive, makes the Scanner stamp every emitted
+	// superkmer with its partition index (Partition of the minimizer), so
+	// routing work moves from the sequential output stage into the parallel
+	// scan. Zero leaves Part unset and routing to the writer.
+	NumPartitions int
 
 	minims []uint64
+	mb     dna.MinimizerBuf
 }
 
 // Superkmers appends the superkmers of read to dst and returns it.
@@ -71,11 +85,16 @@ func (s *Scanner) Superkmers(dst []Superkmer, read []dna.Base) []Superkmer {
 	if nk <= 0 {
 		return dst
 	}
-	s.minims = dna.Minimizers(s.minims[:0], read, s.K, s.P)
+	s.minims = s.mb.Minimizers(s.minims[:0], read, s.K, s.P)
 	start := 0
 	for i := 1; i <= nk; i++ {
 		if i == nk || s.minims[i] != s.minims[start] {
-			dst = append(dst, makeSuperkmer(read, start, i-1, s.K, s.minims[start]))
+			sk := makeSuperkmer(read, start, i-1, s.K, s.minims[start])
+			if s.NumPartitions > 0 {
+				sk.Part = int32(Partition(sk.Minimizer, s.NumPartitions))
+				sk.PartValid = true
+			}
+			dst = append(dst, sk)
 			start = i
 		}
 	}
@@ -122,7 +141,52 @@ type KmerEdge struct {
 // previous/next bases map to Left/Right directly; for a reverse-canonical
 // instance they swap sides and complement, so that strand-mirrored inputs
 // produce identical observations.
+//
+// Canonical orientation is maintained with a rolling reverse-complement
+// window: appending base b on the forward strand prepends b's complement on
+// the reverse strand, so each k-mer instance costs O(1) instead of the O(k)
+// re-derivation of Kmer.Canonical. ForEachKmerEdgeNaive is the per-instance
+// oracle the equivalence tests check against.
 func ForEachKmerEdge(sk Superkmer, k int, fn func(KmerEdge)) {
+	n := sk.NumKmers(k)
+	if n <= 0 {
+		return
+	}
+	km := dna.KmerFromBases(sk.Bases, k)
+	rc := km.ReverseComplement(k)
+	for t := 0; t < n; t++ {
+		if t > 0 {
+			b := sk.Bases[t+k-1]
+			km = km.AppendBase(b, k)
+			rc = rc.PrependBase(b.Complement(), k)
+		}
+		prev, next := NoBase, NoBase
+		if t > 0 {
+			prev = int8(sk.Bases[t-1])
+		} else if sk.HasLeft {
+			prev = int8(sk.Left)
+		}
+		if t < n-1 {
+			next = int8(sk.Bases[t+k])
+		} else if sk.HasRight {
+			next = int8(sk.Right)
+		}
+		var e KmerEdge
+		if rc.Less(km) {
+			e.Canon = rc
+			e.Left, e.Right = complementOrNone(next), complementOrNone(prev)
+		} else {
+			e.Canon = km
+			e.Left, e.Right = prev, next
+		}
+		fn(e)
+	}
+}
+
+// ForEachKmerEdgeNaive is the reference implementation of ForEachKmerEdge:
+// it re-derives the canonical form of every k-mer instance from scratch via
+// Kmer.Canonical. Kept as the oracle for the rolling-window version.
+func ForEachKmerEdgeNaive(sk Superkmer, k int, fn func(KmerEdge)) {
 	n := sk.NumKmers(k)
 	if n <= 0 {
 		return
