@@ -1,0 +1,116 @@
+// Command chaos runs seeded randomized fault campaigns against the
+// ParaHash build pipeline and differentially checks every run against a
+// fault-free oracle (see internal/chaos for the invariant contract).
+//
+// Usage:
+//
+//	chaos -profile small -seed 42 -runs 25
+//	chaos -profile medium -seed 42 -duration 10m -out soak.json
+//
+// The process exits 0 when every run upholds the invariants and 1 when any
+// violates one; the JSON report (parahash.chaos/v1) carries each run's own
+// scenario seed, so a red run replays exactly with
+// `chaos -replay -seed <that-seed>`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parahash/internal/chaos"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	var (
+		profile  = fs.String("profile", "small", "campaign profile: "+strings.Join(chaos.Profiles(), ", "))
+		seed     = fs.Int64("seed", 1, "root seed; per-run seeds are derived from it deterministically")
+		runs     = fs.Int("runs", 10, "number of scenarios to run")
+		duration = fs.Duration("duration", 0, "keep running derived scenarios past -runs until this wall-clock budget elapses (0 = exactly -runs)")
+		outPath  = fs.String("out", "", "write the parahash.chaos/v1 JSON report to this file (default: stdout)")
+		workDir  = fs.String("dir", "", "parent directory for per-run checkpoint stores (default: the system temp dir); violating runs keep theirs for debugging")
+		replay   = fs.Bool("replay", false, "treat -seed as one run's literal scenario seed (as printed in a report) and execute exactly that scenario once")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	prof, err := chaos.ProfileByName(*profile)
+	if err != nil {
+		return 2, err
+	}
+	if *runs < 1 {
+		return 2, fmt.Errorf("-runs %d must be at least 1", *runs)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "chaos: profile %s, root seed %d, %d runs", prof.Name, *seed, *runs)
+	if *duration > 0 {
+		fmt.Fprintf(os.Stderr, " (or %v)", *duration)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	eng, err := chaos.NewEngine(prof)
+	if err != nil {
+		return 2, err
+	}
+	start := time.Now()
+	var rep *chaos.Report
+	if *replay {
+		rep, err = eng.Replay(ctx, *seed, *workDir)
+	} else {
+		rep, err = eng.Campaign(ctx, *seed, *runs, *duration, *workDir)
+	}
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(os.Stderr, "chaos: %d passed, %d failed in %.1fs\n",
+		rep.Passed, rep.Failed, time.Since(start).Seconds())
+	for _, r := range rep.Runs {
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "chaos: run %d seed %d [%s]: %s (replay: chaos -profile %s -replay -seed %d)\n",
+				r.Run, r.Seed, v.Invariant, v.Detail, prof.Name, r.Seed)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return 2, err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		if _, err := stdout.Write(data); err != nil {
+			return 2, err
+		}
+	} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return 2, err
+	}
+
+	if ctx.Err() != nil {
+		return 130, nil
+	}
+	if !rep.Green() {
+		return 1, nil
+	}
+	return 0, nil
+}

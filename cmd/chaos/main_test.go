@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"parahash/internal/chaos"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-profile", "small", "-seed", "7", "-runs", "3", "-dir", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Format != chaos.FormatV1 {
+		t.Fatalf("format = %q, want %q", rep.Format, chaos.FormatV1)
+	}
+	if len(rep.Runs) != 3 || !rep.Green() {
+		t.Fatalf("campaign: %+v", rep)
+	}
+}
+
+func TestRunReplaySingleSeed(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-profile", "small", "-replay", "-seed", "12345", "-dir", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Seed != 12345 {
+		t.Fatalf("replay did not use the literal seed: %+v", rep.Runs)
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	if code, err := run([]string{"-profile", "galactic"}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Fatalf("unknown profile: code=%d err=%v", code, err)
+	}
+}

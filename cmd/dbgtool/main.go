@@ -9,6 +9,7 @@
 //	dbgtool contigs  graph.dbg [-auto]      # compact to contig FASTA
 //	dbgtool gfa      graph.dbg out.gfa      # export compacted graph as GFA 1.0
 //	dbgtool dot      graph.dbg out.dot      # export compacted graph as DOT
+//	dbgtool scrub    checkpoint-dir         # verify + repair a build checkpoint
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"parahash/internal/core"
 	"parahash/internal/dna"
 	"parahash/internal/graph"
 )
@@ -30,11 +32,16 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: dbgtool {stats|lookup|spectrum|contigs|gfa|dot} graph.dbg [args]")
+		return fmt.Errorf("usage: dbgtool {stats|lookup|spectrum|contigs|gfa|dot} graph.dbg [args] | dbgtool scrub checkpoint-dir")
 	}
 	cmd, path := args[0], args[1]
 	rest := args[2:]
 
+	// scrub operates on a checkpoint directory, not a graph file, so it
+	// dispatches before the graph load.
+	if cmd == "scrub" {
+		return cmdScrub(stdout, path)
+	}
 	g, err := loadGraph(path)
 	if err != nil {
 		return err
@@ -151,6 +158,40 @@ func cmdContigs(w, errw io.Writer, g *graph.Subgraph, auto bool, minLen int) err
 	m := graph.ComputeAssemblyMetrics(kept, 0)
 	fmt.Fprintf(errw, "%d contigs written; total %d bp, longest %d, N50 %d\n",
 		m.Contigs, m.TotalBases, m.Longest, m.N50)
+	return nil
+}
+
+func cmdScrub(w io.Writer, dir string) error {
+	rep, err := core.Scrub(dir)
+	if err != nil {
+		return err
+	}
+	if !rep.ManifestPresent {
+		fmt.Fprintf(w, "no manifest in %s; swept %d in-flight file(s), nothing claimed to verify\n",
+			dir, len(rep.TmpSwept))
+		return nil
+	}
+	if !rep.Step1Done {
+		fmt.Fprintf(w, "manifest journals no completed step; a resume reruns everything (swept %d in-flight file(s))\n",
+			len(rep.TmpSwept))
+		return nil
+	}
+	fmt.Fprintf(w, "step 1 claims verified: %d (damaged %d)\n", rep.Step1Verified, rep.Step1Damaged)
+	fmt.Fprintf(w, "step 2 claims verified: %d (damaged %d)\n", rep.Step2Verified, rep.Step2Damaged)
+	for _, name := range rep.TmpSwept {
+		fmt.Fprintf(w, "swept in-flight file: %s\n", name)
+	}
+	for _, name := range rep.Quarantined {
+		fmt.Fprintf(w, "quarantined: %s\n", name)
+	}
+	if rep.ManifestRepaired {
+		fmt.Fprintln(w, "manifest repaired: damaged step 2 claims dropped for selective rebuild")
+	}
+	if rep.Clean() {
+		fmt.Fprintln(w, "checkpoint clean: every claim matches its durable bytes")
+	} else {
+		fmt.Fprintln(w, "checkpoint repaired: resume with -resume to rebuild the quarantined partitions")
+	}
 	return nil
 }
 

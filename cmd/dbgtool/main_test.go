@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"parahash"
+	"parahash/internal/core"
 	"parahash/internal/dna"
 )
 
@@ -127,6 +128,49 @@ func TestUsageErrors(t *testing.T) {
 		var out, errw bytes.Buffer
 		if err := run(args, &out, &errw); err == nil {
 			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestScrub(t *testing.T) {
+	d, err := parahash.GenerateDataset(parahash.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.NumPartitions = 8
+	cfg.CPUThreads = 2
+	cfg.NumGPUs = 0
+	dir := t.TempDir()
+	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: "test:tiny"}
+	if _, err := core.Build(d.Reads, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	if err := run([]string{"scrub", dir}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint clean") {
+		t.Fatalf("clean checkpoint scrub output:\n%s", out.String())
+	}
+
+	// Truncate one subgraph; scrub must quarantine it and report repair.
+	victim := filepath.Join(dir, "data", "subgraphs", "0003")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"scrub", dir}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"quarantined: subgraphs/0003", "manifest repaired", "checkpoint repaired"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scrub output missing %q:\n%s", want, out.String())
 		}
 	}
 }

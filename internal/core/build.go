@@ -196,6 +196,9 @@ func buildStep1(ctx context.Context, cfg Config, st store.PartitionStore, ck *ch
 		// a crash before the manifest records them forces a Step 1 rerun on
 		// resume, which is safe — the files are simply rewritten.
 		faultinject.MaybeCrash("step1.published")
+		if err := faultinject.MaybeStall(ctx, "step1.published"); err != nil {
+			return nil, StepStats{}, err
+		}
 		if err := ck.recordStep1(partStats, infos); err != nil {
 			return nil, StepStats{}, err
 		}

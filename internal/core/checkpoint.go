@@ -47,13 +47,24 @@ type checkpoint struct {
 	rebuiltSet map[int]bool
 }
 
+// wrapBuildStore applies the config's fault-injection store wrapper, if
+// any, to the store the build's pipeline reads and writes through. The
+// checkpoint keeps its direct handle on the raw disk store: resume
+// verification and Scrub judge the durable bytes, not the fault layer.
+func wrapBuildStore(cfg Config, st store.PartitionStore) store.PartitionStore {
+	if cfg.StoreWrap != nil {
+		return cfg.StoreWrap(st)
+	}
+	return st
+}
+
 // openCheckpoint resolves the configured store. Without a checkpoint
 // directory it returns the in-memory simulated store and a nil checkpoint —
 // the historical behaviour. With one it opens the durable disk store,
 // loads (or initialises) the manifest, and on resume assesses every claim.
 func openCheckpoint(cfg Config) (store.PartitionStore, *checkpoint, error) {
 	if cfg.Checkpoint.Dir == "" {
-		return newSimStore(cfg), nil, nil
+		return wrapBuildStore(cfg, newSimStore(cfg)), nil, nil
 	}
 	ds, err := diskstore.Open(filepath.Join(cfg.Checkpoint.Dir, "data"))
 	if err != nil {
@@ -77,7 +88,7 @@ func openCheckpoint(cfg Config) (store.PartitionStore, *checkpoint, error) {
 			}
 			ck.man = m
 			ck.assess(cfg)
-			return ds, ck, nil
+			return wrapBuildStore(cfg, ds), ck, nil
 		case os.IsNotExist(err):
 			// No manifest yet — nothing durable to trust; fall through to a
 			// fresh start in the same directory.
@@ -98,7 +109,7 @@ func openCheckpoint(cfg Config) (store.PartitionStore, *checkpoint, error) {
 	if err := ck.man.Save(ck.path); err != nil {
 		return nil, nil, err
 	}
-	return ds, ck, nil
+	return wrapBuildStore(cfg, ds), ck, nil
 }
 
 // assess verifies every manifest claim against the durable store and fills
@@ -134,17 +145,29 @@ func (ck *checkpoint) assess(cfg Config) {
 	}
 }
 
-// verifyStep1 checks a claimed partition file: present, the recorded size,
-// and a full decode under RequireFooter whose record CRC matches the
-// manifest's independently recorded checksum.
+// verifyStep1 checks a claimed partition file against the durable store.
 func (ck *checkpoint) verifyStep1(rec *manifest.Step1Partition) bool {
+	return verifyStep1File(ck.ds, rec)
+}
+
+// verifySubgraph checks a claimed subgraph file against the durable store.
+func (ck *checkpoint) verifySubgraph(rec *manifest.Step2Partition) (*graph.Subgraph, bool) {
+	return verifySubgraphFile(ck.ds, rec)
+}
+
+// verifyStep1File checks a claimed partition file: present, the recorded
+// size, and a full decode under RequireFooter whose record CRC matches the
+// manifest's independently recorded checksum. Resume assessment and the
+// Scrub repair pass share this exact judgement, so a claim Scrub verifies
+// clean is by construction one a resume will trust.
+func verifyStep1File(ds store.PartitionStore, rec *manifest.Step1Partition) bool {
 	if rec == nil {
 		return false
 	}
-	if sz, err := ck.ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+	if sz, err := ds.Size(rec.Name); err != nil || sz != rec.Bytes {
 		return false
 	}
-	r, err := ck.ds.Open(rec.Name)
+	r, err := ds.Open(rec.Name)
 	if err != nil {
 		return false
 	}
@@ -160,14 +183,18 @@ func (ck *checkpoint) verifyStep1(rec *manifest.Step1Partition) bool {
 	return dec.Sum32() == rec.CRC32
 }
 
-// verifySubgraph checks a claimed subgraph file: present, the recorded size,
-// parseable, and carrying the recorded vertex count. On success it returns
-// the parsed graph so a KeepSubgraphs build reuses the verification parse.
-func (ck *checkpoint) verifySubgraph(rec *manifest.Step2Partition) (*graph.Subgraph, bool) {
-	if sz, err := ck.ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+// verifySubgraphFile checks a claimed subgraph file: present, the recorded
+// size, parseable, and carrying the recorded vertex count. On success it
+// returns the parsed graph so a KeepSubgraphs build reuses the
+// verification parse.
+func verifySubgraphFile(ds store.PartitionStore, rec *manifest.Step2Partition) (*graph.Subgraph, bool) {
+	if rec == nil {
 		return nil, false
 	}
-	r, err := ck.ds.Open(rec.Name)
+	if sz, err := ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+		return nil, false
+	}
+	r, err := ds.Open(rec.Name)
 	if err != nil {
 		return nil, false
 	}

@@ -145,10 +145,19 @@ type Config struct {
 	// spans from the schedule — for Chrome trace-event export.
 	Trace *obs.Trace
 
-	// procWrap, when set, post-processes the instantiated processor slice
-	// before each pipeline step; fault-injection tests use it to script
-	// device drop-outs without touching the public surface.
-	procWrap func([]device.Processor) []device.Processor
+	// ProcWrap, when set, post-processes the instantiated processor slice
+	// before each pipeline step; fault injection (the chaos engine, the
+	// core fault tests) uses it to script device drop-outs, per-call
+	// failures and hangs. Production configs leave it nil.
+	ProcWrap func([]device.Processor) []device.Processor
+
+	// StoreWrap, when set, wraps the partition store the build reads and
+	// writes through; fault injection uses it to script IO faults (via
+	// faultinject.WrapStore) on either medium. Checkpoint resume
+	// verification and Scrub bypass the wrapper — they must judge the
+	// durable bytes actually on disk, not the fault layer's view of them.
+	// Production configs leave it nil.
+	StoreWrap func(store.PartitionStore) store.PartitionStore
 }
 
 // DefaultConfig returns the paper's default configuration, scaled-dataset
@@ -243,9 +252,11 @@ func (c Config) resiliencePolicy() pipeline.Policy {
 // retryableIOFault classifies read/write-stage errors for the resilient
 // runner. Corruption (detected by the msp integrity footer) and generic IO
 // faults are transient — a re-read serves fresh bytes — but a missing file
-// is deterministic and retrying it is pointless.
+// and a full disk are deterministic: retrying either is pointless, so the
+// partition fails fast with its typed error intact (ErrDiskFull leaves the
+// manifest and every published partition ready for a -resume).
 func retryableIOFault(err error) bool {
-	return !errors.Is(err, store.ErrNotFound)
+	return !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrDiskFull)
 }
 
 // NumProcessors returns the configured compute device count.

@@ -51,7 +51,7 @@ func TestBuildDegradedMatchesFaultFree(t *testing.T) {
 		},
 	}
 	faulty := cfg
-	faulty.procWrap = plan.WrapProcessors
+	faulty.ProcWrap = plan.WrapProcessors
 	store := iosim.NewStore(faulty.Medium)
 	plan.ApplyStore(store)
 
@@ -177,7 +177,7 @@ func TestBuildAllProcessorsDead(t *testing.T) {
 			{Proc: 1, DeadOnArrival: true},
 		},
 	}
-	cfg.procWrap = plan.WrapProcessors
+	cfg.ProcWrap = plan.WrapProcessors
 	_, err := buildWithStore(context.Background(), reads, cfg, iosim.NewStore(cfg.Medium), nil)
 	if !errors.Is(err, pipeline.ErrNoHealthyWorkers) {
 		t.Fatalf("expected ErrNoHealthyWorkers, got: %v", err)

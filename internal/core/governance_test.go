@@ -176,7 +176,7 @@ func TestWatchdogKillsHungProcessorAndRecovers(t *testing.T) {
 			{Proc: 1, HangStep2Calls: []int{0}}, // GPU0's first partition wedges
 		},
 	}
-	cfg.procWrap = plan.WrapProcessors
+	cfg.ProcWrap = plan.WrapProcessors
 
 	res, err := Build(reads, cfg)
 	if err != nil {

@@ -76,6 +76,11 @@ type StepStats struct {
 	// PeakAdmittedBytes is the largest concurrently admitted predicted
 	// footprint; by construction ≤ MemoryBudgetBytes.
 	PeakAdmittedBytes int64
+	// AdmissionBalanceBytes is the weight still admitted when the step's
+	// pipeline drained. Always zero in a correct build — even a faulted or
+	// canceled one — because every admission is released on the partition's
+	// way out; the chaos invariant checker asserts it.
+	AdmissionBalanceBytes int64
 }
 
 // Degraded reports whether the step hit any fault handled by the resilient

@@ -20,6 +20,14 @@ func superkmerFile(i int) string { return fmt.Sprintf("superkmers/%04d", i) }
 // subgraphFile names a constructed subgraph in the store.
 func subgraphFile(i int) string { return fmt.Sprintf("subgraphs/%04d", i) }
 
+// SuperkmerFile and SubgraphFile expose the store names of partition
+// artifacts so fault plans (the chaos engine) can script IO faults against
+// specific files without duplicating the naming scheme.
+func SuperkmerFile(i int) string { return superkmerFile(i) }
+
+// SubgraphFile is the exported counterpart of subgraphFile.
+func SubgraphFile(i int) string { return subgraphFile(i) }
+
 // partitionSinks opens the sink for one superkmer partition's encoded file.
 type partitionSinks func(i int) (io.WriteCloser, error)
 
@@ -48,7 +56,7 @@ func (nopSink) Write(p []byte) (int, error) { return len(p), nil }
 func (nopSink) Close() error                { return nil }
 
 // processors instantiates the configured compute devices. Index 0 is the
-// CPU when enabled, followed by the GPUs. A configured procWrap (fault
+// CPU when enabled, followed by the GPUs. A configured ProcWrap (fault
 // injection) is applied last, so each step scripts its faults on a fresh
 // device slice.
 func processors(cfg Config) []device.Processor {
@@ -68,8 +76,8 @@ func processors(cfg Config) []device.Processor {
 			Partitions:  cfg.NumPartitions,
 		})
 	}
-	if cfg.procWrap != nil {
-		procs = cfg.procWrap(procs)
+	if cfg.ProcWrap != nil {
+		procs = cfg.ProcWrap(procs)
 	}
 	return procs
 }
@@ -89,6 +97,7 @@ func applyReport(st *StepStats, rep pipeline.Report, procs []device.Processor) {
 	st.AdmissionWaits = rep.Admission.Waits
 	st.AdmissionWaitSeconds = rep.Admission.WaitSeconds
 	st.PeakAdmittedBytes = rep.Admission.PeakBytes
+	st.AdmissionBalanceBytes = rep.Admission.BalanceBytes
 	for _, w := range rep.Quarantined {
 		st.Quarantined = append(st.Quarantined, procs[w].Name())
 	}

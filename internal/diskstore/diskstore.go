@@ -11,6 +11,7 @@ package diskstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"parahash/internal/store"
 )
@@ -122,16 +124,22 @@ func (s *Store) Size(name string) (int64, error) {
 	return st.Size(), nil
 }
 
-// Remove deletes a published file if present.
+// Remove deletes a published file if present. The parent directory is
+// fsynced after the unlink, so a deletion is durable with the same
+// guarantee as Close's publication rename: after Remove returns, a crash
+// or power loss can never resurrect the deleted file.
 func (s *Store) Remove(name string) error {
 	p, err := s.pathOf(name)
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(p); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
 		return fmt.Errorf("diskstore: removing %q: %w", name, err)
 	}
-	return nil
+	return syncDir(filepath.Dir(p))
 }
 
 // List returns the published file names (slash-separated, relative to the
@@ -187,7 +195,9 @@ func (s *Store) BytesWritten() int64 {
 
 // Reset removes every file under the root — published and in-flight alike —
 // keeping the root directory itself. A fresh checkpointed build uses it to
-// sweep the remains of an abandoned earlier build.
+// sweep the remains of an abandoned earlier build. The root is fsynced
+// after the sweep so the deletions are durable: a power loss after Reset
+// returns can never resurrect stale partitions under a fresh manifest.
 func (s *Store) Reset() error {
 	entries, err := os.ReadDir(s.root)
 	if err != nil {
@@ -198,7 +208,42 @@ func (s *Store) Reset() error {
 			return fmt.Errorf("diskstore: resetting: %w", err)
 		}
 	}
-	return nil
+	return syncDir(s.root)
+}
+
+// SweepTmp removes every in-flight ".tmp" file under the root — the
+// leftovers of writers killed mid-stream — returning the swept names
+// (root-relative, slash-separated, .tmp suffix included), sorted. Published
+// files are untouched. Each affected directory is fsynced so the sweep is
+// durable.
+func (s *Store) SweepTmp() ([]string, error) {
+	var swept []string
+	dirs := make(map[string]bool)
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, tmpSuffix) {
+			return err
+		}
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		swept = append(swept, filepath.ToSlash(rel))
+		dirs[filepath.Dir(p)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: sweeping tmp files: %w", err)
+	}
+	for dir := range dirs {
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(swept)
+	return swept, nil
 }
 
 // atomicFile streams into the .tmp sibling and publishes on Close.
@@ -210,12 +255,18 @@ type atomicFile struct {
 }
 
 // Write appends to the in-flight temporary file, counting accepted bytes.
+// Errors carry the package's usual context (operation plus file name) and
+// classify ENOSPC as store.ErrDiskFull, so callers never see a raw
+// *os.File error with no provenance.
 func (a *atomicFile) Write(p []byte) (int, error) {
 	n, err := a.f.Write(p)
 	if n > 0 {
 		a.store.mu.Lock()
 		a.store.bytesWritten += int64(n)
 		a.store.mu.Unlock()
+	}
+	if err != nil {
+		err = fmt.Errorf("diskstore: writing %q: %w", a.final, classify(err))
 	}
 	return n, err
 }
@@ -232,17 +283,29 @@ func (a *atomicFile) Close() error {
 	if err := a.f.Sync(); err != nil {
 		a.f.Close()
 		os.Remove(a.tmp)
-		return fmt.Errorf("diskstore: syncing %q: %w", a.final, err)
+		return fmt.Errorf("diskstore: syncing %q: %w", a.final, classify(err))
 	}
 	if err := a.f.Close(); err != nil {
 		os.Remove(a.tmp)
-		return fmt.Errorf("diskstore: closing %q: %w", a.final, err)
+		return fmt.Errorf("diskstore: closing %q: %w", a.final, classify(err))
 	}
 	if err := os.Rename(a.tmp, a.final); err != nil {
 		os.Remove(a.tmp)
 		return fmt.Errorf("diskstore: publishing %q: %w", a.final, err)
 	}
 	return syncDir(filepath.Dir(a.final))
+}
+
+// classify maps raw filesystem errors onto the store package's typed
+// sentinels. ENOSPC — whether surfaced by write(2) or by the delayed-
+// allocation flush inside fsync — becomes store.ErrDiskFull, which the
+// resilient pipeline treats as non-retryable so a full disk fails the
+// build gracefully instead of burning the retry budget.
+func classify(err error) error {
+	if errors.Is(err, syscall.ENOSPC) {
+		return fmt.Errorf("%w: %v", store.ErrDiskFull, err)
+	}
+	return err
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.

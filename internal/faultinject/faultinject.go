@@ -1,13 +1,28 @@
 // Package faultinject provides deterministic, scripted fault plans for
 // exercising the resilient pipeline: transient and persistent IO faults,
-// served-byte corruption (wrappers around iosim.Store's fault hooks), and
-// processor faults — a device.Processor that drops out mid-run or fails a
-// scripted set of Step2 calls, modelling a GPU dying under load.
+// served-byte corruption, disk-full and slow-IO faults (via the store
+// hooks of iosim.Store or this package's Store wrapper), processor faults
+// — a device.Processor that drops out mid-run, fails or hangs a scripted
+// set of Step2 calls, modelling a GPU dying or wedging under load — and
+// plan-scoped stall/cancel points fired at named pipeline sites.
 //
 // Plans are deterministic: the same plan against the same input produces
 // the same fault sequence, so degraded-mode builds remain reproducible and
 // their recovered results can be compared byte-for-byte against fault-free
 // runs.
+//
+// # Process-global vs plan-scoped knobs
+//
+// Two fault knobs are deliberately process-global: the CrashEnv crash
+// points and the StallEnv stall points, both armed through environment
+// variables with process-wide hit counters (reset via ResetStallCounts).
+// They have to be: their consumers are cross-process e2e tests that arm a
+// point in a parent process and observe it in a re-exec'd child, so the
+// arming must survive an exec boundary, and a crash point by definition
+// destroys the process — scoping it any finer is meaningless. Everything
+// else — store faults, processor faults, and the StallPoints/CancelPoints
+// below — is scoped to one Plan application with fresh counters, so
+// concurrent in-process chaos runs never interfere with each other.
 package faultinject
 
 import (
@@ -18,10 +33,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"parahash/internal/device"
 	"parahash/internal/fastq"
-	"parahash/internal/iosim"
 	"parahash/internal/msp"
 )
 
@@ -87,19 +102,40 @@ var (
 	stallCounts = map[string]int{}
 )
 
-// ResetStallCounts clears every stall point's hit counter, so in-process
-// tests that arm the same point are isolated from each other.
+// ResetStallCounts clears every env-armed stall point's hit counter.
+// These counters are process-global on purpose (see the package comment):
+// StallEnv arming crosses exec boundaries for e2e tests, so sequential
+// in-process tests that arm the same point must reset between runs.
+// Concurrent tests should use plan-scoped StallPoints instead, which
+// need no reset.
 func ResetStallCounts() {
 	stallMu.Lock()
 	stallCounts = map[string]int{}
 	stallMu.Unlock()
 }
 
-// MaybeStall blocks until ctx is canceled if the StallEnv variable arms the
-// named stall point and its hit count has been reached; it then returns
-// ctx's error. With the variable unset (every production run) it is a cheap
-// no-op returning nil.
+// MaybeStall fires the named stall/cancel point if armed. Plan-scoped
+// points (carried on ctx by Plan.ApplyPoints) are consulted first with
+// their own per-plan counters; the process-global StallEnv arming is the
+// fallback. A fired stall blocks until ctx is canceled and returns ctx's
+// error; a fired cancel point cancels the plan's build context itself
+// (with ErrPointCanceled as the cause) and then returns the same way.
+// With nothing armed (every production run) it is a cheap no-op returning
+// nil.
 func MaybeStall(ctx context.Context, point string) error {
+	if pts := pointsFrom(ctx); pts != nil {
+		switch pts.fire(point) {
+		case actStall:
+			fmt.Fprintf(os.Stderr, "faultinject: plan stall point %q hit — blocking until canceled\n", point)
+			<-ctx.Done()
+			return ctx.Err()
+		case actCancel:
+			fmt.Fprintf(os.Stderr, "faultinject: plan cancel point %q hit — canceling build\n", point)
+			pts.cancel(fmt.Errorf("%w: %s", ErrPointCanceled, point))
+			<-ctx.Done()
+			return ctx.Err()
+		}
+	}
 	spec := os.Getenv(StallEnv)
 	if spec == "" {
 		return nil
@@ -127,6 +163,106 @@ func MaybeStall(ctx context.Context, point string) error {
 
 // ErrInjected is the default error carried by scripted faults.
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrPointCanceled is the cancellation cause installed when a plan-scoped
+// cancel point fires: the scripted analogue of an operator interrupt (or,
+// for checkpointed builds, of a crash at the same site — the durable state
+// a resume sees is identical, since only published files and journalled
+// manifest entries survive either way; the SIGKILL abruptness itself is
+// covered by the process-global CrashEnv e2e tests).
+var ErrPointCanceled = errors.New("faultinject: canceled at armed point")
+
+// PointFault arms one named pipeline point (e.g. "step2.partition",
+// "step1.published" — the same vocabulary as CrashEnv/StallEnv) with a
+// plan-scoped hit counter.
+type PointFault struct {
+	// Point is the pipeline site name.
+	Point string
+	// Hit is the 1-based call count at which the point fires (0 means 1).
+	Hit int
+}
+
+// pointAction is what a fired point does.
+type pointAction int
+
+const (
+	actNone   pointAction = iota
+	actStall              // block until the build context is canceled
+	actCancel             // cancel the build context, then block
+)
+
+// points carries one plan application's armed stall/cancel points with
+// counters scoped to that application — concurrent plans never share hit
+// counts the way the process-global env arming does.
+type points struct {
+	mu     sync.Mutex
+	counts map[string]int
+	stall  map[string]map[int]bool // point -> firing hit numbers
+	cancel context.CancelCauseFunc
+	cancl  map[string]map[int]bool
+}
+
+// fire advances the point's counter and reports the armed action, if any.
+// A hit number fires at most once (arming the same hit as both stall and
+// cancel resolves to cancel).
+func (p *points) fire(point string) pointAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[point]++
+	n := p.counts[point]
+	if p.cancl[point][n] {
+		return actCancel
+	}
+	if p.stall[point][n] {
+		return actStall
+	}
+	return actNone
+}
+
+type pointsCtxKey struct{}
+
+// pointsFrom extracts the plan-scoped points from a context, or nil.
+func pointsFrom(ctx context.Context) *points {
+	p, _ := ctx.Value(pointsCtxKey{}).(*points)
+	return p
+}
+
+// ApplyPoints returns a context carrying the plan's StallPoints and
+// CancelPoints with fresh, plan-scoped hit counters. cancel is the build
+// context's CancelCauseFunc, invoked with ErrPointCanceled when a cancel
+// point fires; it may be nil if the plan arms no cancel points. Plans
+// without points return ctx unchanged.
+func (p Plan) ApplyPoints(ctx context.Context, cancel context.CancelCauseFunc) context.Context {
+	if len(p.StallPoints) == 0 && len(p.CancelPoints) == 0 {
+		return ctx
+	}
+	pts := &points{
+		counts: make(map[string]int),
+		stall:  make(map[string]map[int]bool),
+		cancl:  make(map[string]map[int]bool),
+		cancel: cancel,
+	}
+	if pts.cancel == nil {
+		pts.cancel = func(error) {}
+	}
+	arm := func(m map[string]map[int]bool, f PointFault) {
+		hit := f.Hit
+		if hit < 1 {
+			hit = 1
+		}
+		if m[f.Point] == nil {
+			m[f.Point] = make(map[int]bool)
+		}
+		m[f.Point][hit] = true
+	}
+	for _, f := range p.StallPoints {
+		arm(pts.stall, f)
+	}
+	for _, f := range p.CancelPoints {
+		arm(pts.cancl, f)
+	}
+	return context.WithValue(ctx, pointsCtxKey{}, pts)
+}
 
 // ErrProcessorDead is returned by every call to a processor that has
 // dropped out.
@@ -173,16 +309,63 @@ type ProcessorFault struct {
 	Err error
 }
 
+// SlowFault scripts latency on one file's IO: each of the next Times
+// accesses (negative: every access) sleeps Delay wall-clock before being
+// served, modelling a device or filesystem that has gone slow without
+// failing outright.
+type SlowFault struct {
+	File  string
+	Times int
+	Delay time.Duration
+}
+
 // Plan is a complete scripted fault scenario.
 type Plan struct {
 	// ReadFaults and WriteFaults script store-level IO faults.
 	ReadFaults, WriteFaults []StoreFault
+	// SlowReads and SlowWrites script store-level latency faults. They are
+	// honoured only by fault sinks that support latency (this package's
+	// Store wrapper); other sinks ignore them.
+	SlowReads, SlowWrites []SlowFault
+	// CapacityBytes, when positive, models a nearly full device: once the
+	// store has accepted this many bytes, further writes fail with
+	// store.ErrDiskFull. Honoured only by capacity-aware sinks (this
+	// package's Store wrapper).
+	CapacityBytes int64
 	// ProcessorFaults script compute-device faults.
 	ProcessorFaults []ProcessorFault
+	// StallPoints and CancelPoints arm named pipeline points with
+	// plan-scoped counters (see ApplyPoints): a stall point blocks the
+	// build at the site until its context is canceled; a cancel point
+	// cancels the build context itself, modelling mid-build cancellation —
+	// or, on a checkpointed build, a crash at that site.
+	StallPoints, CancelPoints []PointFault
 }
 
-// ApplyStore installs the plan's IO faults on a store.
-func (p Plan) ApplyStore(s *iosim.Store) {
+// IOFaultSink is the store-side fault surface a Plan scripts against.
+// Both iosim.Store and this package's Store wrapper implement it.
+type IOFaultSink interface {
+	FailReadsOn(name string, err error)
+	FailReadsNTimes(name string, n int, err error)
+	FailWritesOn(name string, err error)
+	FailWritesNTimes(name string, n int, err error)
+	CorruptReadsNTimes(name string, n int)
+}
+
+// slowSink is the optional latency-fault surface.
+type slowSink interface {
+	SlowReadsNTimes(name string, n int, d time.Duration)
+	SlowWritesNTimes(name string, n int, d time.Duration)
+}
+
+// capacitySink is the optional disk-capacity surface.
+type capacitySink interface {
+	SetCapacityBytes(n int64)
+}
+
+// ApplyStore installs the plan's IO faults on a store's fault sink. Slow
+// and capacity faults are applied only when the sink supports them.
+func (p Plan) ApplyStore(s IOFaultSink) {
 	for _, f := range p.ReadFaults {
 		if f.Corrupt {
 			s.CorruptReadsNTimes(f.File, f.Times)
@@ -200,6 +383,17 @@ func (p Plan) ApplyStore(s *iosim.Store) {
 		} else {
 			s.FailWritesNTimes(f.File, f.Times, errOf(f.Err))
 		}
+	}
+	if sl, ok := s.(slowSink); ok {
+		for _, f := range p.SlowReads {
+			sl.SlowReadsNTimes(f.File, f.Times, f.Delay)
+		}
+		for _, f := range p.SlowWrites {
+			sl.SlowWritesNTimes(f.File, f.Times, f.Delay)
+		}
+	}
+	if cs, ok := s.(capacitySink); ok && p.CapacityBytes > 0 {
+		cs.SetCapacityBytes(p.CapacityBytes)
 	}
 }
 

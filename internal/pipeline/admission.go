@@ -35,6 +35,13 @@ type GateStats struct {
 	// PeakBytes is the largest concurrently admitted weight sum observed;
 	// by construction PeakBytes <= Budget.
 	PeakBytes int64
+	// BalanceBytes is the weight still admitted at snapshot time. After a
+	// pipeline has fully drained — every Acquire matched by its Release —
+	// it must be zero; a non-zero balance means a partition leaked its
+	// admission, which would permanently shrink the effective budget of
+	// any later build sharing the gate. The chaos invariant checker
+	// asserts this on every run, faulted or not.
+	BalanceBytes int64
 }
 
 // gateWaiter is one queued Acquire, granted in FIFO order.
@@ -180,5 +187,7 @@ func (g *Gate) Stats() GateStats {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.stats
+	st := g.stats
+	st.BalanceBytes = g.admitted
+	return st
 }

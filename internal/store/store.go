@@ -18,6 +18,15 @@ import (
 // resilient pipeline treats it as non-retryable.
 var ErrNotFound = errors.New("store: no such file")
 
+// ErrDiskFull reports a write that failed because the medium is out of
+// space (ENOSPC on a real filesystem, an exhausted capacity budget on a
+// simulated store). Like ErrNotFound it is deterministic — retrying the
+// write against a full disk only burns the attempt budget — so the
+// resilient pipeline classifies it as non-retryable and the build fails
+// fast with its manifest (and every already-published partition) intact,
+// ready for a -resume once space is reclaimed.
+var ErrDiskFull = errors.New("store: disk full")
+
 // PartitionStore is a named collection of partition files with byte
 // accounting. Names are slash-separated relative paths ("superkmers/0004").
 // All methods must be safe for concurrent use.

@@ -35,6 +35,8 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("RemoveIdempotent", func(t *testing.T) { testRemoveIdempotent(t, factory(t)) })
 	t.Run("ListSorted", func(t *testing.T) { testListSorted(t, factory(t)) })
 	t.Run("ByteAccounting", func(t *testing.T) { testByteAccounting(t, factory(t)) })
+	t.Run("PublishDuringConcurrentOpen", func(t *testing.T) { testPublishDuringConcurrentOpen(t, factory(t)) })
+	t.Run("ListDuringInflightWrites", func(t *testing.T) { testListDuringInflightWrites(t, factory(t)) })
 }
 
 func put(t *testing.T, s store.PartitionStore, name, content string) {
@@ -197,6 +199,123 @@ func testListSorted(t *testing.T, s store.PartitionStore) {
 		if got[i] != want[i] {
 			t.Fatalf("List = %v, want %v", got, want)
 		}
+	}
+}
+
+// testPublishDuringConcurrentOpen hammers snapshot isolation: readers open
+// the file while writers race publishes over it. Every ReadAll must return
+// one complete published version — never a torn mix of two versions and
+// never a short read — because Step 2 re-reads partitions concurrently
+// with Step 1 retries rewriting them.
+func testPublishDuringConcurrentOpen(t *testing.T, s store.PartitionStore) {
+	// Versions are same-length and self-describing: every byte of version i
+	// equals 'a'+i, so a torn snapshot is detectable from any byte pair.
+	version := func(i int) string {
+		b := make([]byte, 512)
+		for j := range b {
+			b[j] = byte('a' + i)
+		}
+		return string(b)
+	}
+	put(t, s, "f", version(0))
+
+	const versions = 8
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < versions; i++ {
+			put(t, s, "f", version(i))
+		}
+	}()
+	for {
+		r, err := s.Open("f")
+		if err != nil {
+			t.Fatalf("Open during concurrent publish: %v", err)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("ReadAll during concurrent publish: %v", err)
+		}
+		if len(data) != 512 {
+			t.Fatalf("snapshot length %d, want 512 (torn or partial publish)", len(data))
+		}
+		for _, b := range data {
+			if b != data[0] {
+				t.Fatalf("torn snapshot: mixes %q and %q", data[0], b)
+			}
+		}
+		select {
+		case <-done:
+			if got := get(t, s, "f"); got != version(versions-1) {
+				t.Fatalf("final content is not the last published version")
+			}
+			return
+		default:
+		}
+	}
+}
+
+// testListDuringInflightWrites holds several writers open mid-stream and
+// requires List (and Size) to keep hiding them while published siblings
+// stay visible; each writer appears exactly when its Close publishes.
+// This is the .tmp discipline chaos runs depend on: a crash leaves only
+// invisible in-flight files, never a half-published name.
+func testListDuringInflightWrites(t *testing.T, s store.PartitionStore) {
+	put(t, s, "published/a", "done")
+	w1, err := s.Create("inflight/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Create("inflight/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w1, "partial bytes one"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w2, "partial"); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "published/a" {
+		t.Fatalf("List with in-flight writes = %v, want [published/a]", names)
+	}
+	if _, err := s.Size("inflight/1"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("in-flight file sized: err = %v", err)
+	}
+
+	// More bytes arriving on an in-flight writer must not change anything.
+	if _, err := io.WriteString(w1, " and more"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = s.List(); len(names) != 1 {
+		t.Fatalf("List after more in-flight bytes = %v, want [published/a]", names)
+	}
+
+	// Publishing one writer reveals exactly that file; the other stays
+	// hidden until its own Close.
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "inflight/1" || names[1] != "published/a" {
+		t.Fatalf("List after first Close = %v, want [inflight/1 published/a]", names)
+	}
+	if got := get(t, s, "inflight/1"); got != "partial bytes one and more" {
+		t.Errorf("published in-flight content = %q", got)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = s.List(); len(names) != 3 {
+		t.Fatalf("List after second Close = %v, want 3 files", names)
 	}
 }
 
