@@ -33,11 +33,18 @@ type Report struct {
 	// and counter-sharding wall-clock deltas only manifest with real
 	// parallelism, so single-core hosts should expect ~1x there while the
 	// imbalance figures still capture the scheduling improvement.
-	HostCPUs         int                  `json:"host_cpus"`
+	HostCPUs int `json:"host_cpus"`
+	// GOMAXPROCS is the scheduler-processor count the measurements actually
+	// ran under. Worker counts are clamped to it (a goroutine beyond the
+	// processor count measures scheduler churn, not parallel insertion), so
+	// every multi-worker figure in this report is backed by at most this
+	// much real concurrency.
+	GOMAXPROCS       int                  `json:"gomaxprocs"`
 	Canonicalization CanonicalizationPart `json:"canonicalization"`
 	Scanner          ScannerPart          `json:"scanner"`
 	Step2            Step2Part            `json:"step2"`
 	Counters         CountersPart         `json:"counters"`
+	TableBackends    TableBackendsPart    `json:"table_backends"`
 }
 
 // CanonicalizationPart compares per-kmer canonical orientation costs: the
@@ -66,7 +73,12 @@ type ScannerPart struct {
 // against the overhauled form (kmer-weighted chunk claiming, parallel
 // merge sort) on a skewed partition.
 type Step2Part struct {
-	Workers       int     `json:"workers"`
+	RequestedWorkers int `json:"requested_workers"`
+	EffectiveWorkers int `json:"effective_workers"`
+	// Degraded flags a clamped run: fewer scheduler processors than
+	// requested workers, so the parallel figures understate what a machine
+	// with that many cores would measure.
+	Degraded      bool    `json:"degraded"`
 	Superkmers    int     `json:"superkmers"`
 	Kmers         int64   `json:"kmers"`
 	Distinct      int     `json:"distinct"`
@@ -85,10 +97,60 @@ type Step2Part struct {
 // through one metrics shard (the pre-overhaul shared atomics) against
 // per-worker shards.
 type CountersPart struct {
-	Workers          int     `json:"workers"`
-	SharedNsPerEdge  float64 `json:"shared_shard_ns_per_edge"`
-	ShardedNsPerEdge float64 `json:"sharded_ns_per_edge"`
-	Speedup          float64 `json:"speedup"`
+	RequestedWorkers int  `json:"requested_workers"`
+	EffectiveWorkers int  `json:"effective_workers"`
+	Degraded         bool `json:"degraded"`
+	// SingleProcFastPath records that GOMAXPROCS=1 routed every handle to
+	// one shard (the uncontended fast path), making the two variants
+	// physically identical — expect speedup ~1.0, not the old 0.88 penalty.
+	SingleProcFastPath bool    `json:"single_proc_fast_path"`
+	SharedNsPerEdge    float64 `json:"shared_shard_ns_per_edge"`
+	ShardedNsPerEdge   float64 `json:"sharded_ns_per_edge"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// TableBackendsPart is the multi-worker head-to-head across the KmerTable
+// backends: the same duplicate-heavy edge workload inserted by 1/2/4/8
+// workers into each backend. Worker counts are clamped to GOMAXPROCS and
+// every run records what it actually got, so single-core reruns stay honest
+// (degraded=true) instead of reporting fictional parallelism.
+type TableBackendsPart struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	HostCPUs   int `json:"host_cpus"`
+	// Oversubscribed flags GOMAXPROCS raised above the physical core count:
+	// the workers are real concurrent goroutines but time-share cores, so
+	// contention effects are visible while absolute scaling is pessimistic.
+	Oversubscribed bool         `json:"oversubscribed"`
+	Edges          int          `json:"edges"`
+	Distinct       int          `json:"distinct"`
+	Runs           []BackendRun `json:"runs"`
+}
+
+// BackendRun is one backend × worker-count measurement.
+type BackendRun struct {
+	Backend          string `json:"backend"`
+	RequestedWorkers int    `json:"requested_workers"`
+	EffectiveWorkers int    `json:"effective_workers"`
+	Degraded         bool   `json:"degraded"`
+	// NsPerEdge is wall-clock nanoseconds per inserted edge (best of three
+	// alternated rounds).
+	NsPerEdge float64 `json:"ns_per_edge"`
+	// ProbesPerEdge is the backend's mean probe-walk length per access.
+	ProbesPerEdge float64 `json:"probes_per_edge"`
+	// MaxMeanImbalance is the max/mean per-worker busy time of the best
+	// round — 1.0 is perfect balance; the sharded backend's value shows
+	// whether hash-partitioned routing skews worker load.
+	MaxMeanImbalance float64 `json:"max_mean_imbalance"`
+}
+
+// effectiveWorkers clamps a requested worker count to the scheduler
+// processors actually available.
+func effectiveWorkers(requested int) (effective int, degraded bool) {
+	mp := runtime.GOMAXPROCS(0)
+	if requested > mp {
+		return mp, true
+	}
+	return requested, false
 }
 
 // config sizes the measurement; the test uses a tiny variant.
@@ -267,7 +329,8 @@ func insertRange(tab *hashtable.Table, worker int, sks []msp.Superkmer, k int) e
 
 func measureStep2(cfg config) (Step2Part, error) {
 	const k = 27
-	const workers = 8
+	const requestedWorkers = 8
+	workers, degraded := effectiveWorkers(requestedWorkers)
 	sks, kmers := skewedPartition(cfg, k)
 	slots := int(float64(kmers) / 0.65) // random kmers are ~all distinct; size for load factor directly
 	tab, err := hashtable.New(k, slots)
@@ -374,7 +437,9 @@ func measureStep2(cfg config) (Step2Part, error) {
 		return Step2Part{}, err
 	}
 	return Step2Part{
-		Workers:          workers,
+		RequestedWorkers: requestedWorkers,
+		EffectiveWorkers: workers,
+		Degraded:         degraded,
 		Superkmers:       len(sks),
 		Kmers:            kmers,
 		Distinct:         tab.Len(),
@@ -436,7 +501,8 @@ func maxMean(loads []int64) float64 {
 
 func measureCounters(cfg config) (CountersPart, error) {
 	const k = 27
-	const workers = 8
+	const requestedWorkers = 8
+	workers, degraded := effectiveWorkers(requestedWorkers)
 	rng := rand.New(rand.NewSource(4))
 	pool := make([]dna.Kmer, 1<<14)
 	for i := range pool {
@@ -493,15 +559,131 @@ func measureCounters(cfg config) (CountersPart, error) {
 		return CountersPart{}, err
 	}
 	return CountersPart{
-		Workers:          workers,
-		SharedNsPerEdge:  shared,
-		ShardedNsPerEdge: sharded,
-		Speedup:          shared / sharded,
+		RequestedWorkers:   requestedWorkers,
+		EffectiveWorkers:   workers,
+		Degraded:           degraded,
+		SingleProcFastPath: runtime.GOMAXPROCS(0) == 1,
+		SharedNsPerEdge:    shared,
+		ShardedNsPerEdge:   sharded,
+		Speedup:            shared / sharded,
 	}, nil
 }
 
+// backendEdges builds the duplicate-heavy canonical edge workload shared by
+// every backend run, so the head-to-head compares tables, not inputs.
+func backendEdges(cfg config, k int) []msp.KmerEdge {
+	rng := rand.New(rand.NewSource(5))
+	pool := make([]dna.Kmer, 1<<14)
+	for i := range pool {
+		b := make([]dna.Base, k)
+		for j := range b {
+			b[j] = dna.Base(rng.Intn(4))
+		}
+		pool[i], _ = dna.KmerFromBases(b, k).Canonical(k)
+	}
+	edges := make([]msp.KmerEdge, cfg.edges)
+	for i := range edges {
+		edges[i] = msp.KmerEdge{
+			Canon: pool[rng.Intn(len(pool))],
+			Left:  int8(rng.Intn(4)),
+			Right: int8(rng.Intn(4)),
+		}
+	}
+	return edges
+}
+
+// runBackendOnce inserts every edge with the given worker count and returns
+// the wall time plus each worker's busy time.
+func runBackendOnce(tab hashtable.KmerTable, edges []msp.KmerEdge, workers int, insErr *atomic.Value) (time.Duration, []time.Duration) {
+	tab.Reset()
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ins := tab.Inserter(w)
+			t0 := time.Now()
+			for i := w; i < len(edges); i += workers {
+				if err := ins.InsertEdge(edges[i]); err != nil {
+					insErr.Store(err)
+				}
+			}
+			busy[w] = time.Since(t0)
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start), busy
+}
+
+// measureTableBackends runs the same edge workload through every KmerTable
+// backend at 1/2/4/8 requested workers, recording per-edge wall time, probe
+// walks and worker busy-time imbalance for each combination.
+func measureTableBackends(cfg config) (TableBackendsPart, error) {
+	const k = 27
+	edges := backendEdges(cfg, k)
+	slots := int(float64(len(edges)) / 0.65)
+	part := TableBackendsPart{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HostCPUs:       runtime.NumCPU(),
+		Oversubscribed: runtime.GOMAXPROCS(0) > runtime.NumCPU(),
+		Edges:          len(edges),
+	}
+	for _, b := range hashtable.Backends() {
+		tab, err := hashtable.NewBackend(b, k, slots)
+		if err != nil {
+			return part, err
+		}
+		for _, requested := range []int{1, 2, 4, 8} {
+			workers, degraded := effectiveWorkers(requested)
+			var insErr atomic.Value
+			best := BackendRun{
+				Backend:          string(b),
+				RequestedWorkers: requested,
+				EffectiveWorkers: workers,
+				Degraded:         degraded,
+				NsPerEdge:        math.Inf(1),
+			}
+			// Repeat full passes until the per-measurement budget is spent,
+			// keeping the best round (same drift defence as the other parts).
+			var elapsed time.Duration
+			for elapsed < cfg.minDur {
+				wall, busy := runBackendOnce(tab, edges, workers, &insErr)
+				elapsed += wall
+				if ns := float64(wall.Nanoseconds()) / float64(len(edges)); ns < best.NsPerEdge {
+					best.NsPerEdge = ns
+					best.MaxMeanImbalance = maxMeanDur(busy)
+				}
+			}
+			if err, _ := insErr.Load().(error); err != nil {
+				return part, err
+			}
+			m := tab.Metrics().Snapshot()
+			if accesses := m.Inserts + m.Updates; accesses > 0 {
+				best.ProbesPerEdge = float64(m.Probes) / float64(accesses)
+			}
+			part.Distinct = tab.Len()
+			part.Runs = append(part.Runs, best)
+		}
+	}
+	return part, nil
+}
+
+func maxMeanDur(busy []time.Duration) float64 {
+	loads := make([]int64, len(busy))
+	for i, d := range busy {
+		loads[i] = d.Nanoseconds()
+	}
+	return maxMean(loads)
+}
+
 func measureAll(cfg config) (Report, error) {
-	rep := Report{Schema: "parahash.bench_hotpath/v1", HostCPUs: runtime.NumCPU()}
+	rep := Report{
+		Schema:     "parahash.bench_hotpath/v2",
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	rep.Canonicalization = measureCanonicalization(cfg)
 	rep.Scanner = measureScanner(cfg)
 	s2, err := measureStep2(cfg)
@@ -514,6 +696,11 @@ func measureAll(cfg config) (Report, error) {
 		return rep, err
 	}
 	rep.Counters = ctr
+	tb, err := measureTableBackends(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.TableBackends = tb
 	return rep, nil
 }
 
@@ -544,5 +731,16 @@ func main() {
 		rep.Step2.StripedImbalance, rep.Step2.ChunkedImbalance)
 	fmt.Printf("counters: %.1f -> %.1f ns/edge (%.2fx)\n",
 		rep.Counters.SharedNsPerEdge, rep.Counters.ShardedNsPerEdge, rep.Counters.Speedup)
+	tb := rep.TableBackends
+	fmt.Printf("table backends (GOMAXPROCS=%d, host CPUs=%d, oversubscribed=%v):\n",
+		tb.GOMAXPROCS, tb.HostCPUs, tb.Oversubscribed)
+	for _, r := range tb.Runs {
+		fmt.Printf("  %-14s workers %d/%d: %.1f ns/edge, %.2f probes/edge, %.2f max/mean",
+			r.Backend, r.EffectiveWorkers, r.RequestedWorkers, r.NsPerEdge, r.ProbesPerEdge, r.MaxMeanImbalance)
+		if r.Degraded {
+			fmt.Print("  (degraded: clamped to GOMAXPROCS)")
+		}
+		fmt.Println()
+	}
 	fmt.Println("wrote", *out)
 }

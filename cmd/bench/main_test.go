@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -25,8 +26,11 @@ func TestMeasureAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "parahash.bench_hotpath/v1" {
+	if rep.Schema != "parahash.bench_hotpath/v2" {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", rep.GOMAXPROCS, runtime.GOMAXPROCS(0))
 	}
 	c := rep.Canonicalization
 	if c.BeforeNsPerKmer <= 0 || c.AfterNsPerKmer <= 0 || c.RCSpeedup <= 0 {
@@ -44,8 +48,80 @@ func TestMeasureAll(t *testing.T) {
 	if rep.Counters.SharedNsPerEdge <= 0 || rep.Counters.ShardedNsPerEdge <= 0 {
 		t.Errorf("counters not measured: %+v", rep.Counters)
 	}
+	tb := rep.TableBackends
+	if want := 3 * 4; len(tb.Runs) != want {
+		t.Fatalf("table_backends has %d runs, want %d (3 backends x 4 worker counts)", len(tb.Runs), want)
+	}
+	if tb.Edges <= 0 || tb.Distinct <= 0 {
+		t.Errorf("table_backends workload not recorded: %+v", tb)
+	}
+	for _, r := range tb.Runs {
+		if r.NsPerEdge <= 0 || r.ProbesPerEdge <= 0 {
+			t.Errorf("%s/%dw: not measured: %+v", r.Backend, r.RequestedWorkers, r)
+		}
+		if r.EffectiveWorkers > runtime.GOMAXPROCS(0) {
+			t.Errorf("%s/%dw: effective workers %d exceed GOMAXPROCS %d",
+				r.Backend, r.RequestedWorkers, r.EffectiveWorkers, runtime.GOMAXPROCS(0))
+		}
+		if r.MaxMeanImbalance < 1 && r.EffectiveWorkers > 1 {
+			t.Errorf("%s/%dw: max/mean imbalance %.2f below 1", r.Backend, r.RequestedWorkers, r.MaxMeanImbalance)
+		}
+	}
 	if _, err := json.MarshalIndent(rep, "", "  "); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWorkerClampDegraded pins the honesty contract of satellite reruns on
+// small hosts: requested workers beyond GOMAXPROCS are clamped, recorded as
+// both figures, and flagged degraded — the report can never claim
+// parallelism the scheduler did not provide.
+func TestWorkerClampDegraded(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(2)
+	if eff, deg := effectiveWorkers(8); eff != 2 || !deg {
+		t.Errorf("effectiveWorkers(8) at GOMAXPROCS=2 = (%d, %v), want (2, true)", eff, deg)
+	}
+	if eff, deg := effectiveWorkers(1); eff != 1 || deg {
+		t.Errorf("effectiveWorkers(1) at GOMAXPROCS=2 = (%d, %v), want (1, false)", eff, deg)
+	}
+	if eff, deg := effectiveWorkers(2); eff != 2 || deg {
+		t.Errorf("effectiveWorkers(2) at GOMAXPROCS=2 = (%d, %v), want (2, false)", eff, deg)
+	}
+}
+
+// TestSingleProcGuard is the regression guard for the counters satellite:
+// at GOMAXPROCS=1, every Inserter handle shares one metrics shard, so the
+// bench must flag the fast path and clamp all parallel parts to one worker.
+func TestSingleProcGuard(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(1)
+
+	ctr, err := measureCounters(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctr.SingleProcFastPath {
+		t.Error("single_proc_fast_path not flagged at GOMAXPROCS=1")
+	}
+	if ctr.EffectiveWorkers != 1 || !ctr.Degraded {
+		t.Errorf("counters at GOMAXPROCS=1: effective=%d degraded=%v, want 1/true",
+			ctr.EffectiveWorkers, ctr.Degraded)
+	}
+	tb, err := measureTableBackends(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Runs {
+		if r.EffectiveWorkers != 1 {
+			t.Errorf("%s/%dw: effective workers %d at GOMAXPROCS=1", r.Backend, r.RequestedWorkers, r.EffectiveWorkers)
+		}
+		if r.RequestedWorkers > 1 && !r.Degraded {
+			t.Errorf("%s/%dw: clamped run not flagged degraded", r.Backend, r.RequestedWorkers)
+		}
 	}
 }
 

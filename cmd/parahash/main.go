@@ -54,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		filterMin  = fs.Int("filter", 0, "drop vertices with edge multiplicity below this from the output")
 		lambda     = fs.Float64("lambda", 2, "Property 1 λ: expected errors per read, for table sizing")
 		alpha      = fs.Float64("alpha", 0.65, "hash table load ratio α")
+		table      = fs.String("table", "statetransfer", "Step 2 hash-table backend: statetransfer, lockfree, sharded (all produce identical graphs)")
 		hostCal    = fs.Bool("host-calibration", false, "measure this machine's kernel throughput so virtual times predict local wall-clock instead of the paper's hardware")
 
 		maxAttempts = fs.Int("max-attempts", 3, "per-partition attempt budget per pipeline stage (1 = fail fast)")
@@ -105,6 +106,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.UseCPU = !*noCPU
 	cfg.Lambda = *lambda
 	cfg.Alpha = *alpha
+	cfg.TableBackend = *table
 	cfg.Resilience.MaxAttempts = *maxAttempts
 	cfg.Resilience.QuarantineAfter = *quarantine
 	cfg.Resilience.PartitionDeadline = *partitionDeadline

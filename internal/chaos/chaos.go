@@ -42,6 +42,7 @@ import (
 	"parahash/internal/fastq"
 	"parahash/internal/faultinject"
 	"parahash/internal/graph"
+	"parahash/internal/hashtable"
 	"parahash/internal/msp"
 	"parahash/internal/pipeline"
 	"parahash/internal/simulate"
@@ -99,6 +100,12 @@ type Scenario struct {
 	// after it starts — the operator-interrupt dimension, and the release
 	// mechanism for armed stall points.
 	CancelAfter time.Duration
+	// TableBackend selects the Step 2 hash-table backend for the faulted
+	// build. The oracle always uses the state-transfer reference, so every
+	// completed run doubles as a cross-backend differential check: the
+	// faulted build's graph must match the oracle byte for byte no matter
+	// which table constructed it.
+	TableBackend string
 	// Faults describes the schedule for the report.
 	Faults []string
 }
@@ -226,6 +233,12 @@ func GenerateScenario(seed int64, prof Profile) Scenario {
 	if len(s.Faults) == 0 {
 		note("fault-free baseline")
 	}
+	// The backend draw sits deliberately last: it consumes its rng draw
+	// after every fault dimension, so pinned seeds replay the exact fault
+	// schedules they produced before backends existed.
+	backends := hashtable.Backends()
+	s.TableBackend = string(backends[rng.Intn(len(backends))])
+	note("table backend %s", s.TableBackend)
 	return s
 }
 
@@ -315,6 +328,7 @@ func (e *Engine) scenarioConfig(s Scenario, dir string) core.Config {
 	cfg := e.baseCfg
 	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: e.inputLabel()}
 	cfg.MemoryBudgetBytes = s.MemoryBudgetBytes
+	cfg.TableBackend = s.TableBackend
 	if s.PartitionDeadline > 0 {
 		cfg.Resilience.PartitionDeadline = s.PartitionDeadline
 	}

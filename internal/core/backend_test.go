@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"parahash/internal/graph"
+	"parahash/internal/hashtable"
+)
+
+// TestBackendsByteIdentical is the interchangeability acceptance test: every
+// hash-table backend must produce a byte-identical serialized graph on the
+// same input and partitioning. The table only accumulates per-vertex counts;
+// determinism comes from the post-construction sort, so any backend that
+// leaked iteration order or dropped/merged counts differently would diverge
+// here at the byte level.
+func TestBackendsByteIdentical(t *testing.T) {
+	reads := tinyReads(t)
+	want := graph.BuildNaive(reads, 27)
+
+	var reference []byte
+	for _, b := range hashtable.Backends() {
+		cfg := tinyConfig()
+		cfg.TableBackend = string(b)
+		cfg.NumGPUs = 1 // exercise the GPU Step 2 kernel on every backend too
+		res, err := Build(reads, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if !res.Graph.Equal(want) {
+			t.Fatalf("%s: graph differs from naive reference", b)
+		}
+		var buf bytes.Buffer
+		if err := res.Graph.Write(&buf); err != nil {
+			t.Fatalf("%s: serializing: %v", b, err)
+		}
+		if reference == nil {
+			reference = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(reference, buf.Bytes()) {
+			t.Fatalf("%s: serialized graph differs from %s's bytes (len %d vs %d)",
+				b, hashtable.Backends()[0], buf.Len(), len(reference))
+		}
+	}
+}
+
+// TestBackendValidation pins Config.Validate's handling of the TableBackend
+// knob: listed names and the empty default pass, junk is rejected.
+func TestBackendValidation(t *testing.T) {
+	for _, name := range []string{"", "statetransfer", "lockfree", "sharded"} {
+		cfg := tinyConfig()
+		cfg.TableBackend = name
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate with TableBackend=%q: %v", name, err)
+		}
+	}
+	cfg := tinyConfig()
+	cfg.TableBackend = "robinhood"
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted unknown TableBackend")
+	}
+}
+
+// TestResizeLoopKeepsCounters is the regression test for the Step 2 resize
+// loop dropping hash-work counters: a deliberately under-sized table (tiny λ)
+// forces ErrTableFull rebuilds, and the failed attempts' inserts/probes must
+// still land in the run stats. Before the fix the counters only reflected
+// the final successful attempt, so resizing partitions under-reported work.
+func TestResizeLoopKeepsCounters(t *testing.T) {
+	reads := tinyReads(t)
+	for _, backend := range hashtable.Backends() {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			// Control: properly pre-sized build, no resizes expected.
+			cfg := tinyConfig()
+			cfg.TableBackend = string(backend)
+			sized, err := Build(reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Same input with λ small enough that Property 1 under-sizes every
+			// partition and the resize fallback must engage.
+			cfg = tinyConfig()
+			cfg.TableBackend = string(backend)
+			cfg.Lambda = 0.01
+			resized, err := Build(reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !resized.Graph.Equal(sized.Graph) {
+				t.Fatal("resized build produced a different graph")
+			}
+			// The final successful attempts alone perform exactly the sized
+			// build's work; wasted attempts must push the totals strictly past
+			// it. (Inserts is the load-bearing counter: one per distinct key
+			// per attempt.)
+			s, r := sized.Stats.Hash, resized.Stats.Hash
+			if r.Inserts <= s.Inserts {
+				t.Errorf("resize-loop Inserts = %d, want > %d (wasted attempts must be counted)",
+					r.Inserts, s.Inserts)
+			}
+			if r.Probes <= s.Probes {
+				t.Errorf("resize-loop Probes = %d, want > %d", r.Probes, s.Probes)
+			}
+		})
+	}
+}

@@ -118,6 +118,7 @@ func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, s
 		// A partition's admission weight is its Property-1 predicted hash
 		// table footprint — the same λ/(4α)·N_kmer pre-sizing Step 2 itself
 		// uses — so the gate bounds exactly the bytes the tables will claim.
+		backend := cfg.tableBackend()
 		pol.AdmissionWeight = func(slot int) int64 {
 			kmers := partStats[pending[slot]].Kmers
 			slots, err := hashtable.SizeForKmersChecked(kmers, cfg.Lambda, cfg.Alpha)
@@ -126,7 +127,7 @@ func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, s
 				// admit under the full budget so it gets there.
 				return cfg.MemoryBudgetBytes
 			}
-			return hashtable.MemoryBytesFor(slots)
+			return hashtable.MemoryBytesForBackend(backend, cfg.K, slots)
 		}
 	}
 
@@ -237,11 +238,25 @@ func step2Construct(ctx context.Context, p device.Processor, sks []msp.Superkmer
 	if err != nil {
 		return device.Step2Output{}, fmt.Errorf("core: sizing hash table for %d kmers: %w", kmers, err)
 	}
+	// Failed attempts still performed real hash-table work before the table
+	// overflowed; fold those counters into the eventual successful output so
+	// the run stats stay monotonic and honest across resizes.
+	var wasted device.Step2Output
 	for resizes := 0; ; resizes++ {
 		out, err := p.Step2(ctx, sks, cfg.K, slots)
 		if !errors.Is(err, hashtable.ErrTableFull) {
+			out.LockedInserts += wasted.LockedInserts
+			out.LockFreeUpdates += wasted.LockFreeUpdates
+			out.Probes += wasted.Probes
+			out.LockWaits += wasted.LockWaits
+			out.CASFailures += wasted.CASFailures
 			return out, err
 		}
+		wasted.LockedInserts += out.LockedInserts
+		wasted.LockFreeUpdates += out.LockFreeUpdates
+		wasted.Probes += out.Probes
+		wasted.LockWaits += out.LockWaits
+		wasted.CASFailures += out.CASFailures
 		// Property 1 under-estimated this partition (possible for unusual
 		// inputs, e.g. coverage below 1); fall back to the resize path the
 		// pre-sizing normally avoids.

@@ -136,6 +136,9 @@ type CPU struct {
 	// index (msp.Scanner.NumPartitions), moving the routing hash off the
 	// sequential output stage.
 	Partitions int
+	// Table selects the Step 2 hash-table backend; the zero value is the
+	// paper's state-transfer table.
+	Table hashtable.Backend
 
 	// Per-worker Step 1 scratch: scanners keep their minimizer/p-mer/deque
 	// buffers warm, skBufs keep the per-worker superkmer slices, so a warmed
@@ -251,7 +254,7 @@ func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 	if c.Threads < 1 {
 		return Step2Output{}, fmt.Errorf("device: CPU threads %d must be positive", c.Threads)
 	}
-	table, err := hashtable.New(k, tableSlots)
+	table, err := hashtable.NewBackend(c.Table, k, tableSlots)
 	if err != nil {
 		return Step2Output{}, err
 	}
@@ -309,13 +312,31 @@ func (c *CPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 	}
 	for _, err := range errs {
 		if err != nil {
-			return Step2Output{}, fmt.Errorf("device: CPU hashing: %w", err)
+			// A full table still reports the hashing work the aborted
+			// attempt performed, so the resize loop can fold it into the
+			// successful attempt's counters instead of under-reporting
+			// exactly on the hardest partitions.
+			return counterOnlyOutput(table), fmt.Errorf("device: CPU hashing: %w", err)
 		}
 	}
 	out := collectStep2(table, k, kmers, c.Threads)
 	out.Seconds = c.Cal.CPUStep2Seconds(kmers, c.Threads, out.TableBytes)
 	out.ComputeSeconds = out.Seconds
 	return out, nil
+}
+
+// counterOnlyOutput reports a failed Step 2 attempt's hash-table work
+// counters without a graph, so retried attempts (the bounded resize loop)
+// keep their metrics monotonic and honest.
+func counterOnlyOutput(table hashtable.KmerTable) Step2Output {
+	m := table.Metrics().Snapshot()
+	return Step2Output{
+		LockedInserts:   m.Inserts,
+		LockFreeUpdates: m.Updates,
+		Probes:          m.Probes,
+		LockWaits:       m.LockWaits,
+		CASFailures:     m.CASFailures,
+	}
 }
 
 // Step1TransferBytes is the GPU Step 1 host<->device traffic model: the
@@ -346,6 +367,8 @@ type GPU struct {
 	MemoryBytes int64
 	// Partitions mirrors CPU.Partitions: scan-time partition stamping.
 	Partitions int
+	// Table mirrors CPU.Table: the Step 2 hash-table backend.
+	Table hashtable.Backend
 
 	// scan is the persistent Step 1 scanner (warm minimizer buffers).
 	scan msp.Scanner
@@ -396,12 +419,12 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 		for _, sk := range sks {
 			partBytes += int64(msp.EncodedSize(len(sk.Bases)))
 		}
-		if need := hashtable.MemoryBytesFor(tableSlots) + partBytes; need > g.MemoryBytes {
+		if need := hashtable.MemoryBytesForBackend(g.Table, k, tableSlots) + partBytes; need > g.MemoryBytes {
 			return Step2Output{}, fmt.Errorf("%w: need %d bytes, have %d",
 				ErrDeviceMemory, need, g.MemoryBytes)
 		}
 	}
-	table, err := hashtable.New(k, tableSlots)
+	table, err := hashtable.NewBackend(g.Table, k, tableSlots)
 	if err != nil {
 		return Step2Output{}, err
 	}
@@ -451,7 +474,8 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 			}
 		})
 		if insertErr != nil {
-			return Step2Output{}, fmt.Errorf("device: GPU hashing: %w", insertErr)
+			// Report the aborted attempt's counters, as the CPU kernel does.
+			return counterOnlyOutput(table), fmt.Errorf("device: GPU hashing: %w", insertErr)
 		}
 	}
 	flushWarp()
@@ -477,7 +501,7 @@ func (g *GPU) Step2(ctx context.Context, sks []msp.Superkmer, k, tableSlots int)
 // parallelism available — beyond that the merge rounds only add copying —
 // and the result is identical to the sequential sort (vertex keys are
 // unique).
-func collectStep2(table *hashtable.Table, k int, kmers int64, sortWorkers int) Step2Output {
+func collectStep2(table hashtable.KmerTable, k int, kmers int64, sortWorkers int) Step2Output {
 	sub := &graph.Subgraph{K: k, Vertices: make([]graph.Vertex, 0, table.Len())}
 	table.ForEach(func(e hashtable.Entry) {
 		sub.Vertices = append(sub.Vertices, graph.Vertex{Kmer: e.Kmer, Counts: e.Counts})

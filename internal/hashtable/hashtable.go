@@ -68,6 +68,19 @@ func (m *Metrics) shard(worker int) *metricsShard {
 	return &m.shards[uint(worker)%metricsShards]
 }
 
+// handleShard routes an Inserter handle to its counter shard. With a single
+// scheduler processor there is no parallelism and therefore no counter
+// contention to avoid, so every handle shares shard 0: one hot cache line
+// beats spreading sequential goroutines over many cold ones (the PR 5
+// report measured the spread costing 12% at GOMAXPROCS=1). Totals are
+// identical either way — Snapshot merges all shards.
+func (m *Metrics) handleShard(worker int) *metricsShard {
+	if runtime.GOMAXPROCS(0) == 1 {
+		worker = 0
+	}
+	return m.shard(worker)
+}
+
 // Snapshot is a point-in-time copy of a table's work counters, safe to keep
 // after the table (or its metrics) is reset.
 type Snapshot struct {
@@ -249,20 +262,28 @@ func (t *Table) MemoryBytes() int64 {
 // would allocate (after power-of-two rounding), letting planners account
 // for memory without building tables.
 func MemoryBytesFor(capacity int) int64 {
+	n := roundedSlots(capacity)
+	return n*4 + n*8*2 + n*countersPerSlot*4
+}
+
+// roundedSlots is the constructor's slot rounding: the next power of two,
+// at least 8. Every backend's memory predictor uses it so predicted and
+// allocated footprints can never diverge.
+func roundedSlots(capacity int) int64 {
 	n := int64(1) << bits.Len64(uint64(capacity-1))
 	if n < 8 {
 		n = 8
 	}
-	return n*4 + n*8*2 + n*countersPerSlot*4
+	return n
 }
 
-// Inserter is a per-worker insertion handle: it performs exactly the same
-// table operations as Table.InsertEdge but accounts its work into one
-// padded counter shard, so concurrent workers using distinct handles never
-// contend on metrics cache lines. Handles are cheap values; a worker
-// typically obtains one per partition. Any number of Inserters may run
+// tableInserter is the Table's per-worker insertion handle: it performs
+// exactly the same table operations as Table.InsertEdge but accounts its
+// work into one padded counter shard, so concurrent workers using distinct
+// handles never contend on metrics cache lines. Handles are cheap values; a
+// worker typically obtains one per partition. Any number of handles may run
 // concurrently (including alongside Table.InsertEdge, which is handle 0).
-type Inserter struct {
+type tableInserter struct {
 	t  *Table
 	sh *metricsShard
 }
@@ -270,7 +291,7 @@ type Inserter struct {
 // Inserter returns the insertion handle for a worker index. Indexes beyond
 // the shard count fold together (still correct, marginally more contended).
 func (t *Table) Inserter(worker int) Inserter {
-	return Inserter{t: t, sh: t.metrics.shard(worker)}
+	return tableInserter{t: t, sh: t.metrics.handleShard(worker)}
 }
 
 // InsertEdge records one canonical-oriented k-mer observation: the vertex
@@ -291,22 +312,29 @@ func (t *Table) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
 }
 
 // InsertEdge records one observation through the handle's counter shard.
-func (in Inserter) InsertEdge(e msp.KmerEdge) error {
+func (in tableInserter) InsertEdge(e msp.KmerEdge) error {
 	_, err := in.InsertEdgeCounted(e)
 	return err
 }
 
 // InsertEdgeCounted is InsertEdge returning the probe walk length.
-func (in Inserter) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
-	t := in.t
-	slot, inserted, probes, err := t.findOrInsert(e.Canon, in.sh)
+func (in tableInserter) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
+	return in.t.insertEdgeHashed(e.Canon.Hash(), e, in.sh)
+}
+
+// insertEdgeHashed performs one observation with the key hash already
+// computed: the sharded backend routes on the high hash bits and probes its
+// shard region with the same value, so the hash is taken exactly once per
+// edge on every path.
+func (t *Table) insertEdgeHashed(h uint64, e msp.KmerEdge, sh *metricsShard) (int, error) {
+	slot, inserted, probes, err := t.findOrInsertHashed(h, e.Canon, sh)
 	if err != nil {
 		return probes, err
 	}
 	if inserted {
-		in.sh.inserts.Add(1)
+		sh.inserts.Add(1)
 	} else {
-		in.sh.updates.Add(1)
+		sh.updates.Add(1)
 	}
 	base := slot * countersPerSlot
 	if e.Left != msp.NoBase {
@@ -318,11 +346,11 @@ func (in Inserter) InsertEdgeCounted(e msp.KmerEdge) (int, error) {
 	return probes, nil
 }
 
-// findOrInsert locates the slot holding km, claiming an empty slot when the
-// key is new. It reports whether this call performed the insertion and how
-// many slots it probed; probe-walk work is accounted to the caller's shard.
-func (t *Table) findOrInsert(km dna.Kmer, sh *metricsShard) (slot int, inserted bool, probes int, err error) {
-	h := km.Hash()
+// findOrInsertHashed locates the slot holding km (whose hash is h), claiming
+// an empty slot when the key is new. It reports whether this call performed
+// the insertion and how many slots it probed; probe-walk work is accounted
+// to the caller's shard.
+func (t *Table) findOrInsertHashed(h uint64, km dna.Kmer, sh *metricsShard) (slot int, inserted bool, probes int, err error) {
 	for i := uint64(0); i <= t.mask; i++ {
 		idx := (h + i) & t.mask
 		probes++
@@ -453,7 +481,7 @@ func (t *Table) Reset() {
 // entries. It is the resizing fallback the paper's Property 1 sizing is
 // designed to avoid; the resizing ablation uses it deliberately.
 // It must not run concurrently with writers.
-func (t *Table) Grow() (*Table, error) {
+func (t *Table) Grow() (KmerTable, error) {
 	bigger, err := New(t.k, 2*t.Capacity())
 	if err != nil {
 		return nil, err
@@ -464,7 +492,7 @@ func (t *Table) Grow() (*Table, error) {
 		if growErr != nil {
 			return
 		}
-		slot, _, _, err := bigger.findOrInsert(e.Kmer, rehash)
+		slot, _, _, err := bigger.findOrInsertHashed(e.Kmer.Hash(), e.Kmer, rehash)
 		if err != nil {
 			growErr = err
 			return

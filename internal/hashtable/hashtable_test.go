@@ -175,6 +175,7 @@ func TestTableFull(t *testing.T) {
 
 func TestTableGrow(t *testing.T) {
 	edges, ref := randomEdges(53, 300, 2000, 27)
+	var tab KmerTable
 	tab, err := New(27, 16)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,42 @@
+package hashtable
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestHandleShardSingleProcFastPath pins the single-processor counter
+// routing: with GOMAXPROCS=1 there is no contention to shard away, so every
+// Inserter handle must share shard 0 (one hot cache line), while with more
+// processors distinct workers must get distinct shards. This is the
+// structural guard for the 0.88× single-worker regression the padded
+// counters introduced.
+func TestHandleShardSingleProcFastPath(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	var m Metrics
+	runtime.GOMAXPROCS(1)
+	base := m.handleShard(0)
+	for _, w := range []int{1, 2, 7, metricsShards + 3} {
+		if m.handleShard(w) != base {
+			t.Errorf("GOMAXPROCS=1: worker %d routed off shard 0", w)
+		}
+	}
+
+	runtime.GOMAXPROCS(2)
+	if m.handleShard(1) == base {
+		t.Error("GOMAXPROCS=2: worker 1 still on shard 0 — contention sharding disabled")
+	}
+	if m.handleShard(0) != base {
+		t.Error("GOMAXPROCS=2: worker 0 moved off shard 0")
+	}
+
+	// Totals are routing-independent: counts landed on any shard must all
+	// surface in Snapshot.
+	m.handleShard(0).inserts.Add(2)
+	m.handleShard(5).inserts.Add(3)
+	if got := m.Snapshot().Inserts; got != 5 {
+		t.Errorf("Snapshot.Inserts = %d, want 5", got)
+	}
+}
