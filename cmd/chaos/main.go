@@ -1,16 +1,21 @@
 // Command chaos runs seeded randomized fault campaigns against the
 // ParaHash build pipeline and differentially checks every run against a
 // fault-free oracle (see internal/chaos for the invariant contract).
+// -mode server aims the same methodology at the parahashd job lifecycle:
+// jobs submitted to an in-process manager under store faults and memory
+// budgets, killed or drained mid-build, then recovered by a restarted
+// manager that must converge every job to the oracle byte-for-byte.
 //
 // Usage:
 //
 //	chaos -profile small -seed 42 -runs 25
+//	chaos -mode server -profile small -seed 42 -runs 10
 //	chaos -profile medium -seed 42 -duration 10m -out soak.json
 //
 // The process exits 0 when every run upholds the invariants and 1 when any
 // violates one; the JSON report (parahash.chaos/v1) carries each run's own
 // scenario seed, so a red run replays exactly with
-// `chaos -replay -seed <that-seed>`.
+// `chaos -mode <mode> -replay -seed <that-seed>`.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	var (
+		mode     = fs.String("mode", "build", "campaign mode: build (direct pipeline builds) or server (the parahashd job-lifecycle manager under kill/drain/restart)")
 		profile  = fs.String("profile", "small", "campaign profile: "+strings.Join(chaos.Profiles(), ", "))
 		seed     = fs.Int64("seed", 1, "root seed; per-run seeds are derived from it deterministically")
 		runs     = fs.Int("runs", 10, "number of scenarios to run")
@@ -60,11 +66,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if *runs < 1 {
 		return 2, fmt.Errorf("-runs %d must be at least 1", *runs)
 	}
+	if *mode != "build" && *mode != "server" {
+		return 2, fmt.Errorf("unknown -mode %q (build, server)", *mode)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "chaos: profile %s, root seed %d, %d runs", prof.Name, *seed, *runs)
+	fmt.Fprintf(os.Stderr, "chaos: mode %s, profile %s, root seed %d, %d runs", *mode, prof.Name, *seed, *runs)
 	if *duration > 0 {
 		fmt.Fprintf(os.Stderr, " (or %v)", *duration)
 	}
@@ -76,9 +85,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	start := time.Now()
 	var rep *chaos.Report
-	if *replay {
+	switch {
+	case *mode == "server" && *replay:
+		rep, err = eng.ServerReplay(ctx, *seed, *workDir)
+	case *mode == "server":
+		rep, err = eng.ServerCampaign(ctx, *seed, *runs, *duration, *workDir)
+	case *replay:
 		rep, err = eng.Replay(ctx, *seed, *workDir)
-	} else {
+	default:
 		rep, err = eng.Campaign(ctx, *seed, *runs, *duration, *workDir)
 	}
 	if err != nil {
@@ -88,8 +102,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 		rep.Passed, rep.Failed, time.Since(start).Seconds())
 	for _, r := range rep.Runs {
 		for _, v := range r.Violations {
-			fmt.Fprintf(os.Stderr, "chaos: run %d seed %d [%s]: %s (replay: chaos -profile %s -replay -seed %d)\n",
-				r.Run, r.Seed, v.Invariant, v.Detail, prof.Name, r.Seed)
+			fmt.Fprintf(os.Stderr, "chaos: run %d seed %d [%s]: %s (replay: chaos -mode %s -profile %s -replay -seed %d)\n",
+				r.Run, r.Seed, v.Invariant, v.Detail, *mode, prof.Name, r.Seed)
 		}
 	}
 

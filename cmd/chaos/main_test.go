@@ -47,6 +47,30 @@ func TestRunReplaySingleSeed(t *testing.T) {
 	}
 }
 
+func TestRunServerModeCampaign(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-mode", "server", "-profile", "small", "-seed", "7", "-runs", "2", "-dir", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "server" || len(rep.Runs) != 2 || !rep.Green() {
+		t.Fatalf("server campaign: %+v", rep)
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	if code, err := run([]string{"-mode", "cosmic"}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Fatalf("unknown mode: code=%d err=%v", code, err)
+	}
+}
+
 func TestRunRejectsUnknownProfile(t *testing.T) {
 	if code, err := run([]string{"-profile", "galactic"}, &bytes.Buffer{}); err == nil || code != 2 {
 		t.Fatalf("unknown profile: code=%d err=%v", code, err)

@@ -329,6 +329,12 @@ func (e *Engine) scenarioConfig(s Scenario, dir string) core.Config {
 	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: e.inputLabel()}
 	cfg.MemoryBudgetBytes = s.MemoryBudgetBytes
 	cfg.TableBackend = s.TableBackend
+	// Seeded in-build retry jitter: decorrelates partition retries without
+	// consuming any scenario rng draws, so pinned seeds keep replaying the
+	// exact fault schedules they produced before jitter existed. Jitter
+	// shifts only virtual-time backoff charges, never results.
+	cfg.Resilience.BackoffJitter = 0.5
+	cfg.Resilience.BackoffJitterSeed = s.Seed
 	if s.PartitionDeadline > 0 {
 		cfg.Resilience.PartitionDeadline = s.PartitionDeadline
 	}
@@ -468,8 +474,17 @@ func checkGoroutines(violate func(string, string, ...any), before int) {
 // zero-duration campaign runs exactly `runs` scenarios; with a positive
 // duration it keeps deriving further runs until the budget elapses.
 func (e *Engine) Campaign(ctx context.Context, rootSeed int64, runs int, duration time.Duration, baseDir string) (*Report, error) {
+	return e.campaign(ctx, "build", e.RunOne, rootSeed, runs, duration, baseDir)
+}
+
+// runner executes one seeded scenario in a fresh directory; the build and
+// server modes each provide one.
+type runner func(ctx context.Context, run int, seed int64, dir string) RunReport
+
+func (e *Engine) campaign(ctx context.Context, mode string, run runner, rootSeed int64, runs int, duration time.Duration, baseDir string) (*Report, error) {
 	rep := &Report{
 		Format:   FormatV1,
+		Mode:     mode,
 		Profile:  e.prof.Name,
 		RootSeed: rootSeed,
 		Started:  time.Now().UTC().Format(time.RFC3339),
@@ -485,7 +500,7 @@ func (e *Engine) Campaign(ctx context.Context, rootSeed int64, runs int, duratio
 		if i >= runs && (deadline.IsZero() || time.Now().After(deadline)) {
 			break
 		}
-		if err := e.campaignRun(ctx, rep, i, DeriveSeed(rootSeed, i), baseDir); err != nil {
+		if err := e.campaignRun(ctx, rep, run, i, DeriveSeed(rootSeed, i), baseDir); err != nil {
 			return rep, err
 		}
 	}
@@ -497,13 +512,18 @@ func (e *Engine) Campaign(ctx context.Context, rootSeed int64, runs int, duratio
 // seed printed in a report's run entry, not a root seed — and returns a
 // one-run report.
 func (e *Engine) Replay(ctx context.Context, seed int64, baseDir string) (*Report, error) {
+	return e.replay(ctx, "build", e.RunOne, seed, baseDir)
+}
+
+func (e *Engine) replay(ctx context.Context, mode string, run runner, seed int64, baseDir string) (*Report, error) {
 	rep := &Report{
 		Format:   FormatV1,
+		Mode:     mode,
 		Profile:  e.prof.Name,
 		RootSeed: seed,
 		Started:  time.Now().UTC().Format(time.RFC3339),
 	}
-	if err := e.campaignRun(ctx, rep, 0, seed, baseDir); err != nil {
+	if err := e.campaignRun(ctx, rep, run, 0, seed, baseDir); err != nil {
 		return rep, err
 	}
 	rep.Finished = time.Now().UTC().Format(time.RFC3339)
@@ -513,12 +533,12 @@ func (e *Engine) Replay(ctx context.Context, seed int64, baseDir string) (*Repor
 // campaignRun executes one seeded run in a fresh checkpoint directory,
 // folding its outcome into the report. Green runs' directories are
 // removed; violating runs keep theirs for debugging.
-func (e *Engine) campaignRun(ctx context.Context, rep *Report, i int, seed int64, baseDir string) error {
+func (e *Engine) campaignRun(ctx context.Context, rep *Report, run runner, i int, seed int64, baseDir string) error {
 	dir, err := os.MkdirTemp(baseDir, fmt.Sprintf("chaos-run%04d-", i))
 	if err != nil {
 		return fmt.Errorf("chaos: creating run dir: %w", err)
 	}
-	r := e.RunOne(ctx, i, seed, dir)
+	r := run(ctx, i, seed, dir)
 	if len(r.Violations) == 0 {
 		os.RemoveAll(dir)
 		rep.Passed++

@@ -9,7 +9,9 @@ const FormatV1 = "parahash.chaos/v1"
 type Violation struct {
 	// Invariant names the contract that broke: "byte-identical",
 	// "typed-error", "consistent-checkpoint", "resume-converges",
-	// "gate-balance" or "goroutine-leak".
+	// "gate-balance" or "goroutine-leak" in build mode; server mode adds
+	// "server-lifecycle", "server-recovery", "journal-consistent",
+	// "job-outcome" and "query-serving".
 	Invariant string `json:"invariant"`
 	// Detail is the human-readable evidence.
 	Detail string `json:"detail"`
@@ -27,7 +29,9 @@ type RunReport struct {
 	Seed int64 `json:"seed,string"`
 	// Faults describes the generated schedule.
 	Faults []string `json:"faults"`
-	// Outcome is "completed", "failed-typed" or "failed-untyped".
+	// Outcome is "completed", "failed-typed" or "failed-untyped" in build
+	// mode; "completed" or "failed" in server mode (where any non-done job
+	// is also a "job-outcome" violation).
 	Outcome string `json:"outcome"`
 	// Error and ErrorClass carry a failed build's error text and its
 	// matched classification.
@@ -47,7 +51,10 @@ type RunReport struct {
 
 // Report is a whole campaign in the parahash.chaos/v1 schema.
 type Report struct {
-	Format   string      `json:"format"`
+	Format string `json:"format"`
+	// Mode is "build" (direct pipeline builds) or "server" (the parahashd
+	// job-lifecycle manager under kill/drain/restart).
+	Mode     string      `json:"mode,omitempty"`
 	Profile  string      `json:"profile"`
 	RootSeed int64       `json:"root_seed,string"`
 	Started  string      `json:"started"`

@@ -123,7 +123,6 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) error {
 			// A racing Release granted the slot between ctx firing and us
 			// taking the lock; give the grant back before bailing out.
 			g.admitted -= w
-			g.grantLocked()
 		} else {
 			for i, q := range g.waiters {
 				if q == waiter {
@@ -132,6 +131,12 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) error {
 				}
 			}
 		}
+		// Either way the queue's head may now fit: the given-back grant frees
+		// budget, and removing a large canceled waiter from the head unblocks
+		// smaller waiters queued behind it — without this, a waiter canceled
+		// at the head would leave the survivors blocked until the next
+		// Release, which for a long-running admitted job may be never.
+		g.grantLocked()
 		g.mu.Unlock()
 		return context.Cause(ctx)
 	}

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -153,6 +155,101 @@ func TestGateCancelWhileQueued(t *testing.T) {
 	if err := g.Acquire(context.Background(), 10); err != nil {
 		t.Fatalf("budget leaked by canceled waiter: %v", err)
 	}
+}
+
+func TestGateCancelAtHeadUnblocksSmallerWaiters(t *testing.T) {
+	// Regression test for the head-of-queue liveness bug: a large waiter
+	// canceled while queued must re-run the grant scan so smaller waiters
+	// behind it are admitted immediately, not on the next Release (which
+	// for a long-running admitted job may be arbitrarily far away).
+	g, err := NewGate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	bigCtx, cancelBig := context.WithCancel(context.Background())
+	bigDone := make(chan error, 1)
+	go func() { bigDone <- g.Acquire(bigCtx, 5) }()
+	waitForWaiters(t, g, 1)
+	smallDone := make(chan error, 1)
+	go func() { smallDone <- g.Acquire(context.Background(), 2) }()
+	waitForWaiters(t, g, 2)
+
+	cancelBig()
+	if err := <-bigDone; err == nil {
+		t.Fatal("canceled head waiter acquired anyway")
+	}
+	// The small waiter now fits (8+2 <= 10) and must be granted without
+	// any intervening Release.
+	select {
+	case err := <-smallDone:
+		if err != nil {
+			t.Fatalf("small waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("small waiter still blocked after head waiter canceled")
+	}
+	g.Release(2)
+	g.Release(8)
+	if s := g.Stats(); s.BalanceBytes != 0 {
+		t.Fatalf("BalanceBytes = %d after drain, want 0", s.BalanceBytes)
+	}
+}
+
+func TestGateCancelWhileWaitingStress(t *testing.T) {
+	// Satellite hardening: hammer the gate with acquisitions whose contexts
+	// race cancellation against admission. Whatever interleaving each
+	// Acquire lands on — granted, canceled-while-queued, or granted-then-
+	// canceled — the gate must end balanced (BalanceBytes==0), never exceed
+	// the budget, and leak no goroutines.
+	check := goroutineFence(t)
+	const budget = 32
+	g, err := NewGate(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for j := 0; j < 200; j++ {
+				w := int64(1 + rng.Intn(budget))
+				ctx, cancel := context.WithCancel(context.Background())
+				if rng.Intn(2) == 0 {
+					// Race the cancel against admission from another
+					// goroutine so some cancels land while queued and
+					// some after a racing grant.
+					go cancel()
+				}
+				err := g.Acquire(ctx, w)
+				if err == nil {
+					if rng.Intn(4) == 0 {
+						runtime.Gosched()
+					}
+					g.Release(w)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.BalanceBytes != 0 {
+		t.Fatalf("BalanceBytes = %d after stress, want 0", s.BalanceBytes)
+	}
+	if s.PeakBytes > budget {
+		t.Fatalf("PeakBytes = %d exceeds budget %d", s.PeakBytes, budget)
+	}
+	// The full budget must still be acquirable: nothing leaked.
+	if err := g.Acquire(context.Background(), budget); err != nil {
+		t.Fatalf("budget leaked under cancel stress: %v", err)
+	}
+	g.Release(budget)
+	check()
 }
 
 func TestGateConcurrentStressStaysUnderBudget(t *testing.T) {

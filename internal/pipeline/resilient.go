@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -56,6 +57,18 @@ type Policy struct {
 	// a partition: BackoffSeconds * 2^(k-1). It is accounting only — no
 	// goroutine sleeps — so runs stay deterministic and host-independent.
 	BackoffSeconds float64
+	// BackoffJitter spreads each retry's backoff by a uniformly drawn
+	// factor in [1-BackoffJitter, 1+BackoffJitter]. Without jitter, N
+	// concurrent builds retrying a shared-store fault back off in lockstep
+	// and re-collide as a thundering herd; with it their retry schedules
+	// decorrelate. Must be in [0, 1]; 0 keeps the exact exponential
+	// schedule. Draws come from a generator seeded by BackoffJitterSeed, so
+	// a given (seed, fault sequence) charges a reproducible backoff total.
+	BackoffJitter float64
+	// BackoffJitterSeed seeds the jitter stream; two runs with the same
+	// seed and fault sequence charge identical backoff, two runs with
+	// different seeds decorrelate.
+	BackoffJitterSeed int64
 	// Retryable classifies read- and write-stage errors; a non-retryable
 	// error fails the partition immediately without burning retries.
 	// Worker errors are always eligible for retry because another
@@ -172,14 +185,20 @@ type runState struct {
 
 	pol         Policy
 	maxAttempts int
+	jitter      *rand.Rand // nil when BackoffJitter == 0
 	rep         *Report
 }
 
 // chargeRetryLocked books one retried attempt and its exponential virtual
-// backoff. attempt is the 1-based attempt that just failed.
+// backoff, spread by the seeded jitter factor when the policy asks for one.
+// attempt is the 1-based attempt that just failed.
 func (st *runState) chargeRetryLocked(attempt int) {
 	st.rep.Retries++
-	st.rep.BackoffSeconds += st.pol.BackoffSeconds * float64(int64(1)<<uint(attempt-1))
+	backoff := st.pol.BackoffSeconds * float64(int64(1)<<uint(attempt-1))
+	if st.jitter != nil {
+		backoff *= 1 + st.pol.BackoffJitter*(2*st.jitter.Float64()-1)
+	}
+	st.rep.BackoffSeconds += backoff
 }
 
 // failLocked marks a partition permanently failed (first failure wins) and
@@ -272,6 +291,9 @@ func RunResilientTraced[I, O any](ctx context.Context, n int, read func(i int) (
 	if pol.MaxAttempts < 1 {
 		pol.MaxAttempts = 1
 	}
+	if pol.BackoffJitter < 0 || pol.BackoffJitter > 1 {
+		return rep, fmt.Errorf("pipeline: BackoffJitter=%g out of range [0,1]", pol.BackoffJitter)
+	}
 	retryable := pol.Retryable
 	if retryable == nil {
 		retryable = func(error) bool { return true }
@@ -297,6 +319,12 @@ func RunResilientTraced[I, O any](ctx context.Context, n int, read func(i int) (
 		pol:         pol,
 		maxAttempts: pol.MaxAttempts,
 		rep:         &rep,
+	}
+	if pol.BackoffJitter > 0 {
+		// One seeded stream per run, consumed in retry order under st.mu, so
+		// the charged total is a deterministic function of (seed, fault
+		// sequence) while distinct seeds decorrelate concurrent builds.
+		st.jitter = rand.New(rand.NewSource(pol.BackoffJitterSeed))
 	}
 	st.cond = sync.NewCond(&st.mu)
 

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put(JobRecord{ID: "j0001", State: StateQueued, SubmittedUnix: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put(JobRecord{ID: "j0002", State: StateQueued, SubmittedUnix: 101}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Update("j0001", func(r *JobRecord) {
+		r.State = StateDone
+		r.Vertices = 42
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Update("j9999", func(*JobRecord) {}); err == nil {
+		t.Error("update of unknown job succeeded")
+	}
+
+	// A reloaded journal sees the persisted mutations, in order.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := j2.List()
+	if len(list) != 2 || list[0].ID != "j0001" || list[1].ID != "j0002" {
+		t.Fatalf("reloaded list = %+v", list)
+	}
+	if r, _ := j2.Get("j0001"); r.State != StateDone || r.Vertices != 42 {
+		t.Fatalf("reloaded j0001 = %+v", r)
+	}
+	if j2.MaxSeq() != 2 {
+		t.Fatalf("MaxSeq = %d, want 2", j2.MaxSeq())
+	}
+}
+
+func TestJournalRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	for _, body := range []string{
+		"{torn",
+		`{"schema":"parahash.jobs/v999","jobs":[]}`,
+		`{"schema":"parahash.jobs/v1","jobs":[{"id":""}]}`,
+		`{"schema":"parahash.jobs/v1","jobs":[{"id":"j1"},{"id":"j1"}]}`,
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenJournal(path); err == nil {
+			t.Errorf("journal %q accepted, want error", body)
+		}
+	}
+}

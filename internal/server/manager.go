@@ -1,0 +1,829 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"parahash"
+	"parahash/internal/core"
+	"parahash/internal/device"
+	"parahash/internal/hashtable"
+	"parahash/internal/pipeline"
+	"parahash/internal/store"
+)
+
+// Typed admission failures. Both map to HTTP 429 with a Retry-After hint:
+// the server sheds load at the door instead of queueing without bound and
+// OOMing under it.
+var (
+	// ErrQueueFull reports that the job queue (queued + running) is at
+	// capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining reports that the server is shutting down and admits no
+	// new work.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// ErrUnknownJob reports a job id the journal has never seen.
+var ErrUnknownJob = errors.New("server: unknown job")
+
+// errJobCanceled is the cancellation cause for a client DELETE.
+var errJobCanceled = errors.New("server: job canceled by client")
+
+// Options configures a Manager.
+type Options struct {
+	// Root is the server data directory: the job journal plus one
+	// directory per job (input, checkpoint, graph, metrics).
+	Root string
+
+	// Base is the build configuration jobs inherit; per-job spec fields
+	// override K/P/Partitions/TableBackend/FilterMin. Zero value selects
+	// parahash.DefaultConfig.
+	Base parahash.Config
+
+	// MemoryBudgetBytes bounds the summed Property-1 predicted footprint
+	// of concurrently running jobs through a cross-job admission gate.
+	// 0 disables cross-job admission (jobs still honour Base's own
+	// per-partition budget, if any).
+	MemoryBudgetBytes int64
+
+	// MaxQueue caps queued-plus-running jobs; submissions beyond it are
+	// shed with ErrQueueFull. 0 selects 16.
+	MaxQueue int
+
+	// JobDeadline bounds each job's wall-clock runtime (per attempt);
+	// it also seeds the per-partition watchdog when Base leaves
+	// PartitionDeadline unset. 0 means no deadline.
+	JobDeadline time.Duration
+
+	// RetryMax is how many times a job is retried after a transient
+	// build failure (a flaky store, a quarantine-exhausted run) before
+	// being journalled failed. Retries resume from the job's checkpoint.
+	// 0 selects 2.
+	RetryMax int
+	// RetryBackoff is the base sleep before the first retry, doubling per
+	// retry. 0 selects 50ms.
+	RetryBackoff time.Duration
+	// RetryJitter spreads each retry sleep by a uniform factor in
+	// [1-j, 1+j], decorrelating jobs retrying a shared-store fault.
+	// The stream is seeded from RetrySeed for reproducibility.
+	RetryJitter float64
+	RetrySeed   int64
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// WrapJobCtx, when set, post-processes each build attempt's context;
+	// the chaos engine uses it to arm plan-scoped stall/cancel points.
+	// cancel is the attempt's CancelCauseFunc. Production configs leave
+	// it nil.
+	WrapJobCtx func(jobID string, ctx context.Context, cancel context.CancelCauseFunc) context.Context
+
+	// WrapJobConfig, when set, post-processes each build attempt's
+	// resolved configuration; the chaos engine uses it to install
+	// StoreWrap/ProcWrap fault layers. Production configs leave it nil.
+	WrapJobConfig func(jobID string, cfg parahash.Config) parahash.Config
+
+	// now stubs time for tests; nil selects time.Now.
+	now func() time.Time
+}
+
+// RecoveryReport summarises what startup recovery found and repaired.
+type RecoveryReport struct {
+	// Requeued lists jobs journalled queued or running at startup — work
+	// a previous process left unfinished — now re-queued (running ones
+	// with Resume set so they continue from their checkpoint).
+	Requeued []string
+	// Scrubbed maps job id to its checkpoint scrub outcome.
+	Scrubbed map[string]core.ScrubReport
+	// TmpSwept counts orphaned in-flight files removed across all job
+	// checkpoints plus the journal directory.
+	TmpSwept int
+}
+
+// Manager owns the job lifecycle: admission, execution, recovery, drain.
+type Manager struct {
+	opts    Options
+	journal *Journal
+	gate    *pipeline.Gate
+
+	mu      sync.Mutex
+	seq     int
+	active  map[string]*jobRuntime
+	graphs  map[string]*parahash.Graph // completed-graph cache for queries
+	shed    int64                      // submissions rejected 429
+	jitter  *rand.Rand                 // retry-backoff jitter stream
+	ready   bool
+	drained bool
+
+	killed bool // SIGKILL-equivalent: suppress all journal writes
+
+	recovery RecoveryReport
+	wg       sync.WaitGroup
+}
+
+// jobRuntime is the in-memory state of a queued or running job.
+type jobRuntime struct {
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+}
+
+// Open creates (or reopens) a Manager over root, runs startup recovery —
+// sweep orphaned tmp files, scrub every unfinished job's checkpoint, and
+// re-queue jobs a dead process left behind — and only then reports ready.
+func Open(opts Options) (*Manager, error) {
+	if opts.Root == "" {
+		return nil, errors.New("server: Options.Root is required")
+	}
+	if opts.Base.K == 0 {
+		opts.Base = parahash.DefaultConfig()
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 16
+	}
+	if opts.RetryMax == 0 {
+		opts.RetryMax = 2
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Root, "jobs"), 0o777); err != nil {
+		return nil, fmt.Errorf("server: creating data directory: %w", err)
+	}
+
+	m := &Manager{
+		opts:   opts,
+		active: make(map[string]*jobRuntime),
+		graphs: make(map[string]*parahash.Graph),
+	}
+	if opts.RetryJitter > 0 {
+		m.jitter = rand.New(rand.NewSource(opts.RetrySeed))
+	}
+	if opts.MemoryBudgetBytes > 0 {
+		g, err := pipeline.NewGate(opts.MemoryBudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.gate = g
+	}
+
+	// The journal's own publication can have been interrupted mid-rename;
+	// sweep its tmp sibling before loading.
+	journalPath := filepath.Join(opts.Root, "jobs.json")
+	if _, err := os.Stat(journalPath + ".tmp"); err == nil {
+		os.Remove(journalPath + ".tmp")
+		m.recovery.TmpSwept++
+	}
+	j, err := OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	m.journal = j
+	m.seq = j.MaxSeq()
+
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.ready = true
+	m.mu.Unlock()
+	return m, nil
+}
+
+// recover is the startup pass that makes journalled state live again.
+func (m *Manager) recover() error {
+	m.recovery.Scrubbed = make(map[string]core.ScrubReport)
+	for _, r := range m.journal.List() {
+		if r.State.Terminal() {
+			continue
+		}
+		// Scrub the checkpoint before resuming through it: orphaned .tmp
+		// files from the in-flight writes of the dead process are swept,
+		// and claims whose bytes did not survive are quarantined so the
+		// resume selectively rebuilds them.
+		ckDir := m.checkpointDir(r.ID)
+		if _, err := os.Stat(ckDir); err == nil {
+			rep, err := core.Scrub(ckDir)
+			if err != nil {
+				return fmt.Errorf("server: scrubbing job %s checkpoint: %w", r.ID, err)
+			}
+			m.recovery.Scrubbed[r.ID] = rep
+			m.recovery.TmpSwept += len(rep.TmpSwept)
+		}
+		id := r.ID
+		resume := r.State == StateRunning
+		if err := m.journal.Update(id, func(jr *JobRecord) {
+			jr.State = StateQueued
+			if resume {
+				jr.Resumed = true
+			}
+		}); err != nil {
+			return err
+		}
+		m.recovery.Requeued = append(m.recovery.Requeued, id)
+		m.opts.Logf("server: recovered job %s (resume=%v)", id, resume)
+		m.startJob(id, resume)
+	}
+	return nil
+}
+
+// Recovery returns the startup recovery report.
+func (m *Manager) Recovery() RecoveryReport { return m.recovery }
+
+// Ready reports whether startup recovery has completed and the manager is
+// serving; false again once draining.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ready && !m.drained
+}
+
+// Draining reports whether a drain is in progress or complete.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drained
+}
+
+// Stats is the manager-level governance snapshot.
+type Stats struct {
+	// Gate is the cross-job admission gate's counters (zero value when no
+	// memory budget is configured).
+	Gate pipeline.GateStats `json:"gate"`
+	// Shed counts submissions rejected with 429.
+	Shed int64 `json:"shed"`
+	// Queued and Running count non-terminal jobs.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// Stats snapshots the governance counters.
+func (m *Manager) Stats() Stats {
+	var s Stats
+	s.Gate = m.gate.Stats()
+	m.mu.Lock()
+	s.Shed = m.shed
+	m.mu.Unlock()
+	for _, r := range m.journal.List() {
+		switch r.State {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// jobDir returns the directory holding one job's artifacts.
+func (m *Manager) jobDir(id string) string { return filepath.Join(m.opts.Root, "jobs", id) }
+
+func (m *Manager) inputPath(id string) string     { return filepath.Join(m.jobDir(id), "input.fastq") }
+func (m *Manager) checkpointDir(id string) string { return filepath.Join(m.jobDir(id), "checkpoint") }
+func (m *Manager) graphPath(id string) string     { return filepath.Join(m.jobDir(id), "graph.dbg") }
+func (m *Manager) metricsPath(id string) string   { return filepath.Join(m.jobDir(id), "metrics.json") }
+
+// GraphPath returns the completed graph file for id (for download).
+func (m *Manager) GraphPath(id string) string { return m.graphPath(id) }
+
+// MetricsPath returns the metrics file for id.
+func (m *Manager) MetricsPath(id string) string { return m.metricsPath(id) }
+
+// Submit admits a new build job over the FASTQ/FASTA stream in input. It
+// sheds (ErrDraining/ErrQueueFull) before persisting anything; an admitted
+// job is durably journalled queued before Submit returns its id.
+func (m *Manager) Submit(spec JobSpec, input io.Reader) (JobRecord, error) {
+	m.mu.Lock()
+	if m.drained || !m.ready {
+		m.shed++
+		m.mu.Unlock()
+		return JobRecord{}, ErrDraining
+	}
+	pending := 0
+	for _, r := range m.journal.List() {
+		if !r.State.Terminal() {
+			pending++
+		}
+	}
+	if pending >= m.opts.MaxQueue {
+		m.shed++
+		m.mu.Unlock()
+		return JobRecord{}, fmt.Errorf("%w: %d jobs pending (max %d)", ErrQueueFull, pending, m.opts.MaxQueue)
+	}
+	m.seq++
+	id := fmt.Sprintf("j%04d", m.seq)
+	m.mu.Unlock()
+
+	reads, err := parahash.ParseReads(input)
+	if err != nil {
+		return JobRecord{}, fmt.Errorf("server: parsing input: %w", err)
+	}
+	if len(reads) == 0 {
+		return JobRecord{}, errors.New("server: input has no reads")
+	}
+	cfg := m.jobConfig(id, spec)
+	if err := cfg.Validate(); err != nil {
+		return JobRecord{}, fmt.Errorf("server: invalid job spec: %w", err)
+	}
+
+	// The job's admission weight is the whole-graph Property-1 prediction:
+	// the same λ/(4α)·N_kmer table pre-sizing Step 2 applies per partition,
+	// charged for the full input, so the cross-job gate bounds exactly the
+	// bytes all of a job's concurrently resident tables could claim.
+	var totalKmers int64
+	for _, r := range reads {
+		if n := len(r.Bases) - cfg.K + 1; n > 0 {
+			totalKmers += int64(n)
+		}
+	}
+	weight, err := jobWeight(totalKmers, cfg)
+	if err != nil {
+		return JobRecord{}, err
+	}
+
+	if err := os.MkdirAll(m.jobDir(id), 0o777); err != nil {
+		return JobRecord{}, fmt.Errorf("server: creating job directory: %w", err)
+	}
+	if err := writeFileAtomic(m.inputPath(id), func(w io.Writer) error {
+		return parahash.WriteFASTQ(w, reads)
+	}); err != nil {
+		return JobRecord{}, fmt.Errorf("server: storing input: %w", err)
+	}
+
+	rec := JobRecord{
+		ID:            id,
+		State:         StateQueued,
+		Spec:          spec,
+		TotalKmers:    totalKmers,
+		WeightBytes:   weight,
+		SubmittedUnix: m.opts.now().Unix(),
+	}
+	if err := m.journal.Put(rec); err != nil {
+		return JobRecord{}, err
+	}
+	m.opts.Logf("server: job %s queued (%d reads, %d kmers, weight %d bytes)", id, len(reads), totalKmers, weight)
+	m.startJob(id, false)
+	return rec, nil
+}
+
+// jobWeight computes a job's admission weight from its k-mer count.
+func jobWeight(totalKmers int64, cfg parahash.Config) (int64, error) {
+	slots, err := hashtable.SizeForKmersChecked(totalKmers, cfg.Lambda, cfg.Alpha)
+	if err != nil {
+		// Oversized inputs still run (the gate clamps to the whole budget,
+		// so the job runs alone); per-partition sizing happens later.
+		return 1 << 62, nil
+	}
+	backend, err := hashtable.ParseBackend(cfg.TableBackend)
+	if err != nil {
+		return 0, fmt.Errorf("server: %w", err)
+	}
+	return hashtable.MemoryBytesForBackend(backend, cfg.K, slots), nil
+}
+
+// jobConfig resolves a job's effective build configuration.
+func (m *Manager) jobConfig(id string, spec JobSpec) parahash.Config {
+	cfg := m.opts.Base
+	if spec.K > 0 {
+		cfg.K = spec.K
+	}
+	if spec.P > 0 {
+		cfg.P = spec.P
+	}
+	if spec.Partitions > 0 {
+		cfg.NumPartitions = spec.Partitions
+	}
+	if spec.TableBackend != "" {
+		cfg.TableBackend = spec.TableBackend
+	}
+	if spec.FilterMin > 0 {
+		cfg.OutputFilterMin = spec.FilterMin
+	}
+	cfg.Checkpoint = parahash.CheckpointConfig{
+		Dir:        m.checkpointDir(id),
+		InputLabel: "job:" + id,
+	}
+	if cfg.Resilience.PartitionDeadline == 0 && m.opts.JobDeadline > 0 {
+		cfg.Resilience.PartitionDeadline = m.opts.JobDeadline
+	}
+	return cfg
+}
+
+// startJob launches the job's lifecycle goroutine.
+func (m *Manager) startJob(id string, resume bool) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	rt := &jobRuntime{cancel: cancel, done: make(chan struct{})}
+	m.mu.Lock()
+	m.active[id] = rt
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer close(rt.done)
+		defer func() {
+			m.mu.Lock()
+			delete(m.active, id)
+			m.mu.Unlock()
+		}()
+		m.runJob(ctx, id, resume)
+	}()
+}
+
+// runJob drives one job from queued to a terminal state (or back to
+// journalled-running if the process dies first — that is the point).
+func (m *Manager) runJob(ctx context.Context, id string, resume bool) {
+	rec, ok := m.journal.Get(id)
+	if !ok {
+		return
+	}
+	cfg := m.jobConfig(id, rec.Spec)
+	cfg.Checkpoint.Resume = resume || rec.Resumed || rec.Attempts > 0
+
+	// Cross-job admission: the whole job waits at the gate until its
+	// predicted footprint fits under the budget. FIFO order means a heavy
+	// job is never starved by a stream of light ones.
+	if m.gate != nil {
+		if err := m.gate.Acquire(ctx, rec.WeightBytes); err != nil {
+			m.finishJob(ctx, id, nil, err)
+			return
+		}
+		defer m.gate.Release(rec.WeightBytes)
+	}
+
+	if err := m.journalState(id, func(jr *JobRecord) {
+		jr.State = StateRunning
+		jr.StartedUnix = m.opts.now().Unix()
+	}); err != nil {
+		m.opts.Logf("server: job %s: journalling running: %v", id, err)
+		return
+	}
+
+	var res *parahash.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = m.journalState(id, func(jr *JobRecord) {
+			jr.Attempts++
+			if cfg.Checkpoint.Resume {
+				jr.Resumed = true
+			}
+		}); err != nil {
+			return // killed mid-journal: leave state as the journal has it
+		}
+		res, err = m.buildOnce(ctx, id, cfg)
+		if err == nil || !m.retryable(ctx, err) || attempt >= m.opts.RetryMax {
+			break
+		}
+		backoff := m.retryBackoff(attempt)
+		m.opts.Logf("server: job %s attempt %d failed (%v); retrying from checkpoint in %v", id, attempt+1, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			err = context.Cause(ctx)
+		}
+		if ctx.Err() != nil {
+			err = context.Cause(ctx)
+			break
+		}
+		// Later attempts resume from whatever the failed one checkpointed.
+		cfg.Checkpoint.Resume = true
+	}
+	m.finishJob(ctx, id, res, err)
+}
+
+// buildOnce runs one build attempt under the job's deadline.
+func (m *Manager) buildOnce(ctx context.Context, id string, cfg parahash.Config) (*parahash.Result, error) {
+	attemptCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	if m.opts.JobDeadline > 0 {
+		var cancelT context.CancelFunc
+		attemptCtx, cancelT = context.WithTimeoutCause(attemptCtx, m.opts.JobDeadline,
+			fmt.Errorf("server: job %s exceeded deadline %v", id, m.opts.JobDeadline))
+		defer cancelT()
+	}
+	if m.opts.WrapJobCtx != nil {
+		attemptCtx = m.opts.WrapJobCtx(id, attemptCtx, cancel)
+	}
+	if m.opts.WrapJobConfig != nil {
+		cfg = m.opts.WrapJobConfig(id, cfg)
+	}
+
+	f, err := os.Open(m.inputPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening job input: %w", err)
+	}
+	defer f.Close()
+	reads, err := parahash.ParseReads(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: re-parsing job input: %w", err)
+	}
+	return parahash.BuildContext(attemptCtx, reads, cfg)
+}
+
+// retryable classifies a build failure. Deterministic failures — disk
+// full, a checkpoint from a different configuration, cancellation of any
+// flavour (client, drain, kill, deadline), resize exhaustion, device
+// memory — fail the job; everything else is presumed transient (a flaky
+// store, an exhausted quarantine roster) and retried from the checkpoint.
+func (m *Manager) retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, parahash.ErrCanceled),
+		errors.Is(err, parahash.ErrManifestMismatch),
+		errors.Is(err, store.ErrDiskFull),
+		errors.Is(err, core.ErrResizeExhausted),
+		errors.Is(err, hashtable.ErrPartitionTooLarge),
+		errors.Is(err, device.ErrDeviceMemory):
+		return false
+	}
+	return true
+}
+
+// retryBackoff computes the jittered exponential sleep before a retry.
+func (m *Manager) retryBackoff(attempt int) time.Duration {
+	d := m.opts.RetryBackoff << uint(attempt)
+	if m.opts.RetryJitter > 0 {
+		m.mu.Lock()
+		factor := 1 + m.opts.RetryJitter*(2*m.jitter.Float64()-1)
+		m.mu.Unlock()
+		d = time.Duration(float64(d) * factor)
+	}
+	return d
+}
+
+// finishJob journals the job's terminal state and publishes its outputs.
+// A killed manager journals nothing: the job stays journalled running,
+// exactly as a SIGKILL would leave it, and restart recovery resumes it.
+func (m *Manager) finishJob(ctx context.Context, id string, res *parahash.Result, err error) {
+	if err == nil {
+		if perr := m.publishOutputs(id, res); perr != nil {
+			err = perr
+		}
+	}
+	now := m.opts.now().Unix()
+	switch {
+	case err == nil:
+		m.mu.Lock()
+		m.graphs[id] = res.Graph
+		m.mu.Unlock()
+		if jerr := m.journalState(id, func(jr *JobRecord) {
+			jr.State = StateDone
+			jr.FinishedUnix = now
+			jr.Vertices = int64(res.Graph.NumVertices())
+			jr.Edges = int64(res.Graph.NumEdges())
+		}); jerr == nil {
+			m.opts.Logf("server: job %s done (%d vertices, %d edges)", id, res.Graph.NumVertices(), res.Graph.NumEdges())
+		}
+	case m.isKilled():
+		// SIGKILL model: no terminal journalling, no cleanup. The journal
+		// still says running; restart recovery owns the rest.
+		return
+	case m.isDrainCause(ctx):
+		// Graceful drain: the job goes back to queued with its checkpoint
+		// intact, so the restarted server resumes instead of restarting.
+		if jerr := m.journalState(id, func(jr *JobRecord) {
+			jr.State = StateQueued
+			jr.Resumed = true
+		}); jerr == nil {
+			m.opts.Logf("server: job %s checkpointed for drain", id)
+		}
+	case errors.Is(err, errJobCanceled), errors.Is(context.Cause(ctx), errJobCanceled):
+		m.journalState(id, func(jr *JobRecord) {
+			jr.State = StateCanceled
+			jr.FinishedUnix = now
+			jr.Error = err.Error()
+		})
+	default:
+		if jerr := m.journalState(id, func(jr *JobRecord) {
+			jr.State = StateFailed
+			jr.FinishedUnix = now
+			jr.Error = err.Error()
+		}); jerr == nil {
+			m.opts.Logf("server: job %s failed: %v", id, err)
+		}
+	}
+}
+
+// publishOutputs atomically writes the completed graph and metrics files.
+func (m *Manager) publishOutputs(id string, res *parahash.Result) error {
+	rec, _ := m.journal.Get(id)
+	cfg := m.jobConfig(id, rec.Spec)
+	if err := writeFileAtomic(m.graphPath(id), res.Graph.Write); err != nil {
+		return fmt.Errorf("server: publishing graph: %w", err)
+	}
+	if err := writeFileAtomic(m.metricsPath(id), parahash.MetricsOf(res, cfg).WriteJSON); err != nil {
+		return fmt.Errorf("server: publishing metrics: %w", err)
+	}
+	return nil
+}
+
+// journalState applies a state mutation unless the manager is killed.
+func (m *Manager) journalState(id string, fn func(*JobRecord)) error {
+	if m.isKilled() {
+		return errors.New("server: killed")
+	}
+	return m.journal.Update(id, fn)
+}
+
+func (m *Manager) isKilled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.killed
+}
+
+// isDrainCause reports whether the job's context died because of a drain.
+func (m *Manager) isDrainCause(ctx context.Context) bool {
+	return errors.Is(context.Cause(ctx), ErrDraining)
+}
+
+// Get returns a job's journalled record.
+func (m *Manager) Get(id string) (JobRecord, error) {
+	r, ok := m.journal.Get(id)
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return r, nil
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []JobRecord { return m.journal.List() }
+
+// Cancel cancels a queued or running job.
+func (m *Manager) Cancel(id string) error {
+	if _, ok := m.journal.Get(id); !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	m.mu.Lock()
+	rt := m.active[id]
+	m.mu.Unlock()
+	if rt != nil {
+		rt.cancel(errJobCanceled)
+		<-rt.done
+	}
+	return nil
+}
+
+// QueryResult answers one k-mer lookup against a completed graph.
+type QueryResult struct {
+	Kmer      string `json:"kmer"`
+	Canonical string `json:"canonical"`
+	Present   bool   `json:"present"`
+	// Multiplicity is the vertex's total edge multiplicity (its k-mer
+	// abundance proxy); Degree its distinct-neighbour count.
+	Multiplicity int `json:"multiplicity"`
+	Degree       int `json:"degree"`
+}
+
+// Query looks a k-mer up in a completed job's graph.
+func (m *Manager) Query(id, kmer string) (QueryResult, error) {
+	rec, ok := m.journal.Get(id)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if rec.State != StateDone {
+		return QueryResult{}, fmt.Errorf("server: job %s is %s, not done", id, rec.State)
+	}
+	cfg := m.jobConfig(id, rec.Spec)
+	if len(kmer) != cfg.K {
+		return QueryResult{}, fmt.Errorf("server: query k-mer length %d, want K=%d", len(kmer), cfg.K)
+	}
+	g, err := m.loadGraph(id)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return lookupKmer(g, kmer, cfg.K)
+}
+
+// loadGraph returns the completed graph for id, reading and caching the
+// published file on first use (a restarted server serves queries for jobs
+// it never built in this process).
+func (m *Manager) loadGraph(id string) (*parahash.Graph, error) {
+	m.mu.Lock()
+	g := m.graphs[id]
+	m.mu.Unlock()
+	if g != nil {
+		return g, nil
+	}
+	data, err := os.ReadFile(m.graphPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading job graph: %w", err)
+	}
+	g, err = parahash.ReadGraph(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("server: parsing job graph: %w", err)
+	}
+	g.Sort() // Lookup binary-searches; published graphs are sorted, but cheap to guarantee
+	m.mu.Lock()
+	m.graphs[id] = g
+	m.mu.Unlock()
+	return g, nil
+}
+
+// Drain gracefully shuts the manager down: stop admitting, cancel running
+// jobs with the drain cause (each checkpoints and is journalled back to
+// queued for the next process to resume), and wait for every lifecycle
+// goroutine to finish. It returns nil when the drain completed within ctx.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.drained {
+		m.mu.Unlock()
+		return nil
+	}
+	m.drained = true
+	actives := make([]*jobRuntime, 0, len(m.active))
+	for _, rt := range m.active {
+		actives = append(actives, rt)
+	}
+	m.mu.Unlock()
+	for _, rt := range actives {
+		rt.cancel(ErrDraining)
+	}
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		m.opts.Logf("server: drain complete")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", context.Cause(ctx))
+	}
+}
+
+// Kill abruptly stops the manager as a SIGKILL would: workers are canceled
+// but no terminal state is journalled, so the journal keeps saying what it
+// said when the axe fell. The chaos server scenario uses this to model
+// process death deterministically in-process.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	// The flag must be visible before any worker wakes from cancellation,
+	// so no goroutine sneaks in a terminal journal write post-mortem.
+	m.killed = true
+	actives := make([]*jobRuntime, 0, len(m.active))
+	for _, rt := range m.active {
+		actives = append(actives, rt)
+	}
+	m.mu.Unlock()
+	for _, rt := range actives {
+		rt.cancel(errors.New("server: killed"))
+	}
+	m.wg.Wait()
+}
+
+// writeFileAtomic publishes a file all-or-nothing (tmp, fsync, rename).
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// lookupKmer canonicalizes and looks up one k-mer string.
+func lookupKmer(g *parahash.Graph, s string, k int) (QueryResult, error) {
+	for _, c := range s {
+		switch c {
+		case 'A', 'C', 'G', 'T', 'a', 'c', 'g', 't':
+		default:
+			return QueryResult{}, fmt.Errorf("server: query k-mer has non-ACGT base %q", c)
+		}
+	}
+	return lookupKmerDNA(g, s, k)
+}

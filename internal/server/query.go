@@ -1,0 +1,25 @@
+package server
+
+import (
+	"strings"
+
+	"parahash"
+	"parahash/internal/dna"
+)
+
+// lookupKmerDNA canonicalizes s and resolves it against the graph. Graph
+// vertices are canonical k-mers, so both a k-mer and its reverse
+// complement answer the same lookup — membership in the bi-directed graph.
+func lookupKmerDNA(g *parahash.Graph, s string, k int) (QueryResult, error) {
+	km := dna.KmerFromString(strings.ToUpper(s))
+	canon, _ := km.Canonical(k)
+	res := QueryResult{Kmer: strings.ToUpper(s), Canonical: canon.String(k)}
+	v, ok := g.Lookup(canon)
+	if !ok {
+		return res, nil
+	}
+	res.Present = true
+	res.Multiplicity = v.Multiplicity()
+	res.Degree = v.Degree()
+	return res, nil
+}
