@@ -5,11 +5,16 @@
 // jobs submitted to an in-process manager under store faults and memory
 // budgets, killed or drained mid-build, then recovered by a restarted
 // manager that must converge every job to the oracle byte-for-byte.
+// -mode dist aims it at the coordinator/worker distributed build: a fleet
+// whose workers are killed, wedged, partitioned and delayed mid-lease must
+// still converge byte-identically (or fail typed and resume cleanly), with
+// every stale write fenced off and every fenced orphan swept.
 //
 // Usage:
 //
 //	chaos -profile small -seed 42 -runs 25
 //	chaos -mode server -profile small -seed 42 -runs 10
+//	chaos -mode dist -profile small -seed 42 -runs 10
 //	chaos -profile medium -seed 42 -duration 10m -out soak.json
 //
 // The process exits 0 when every run upholds the invariants and 1 when any
@@ -47,7 +52,7 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "build", "campaign mode: build (direct pipeline builds) or server (the parahashd job-lifecycle manager under kill/drain/restart)")
+		mode     = fs.String("mode", "build", "campaign mode: build (direct pipeline builds), server (the parahashd job-lifecycle manager under kill/drain/restart) or dist (the coordinator/worker distributed build under process faults)")
 		profile  = fs.String("profile", "small", "campaign profile: "+strings.Join(chaos.Profiles(), ", "))
 		seed     = fs.Int64("seed", 1, "root seed; per-run seeds are derived from it deterministically")
 		runs     = fs.Int("runs", 10, "number of scenarios to run")
@@ -66,8 +71,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if *runs < 1 {
 		return 2, fmt.Errorf("-runs %d must be at least 1", *runs)
 	}
-	if *mode != "build" && *mode != "server" {
-		return 2, fmt.Errorf("unknown -mode %q (build, server)", *mode)
+	if *mode != "build" && *mode != "server" && *mode != "dist" {
+		return 2, fmt.Errorf("unknown -mode %q (build, server, dist)", *mode)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -90,6 +95,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 		rep, err = eng.ServerReplay(ctx, *seed, *workDir)
 	case *mode == "server":
 		rep, err = eng.ServerCampaign(ctx, *seed, *runs, *duration, *workDir)
+	case *mode == "dist" && *replay:
+		rep, err = eng.DistReplay(ctx, *seed, *workDir)
+	case *mode == "dist":
+		rep, err = eng.DistCampaign(ctx, *seed, *runs, *duration, *workDir)
 	case *replay:
 		rep, err = eng.Replay(ctx, *seed, *workDir)
 	default:

@@ -65,6 +65,24 @@ func TestRunServerModeCampaign(t *testing.T) {
 	}
 }
 
+func TestRunDistModeCampaign(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-mode", "dist", "-profile", "small", "-seed", "7", "-runs", "2", "-dir", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "dist" || len(rep.Runs) != 2 || !rep.Green() {
+		t.Fatalf("dist campaign: %+v", rep)
+	}
+}
+
 func TestRunRejectsUnknownMode(t *testing.T) {
 	if code, err := run([]string{"-mode", "cosmic"}, &bytes.Buffer{}); err == nil || code != 2 {
 		t.Fatalf("unknown mode: code=%d err=%v", code, err)

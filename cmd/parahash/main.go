@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -22,8 +23,58 @@ import (
 
 	"parahash"
 	"parahash/internal/device"
+	"parahash/internal/dist"
 	"parahash/internal/obs"
 )
+
+// workerCommand builds the subprocess for one distributed worker. Tests
+// replace it to re-execute the test binary instead of the installed one.
+var workerCommand = func(args []string) (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own executable for worker spawn: %w", err)
+	}
+	return exec.Command(exe, args...), nil
+}
+
+// runDistributed fans Step 2 out to n worker subprocesses re-executing
+// this binary in -dist-worker mode, with leases journalled in the
+// checkpoint manifest.
+func runDistributed(ctx context.Context, stdout io.Writer, reads []parahash.Read, cfg parahash.Config, n int, leaseMS int64, wargs []string) (*parahash.Result, error) {
+	plan, err := parahash.PrepareDistBuild(ctx, reads, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &dist.ProcTransport{Command: func(id string) (*exec.Cmd, error) {
+		return workerCommand(append(append([]string(nil), wargs...), "-dist-worker="+id))
+	}}
+	stats, err := parahash.RunDistributed(ctx, plan, tr, parahash.DistOptions{
+		Workers: n,
+		LeaseMS: leaseMS,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "parahash: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Finish(stats)
+}
+
+// loadDistReads loads the whole input into memory — distributed Step 1
+// runs in the coordinator, which then only shares partition files with the
+// workers, never raw reads.
+func loadDistReads(inPath, profile string, scale float64) ([]parahash.Read, error) {
+	if inPath != "" && profile == "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parahash.ParseReads(f)
+	}
+	return loadReads(inPath, profile, scale)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -68,6 +119,10 @@ func run(args []string, stdout io.Writer) error {
 
 		checkpointDir = fs.String("checkpoint-dir", "", "durable on-disk partition store + build manifest in this directory (crash-safe)")
 		resume        = fs.Bool("resume", false, "resume from the -checkpoint-dir manifest: skip verified completed partitions, rebuild corrupt ones")
+
+		workers     = fs.Int("workers", 0, "distributed build: fan Step 2 out to this many local worker subprocesses under manifest-journalled leases (requires -checkpoint-dir)")
+		distLeaseMS = fs.Int64("dist-lease-ms", 2000, "distributed build: lease duration in milliseconds; a worker silent past this is presumed dead and its partitions are re-leased")
+		distWorker  = fs.String("dist-worker", "", "internal: serve as a distributed-build worker with this id over stdin/stdout (spawned by -workers, not for direct use)")
 
 		metricsJSON = fs.String("metrics-json", "", "write the run's metrics registry (parahash.metrics/v1 JSON) to this file")
 		traceOut    = fs.String("trace-out", "", "write per-partition stage spans as Chrome trace-event JSON (open in Perfetto) to this file")
@@ -169,8 +224,41 @@ func run(args []string, stdout io.Writer) error {
 		defer cancel()
 	}
 
+	if *distWorker != "" {
+		// Worker mode: stdout is the protocol channel, so nothing else may
+		// print to it; the parent owns all human-facing output.
+		if *checkpointDir == "" {
+			return fmt.Errorf("-dist-worker requires -checkpoint-dir")
+		}
+		return dist.ServeStdio(ctx, *distWorker, cfg, os.Stdin, os.Stdout)
+	}
+
 	var res *parahash.Result
-	if *inPath != "" && *profile == "" {
+	if *workers > 0 {
+		if *checkpointDir == "" {
+			return fmt.Errorf("-workers requires -checkpoint-dir (the store the worker processes share)")
+		}
+		reads, err := loadDistReads(*inPath, *profile, *scale)
+		if err != nil {
+			return err
+		}
+		// Workers re-execute this binary with the construction parameters
+		// mirrored; everything output-related stays with the coordinator.
+		wargs := []string{
+			"-k", strconv.Itoa(*k), "-p", strconv.Itoa(*p),
+			"-partitions", strconv.Itoa(*partitions),
+			"-threads", strconv.Itoa(*threads), "-gpus", strconv.Itoa(*gpus),
+			"-medium", *medium,
+			"-lambda", fmt.Sprint(*lambda), "-alpha", fmt.Sprint(*alpha),
+			"-table", *table, "-checkpoint-dir", *checkpointDir,
+		}
+		if *noCPU {
+			wargs = append(wargs, "-no-cpu")
+		}
+		if res, err = runDistributed(ctx, stdout, reads, cfg, *workers, *distLeaseMS, wargs); err != nil {
+			return err
+		}
+	} else if *inPath != "" && *profile == "" {
 		// File inputs stream chunk by chunk (out-of-core Step 1) and
 		// accept gzip transparently.
 		f, err := os.Open(*inPath)
@@ -191,6 +279,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	printStats(stdout, res, cfg)
+	if d := res.Stats.Dist; d != nil {
+		fmt.Fprintf(stdout, "distributed build: %d workers (%d spawned), %d leases granted, %d expired, %d partitions reassigned, %d fenced writes, %d quarantined\n",
+			d.Workers, d.Spawned, d.LeaseGrants, d.LeaseExpiries, d.Reassignments, d.FencedWrites, d.WorkerQuarantines)
+	}
 
 	if *filterMin > 1 {
 		removed := res.Graph.FilterByMultiplicity(*filterMin)

@@ -60,6 +60,9 @@ func run(args []string, stdout io.Writer) error {
 		maxQueue    = fs.Int("max-queue", 16, "max queued+running jobs before submissions are shed with 429")
 		jobDeadline = fs.Duration("job-deadline", 0, "per-job wall-clock deadline; also seeds the per-partition watchdog (0 = none)")
 
+		graphCache    = fs.Int("graph-cache", 8, "decoded completed graphs kept resident for queries (LRU); evicted graphs reload from disk")
+		journalRetain = fs.Int("journal-retain", 64, "terminal job records kept through startup journal compaction; queued/running records are always kept")
+
 		retryMax      = fs.Int("retry-max", 2, "retries per job after a transient build failure (resuming from its checkpoint)")
 		retryBackoff  = fs.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff, doubling per retry")
 		retryJitter   = fs.Float64("retry-jitter", 0.5, "uniform retry-backoff jitter factor in [0,1]; decorrelates jobs retrying a shared fault")
@@ -90,15 +93,17 @@ func run(args []string, stdout io.Writer) error {
 	base.Resilience.BackoffJitterSeed = seed
 
 	opts := server.Options{
-		Root:         *dataDir,
-		Base:         base,
-		MaxQueue:     *maxQueue,
-		JobDeadline:  *jobDeadline,
-		RetryMax:     *retryMax,
-		RetryBackoff: *retryBackoff,
-		RetryJitter:  *retryJitter,
-		RetrySeed:    seed,
-		Logf:         log.New(stdout, "", log.LstdFlags).Printf,
+		Root:           *dataDir,
+		Base:           base,
+		MaxQueue:       *maxQueue,
+		JobDeadline:    *jobDeadline,
+		RetryMax:       *retryMax,
+		RetryBackoff:   *retryBackoff,
+		RetryJitter:    *retryJitter,
+		RetrySeed:      seed,
+		GraphCacheSize: *graphCache,
+		JournalRetain:  *journalRetain,
+		Logf:           log.New(stdout, "", log.LstdFlags).Printf,
 	}
 	if *memBudget != "" {
 		budget, err := parseBytes(*memBudget)

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -81,13 +82,33 @@ func tinyFASTQBytes(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// logBuffer collects a child daemon's output. The exec stdout copier
+// goroutine writes while the test goroutine reads (failure dumps, the
+// "recovery:" assertion), so both sides take the lock.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // startDaemon re-execs this test binary as a parahashd daemon and waits
 // for it to publish its bound address.
-func startDaemon(t *testing.T, dataDir string, extraEnv ...string) (*exec.Cmd, string, *bytes.Buffer) {
+func startDaemon(t *testing.T, dataDir string, extraEnv ...string) (*exec.Cmd, string, *logBuffer) {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestParahashdHelper$")
-	var out bytes.Buffer
+	var out logBuffer
 	cmd.Stdout = &out
 	cmd.Stderr = &out
 	cmd.Env = append(os.Environ(),
@@ -113,7 +134,7 @@ func startDaemon(t *testing.T, dataDir string, extraEnv ...string) (*exec.Cmd, s
 // waitHealthz polls /healthz until it answers 200, reporting whether an
 // unready (non-200) answer was observed on the way — the unready→ready
 // flip the CI smoke asserts.
-func waitHealthz(t *testing.T, addr string, out *bytes.Buffer) (sawUnready bool) {
+func waitHealthz(t *testing.T, addr string, out *logBuffer) (sawUnready bool) {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for {
@@ -155,7 +176,7 @@ func submitJob(t *testing.T, addr string, input []byte) server.JobRecord {
 }
 
 // waitJobDone polls the job's status endpoint until it reports done.
-func waitJobDone(t *testing.T, addr, id string, out *bytes.Buffer) server.JobRecord {
+func waitJobDone(t *testing.T, addr, id string, out *logBuffer) server.JobRecord {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Minute)
 	for {

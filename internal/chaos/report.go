@@ -11,7 +11,8 @@ type Violation struct {
 	// "typed-error", "consistent-checkpoint", "resume-converges",
 	// "gate-balance" or "goroutine-leak" in build mode; server mode adds
 	// "server-lifecycle", "server-recovery", "journal-consistent",
-	// "job-outcome" and "query-serving".
+	// "job-outcome" and "query-serving"; dist mode adds "dist-lifecycle",
+	// "dist-governance" and "lease-clean".
 	Invariant string `json:"invariant"`
 	// Detail is the human-readable evidence.
 	Detail string `json:"detail"`
@@ -52,8 +53,9 @@ type RunReport struct {
 // Report is a whole campaign in the parahash.chaos/v1 schema.
 type Report struct {
 	Format string `json:"format"`
-	// Mode is "build" (direct pipeline builds) or "server" (the parahashd
-	// job-lifecycle manager under kill/drain/restart).
+	// Mode is "build" (direct pipeline builds), "server" (the parahashd
+	// job-lifecycle manager under kill/drain/restart) or "dist" (the
+	// coordinator/worker distributed build under process faults).
 	Mode     string      `json:"mode,omitempty"`
 	Profile  string      `json:"profile"`
 	RootSeed int64       `json:"root_seed,string"`

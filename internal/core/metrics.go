@@ -60,6 +60,17 @@ func MetricsOf(res *Result, cfg Config) *obs.BuildMetrics {
 			PeakAdmittedBytes:    res.Stats.PeakAdmittedBytes(),
 		},
 	}
+	if d := res.Stats.Dist; d != nil {
+		m.Dist = &obs.DistMetrics{
+			Workers:           d.Workers,
+			Spawned:           d.Spawned,
+			LeaseGrants:       d.LeaseGrants,
+			LeaseExpiries:     d.LeaseExpiries,
+			Reassignments:     d.Reassignments,
+			FencedWrites:      d.FencedWrites,
+			WorkerQuarantines: d.WorkerQuarantines,
+		}
+	}
 	return m
 }
 

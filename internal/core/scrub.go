@@ -112,6 +112,14 @@ func Scrub(dir string) (ScrubReport, error) {
 	}
 
 	repaired := false
+	// Outstanding worker leases belong to a coordinator that no longer
+	// exists; a scrubbed checkpoint has no live fleet, so drop them (the
+	// fencing-token high-water mark survives, keeping tokens unique across
+	// the repair).
+	if len(m.Leases) > 0 {
+		m.ClearLeases()
+		repaired = true
+	}
 	for i := 0; i < m.Partitions; i++ {
 		if rec := m.Step2For(i); rec != nil {
 			if _, ok := verifySubgraphFile(ds, rec); ok {

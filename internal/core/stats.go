@@ -173,6 +173,10 @@ type Stats struct {
 	// verification (missing, truncated or corrupt artifact) and were
 	// re-executed from intact inputs.
 	RebuiltPartitions int
+
+	// Dist carries the distributed-build fault-tolerance counters; nil for
+	// single-process builds.
+	Dist *DistStats
 }
 
 // TotalRetries sums both steps' retried partition attempts.

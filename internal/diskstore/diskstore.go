@@ -142,6 +142,40 @@ func (s *Store) Remove(name string) error {
 	return syncDir(filepath.Dir(p))
 }
 
+// Rename atomically moves a published file from oldName to newName,
+// overwriting any previous file under newName, then fsyncs the affected
+// parent directories. The distributed coordinator uses it to promote a
+// verified fenced worker result (e.g. "subgraphs/0003.t7") to its canonical
+// name: promotion carries the same crash guarantee as Create's publication
+// rename — after a crash the canonical name holds either the previous
+// content or the complete promoted file, never a mix.
+func (s *Store) Rename(oldName, newName string) error {
+	from, err := s.pathOf(oldName)
+	if err != nil {
+		return err
+	}
+	to, err := s.pathOf(newName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(to), 0o755); err != nil {
+		return fmt.Errorf("diskstore: renaming %q: %w", oldName, err)
+	}
+	if err := os.Rename(from, to); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q", store.ErrNotFound, oldName)
+		}
+		return fmt.Errorf("diskstore: renaming %q to %q: %w", oldName, newName, err)
+	}
+	if err := syncDir(filepath.Dir(to)); err != nil {
+		return err
+	}
+	if filepath.Dir(from) != filepath.Dir(to) {
+		return syncDir(filepath.Dir(from))
+	}
+	return nil
+}
+
 // List returns the published file names (slash-separated, relative to the
 // root), sorted. In-flight .tmp files are not listed.
 func (s *Store) List() ([]string, error) {

@@ -134,6 +134,48 @@ func TestResetKeepsRoot(t *testing.T) {
 // TestInvalidNames checks that names escaping the root, empty names, and
 // names colliding with the .tmp publishing convention are rejected on every
 // entry point.
+// TestRename covers fenced-file promotion: a published token-suffixed file
+// moves atomically to its canonical name, replacing any previous content,
+// and the source name stops resolving.
+func TestRename(t *testing.T) {
+	s := open(t)
+	put(t, s, "subgraphs/0003.t7", "fenced")
+	put(t, s, "subgraphs/0003", "stale")
+	if err := s.Rename("subgraphs/0003.t7", "subgraphs/0003"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Open("subgraphs/0003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "fenced" {
+		t.Fatalf("promoted content = %q, want %q", got, "fenced")
+	}
+	if _, err := s.Open("subgraphs/0003.t7"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("source still readable after rename: %v", err)
+	}
+	// Renaming a missing source is the typed not-found, not a raw os error.
+	if err := s.Rename("subgraphs/absent", "subgraphs/0004"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Rename(absent) = %v, want store.ErrNotFound", err)
+	}
+	// Rename across directories creates the destination directory.
+	put(t, s, "a/x", "move-me")
+	if err := s.Rename("a/x", "b/deep/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Size("b/deep/y"); err != nil {
+		t.Fatalf("cross-directory rename target missing: %v", err)
+	}
+	// Invalid names are rejected on both sides.
+	if err := s.Rename("../escape", "ok"); err == nil {
+		t.Fatal("Rename accepted an escaping source name")
+	}
+	if err := s.Rename("ok", "x.tmp"); err == nil {
+		t.Fatal("Rename accepted a .tmp destination name")
+	}
+}
+
 func TestInvalidNames(t *testing.T) {
 	s := open(t)
 	for _, name := range []string{

@@ -1,0 +1,387 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"parahash/internal/core"
+	"parahash/internal/diskstore"
+	"parahash/internal/fastq"
+	"parahash/internal/graph"
+	"parahash/internal/simulate"
+)
+
+// testData generates the tiny deterministic dataset and the base build
+// configuration the dist tests share: 16 partitions so every lease schedule
+// has work to fight over, a small heterogeneous fleet, subgraphs kept so
+// runs can be compared byte-for-byte against the oracle.
+func testData(t *testing.T) ([]fastq.Read, core.Config) {
+	t.Helper()
+	d, err := simulate.Generate(simulate.TinyProfile())
+	if err != nil {
+		t.Fatalf("generating dataset: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.NumPartitions = 16
+	cfg.CPUThreads = 4
+	cfg.NumGPUs = 1
+	cfg.KeepSubgraphs = true
+	return d.Reads, cfg
+}
+
+func serialize(t *testing.T, g *graph.Subgraph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatalf("serializing graph: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// oracleBytes is the single-process, checkpoint-free build every
+// distributed run must converge to byte-for-byte.
+func oracleBytes(t *testing.T, reads []fastq.Read, cfg core.Config) []byte {
+	t.Helper()
+	cfg.Checkpoint = core.CheckpointConfig{}
+	res, err := core.Build(reads, cfg)
+	if err != nil {
+		t.Fatalf("oracle build: %v", err)
+	}
+	return serialize(t, res.Graph)
+}
+
+func distConfig(cfg core.Config, dir string) core.Config {
+	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: "dist-test"}
+	return cfg
+}
+
+// runDist prepares and runs a distributed build. Run errors are returned
+// (some tests expect them); everything else is fatal.
+func runDist(t *testing.T, reads []fastq.Read, cfg core.Config, tr Transport, opts Options) (*core.DistPlan, *core.Result, core.DistStats, error) {
+	t.Helper()
+	ctx := context.Background()
+	plan, err := core.PrepareDistBuild(ctx, reads, cfg)
+	if err != nil {
+		t.Fatalf("preparing distributed build: %v", err)
+	}
+	stats, err := Run(ctx, plan, tr, opts)
+	if err != nil {
+		return plan, nil, stats, err
+	}
+	res, err := plan.Finish(stats)
+	if err != nil {
+		t.Fatalf("finishing distributed build: %v", err)
+	}
+	return plan, res, stats, nil
+}
+
+func checkConverged(t *testing.T, res *core.Result, oracle []byte) {
+	t.Helper()
+	if got := serialize(t, res.Graph); !bytes.Equal(got, oracle) {
+		t.Fatalf("distributed graph differs from single-process oracle (%d vs %d bytes)", len(got), len(oracle))
+	}
+}
+
+// checkStoreClean asserts the checkpoint holds exactly the canonical
+// artifacts: scrub-clean, no leases outstanding, no fenced orphans.
+func checkStoreClean(t *testing.T, dir string) {
+	t.Helper()
+	rep, err := core.Scrub(dir)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("checkpoint not scrub-clean after distributed build: %+v", rep)
+	}
+	ds, err := diskstore.Open(filepath.Join(dir, "data"))
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	names, err := ds.List()
+	if err != nil {
+		t.Fatalf("listing store: %v", err)
+	}
+	for _, n := range names {
+		if strings.Contains(n, ".t") {
+			t.Fatalf("fenced orphan %q survived the end-of-run sweep", n)
+		}
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: TypeHello, Worker: "w0"},
+		{Type: TypeAssign, Token: 3, Partitions: []int{4, 5, 6}, LeaseMS: 2000},
+		{Type: TypeHeartbeat, Worker: "w0", Token: 3},
+		{Type: TypeDone, Worker: "w0", Token: 3, Partition: 4, Name: "subgraphs/0004.t3",
+			Bytes: 128, Vertices: 7, Edges: 9, Distinct: 7, Kmers: 40},
+		{Type: TypeError, Worker: "w0", Token: 3, Partition: 5, Error: "device lost"},
+		{Type: TypeShutdown},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("writing %s: %v", m.Type, err)
+		}
+	}
+	out := make(chan Message, len(msgs))
+	if err := ReadMessages(&buf, out); err != nil {
+		t.Fatalf("reading messages: %v", err)
+	}
+	var got []Message
+	for m := range out {
+		got = append(got, m)
+	}
+	if !reflect.DeepEqual(got, msgs) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, msgs)
+	}
+}
+
+func TestReadMessagesMalformedLine(t *testing.T) {
+	out := make(chan Message, 4)
+	err := ReadMessages(strings.NewReader("{\"type\":\"hello\"}\ngarbage\n"), out)
+	if err == nil {
+		t.Fatal("malformed line did not terminate the stream with an error")
+	}
+	if m, ok := <-out; !ok || m.Type != TypeHello {
+		t.Fatalf("valid prefix not delivered: %+v ok=%v", m, ok)
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("channel not closed after decode error")
+	}
+}
+
+func TestRunRequiresWorkers(t *testing.T) {
+	if _, err := Run(context.Background(), nil, &LocalTransport{}, Options{}); err == nil {
+		t.Fatal("Run accepted a zero-worker fleet")
+	}
+}
+
+func TestDistBuildFaultFree(t *testing.T) {
+	reads, base := testData(t)
+	oracle := oracleBytes(t, reads, base)
+	dir := t.TempDir()
+	cfg := distConfig(base, dir)
+	tr := &LocalTransport{Cfg: cfg}
+	plan, res, stats, err := runDist(t, reads, cfg, tr, Options{Workers: 2, LeaseMS: 5000})
+	if err != nil {
+		t.Fatalf("fault-free distributed build failed: %v", err)
+	}
+	checkConverged(t, res, oracle)
+	if stats.Workers != 2 || stats.Spawned != 2 {
+		t.Fatalf("fleet accounting: %+v", stats)
+	}
+	if stats.LeaseGrants == 0 {
+		t.Fatal("no leases granted")
+	}
+	if stats.LeaseExpiries != 0 || stats.Reassignments != 0 ||
+		stats.FencedWrites != 0 || stats.WorkerQuarantines != 0 {
+		t.Fatalf("fault counters nonzero on a fault-free fleet: %+v", stats)
+	}
+	if n := len(plan.Manifest().Leases); n != 0 {
+		t.Fatalf("%d leases left in the manifest after a completed build", n)
+	}
+	if res.Stats.Dist == nil || res.Stats.Dist.LeaseGrants != stats.LeaseGrants {
+		t.Fatalf("dist stats not folded into the result: %+v", res.Stats.Dist)
+	}
+	m := core.MetricsOf(res, cfg)
+	if m.Dist == nil || m.Dist.LeaseGrants != stats.LeaseGrants {
+		t.Fatalf("dist counters missing from build metrics: %+v", m.Dist)
+	}
+	checkStoreClean(t, dir)
+}
+
+// TestDistBuildSurvivesWorkerFaults drives the three process failure modes
+// at once — one worker SIGKILL'd with a result published but unreported,
+// one wedged mid-lease after its last heartbeat, one partitioned from the
+// coordinator but still working — and requires byte-identical convergence
+// with the single-process oracle plus a clean store afterwards.
+func TestDistBuildSurvivesWorkerFaults(t *testing.T) {
+	reads, base := testData(t)
+	oracle := oracleBytes(t, reads, base)
+	dir := t.TempDir()
+	cfg := distConfig(base, dir)
+	tr := &LocalTransport{Cfg: cfg, Faults: map[string]Fault{
+		"w1": {KillAfter: 1},
+		"w2": {Hang: true, HangAfter: 1},
+		"w3": {Isolate: true},
+	}}
+	plan, res, stats, err := runDist(t, reads, cfg, tr, Options{Workers: 4, LeaseMS: 800})
+	if err != nil {
+		t.Fatalf("faulted distributed build failed: %v", err)
+	}
+	checkConverged(t, res, oracle)
+	// The hung and the isolated worker can only be reclaimed by expiry; the
+	// killed one loses its unreported partition to a survivor.
+	if stats.LeaseExpiries < 2 {
+		t.Fatalf("expected >= 2 lease expiries (hung + isolated), got %d", stats.LeaseExpiries)
+	}
+	if stats.Reassignments < 1 {
+		t.Fatalf("expected reassignments after worker faults, got %d", stats.Reassignments)
+	}
+	if stats.Spawned != 4 {
+		t.Fatalf("expected 4 spawned workers, got %d", stats.Spawned)
+	}
+	if n := len(plan.Manifest().Leases); n != 0 {
+		t.Fatalf("%d leases left in the manifest after a completed build", n)
+	}
+	checkStoreClean(t, dir)
+}
+
+// zombieConn scripts the classic fencing hazard end to end: a worker that
+// takes a lease, goes silent past its expiry, and then — only after the
+// coordinator has revoked the lease and written it off — constructs its
+// leased partition, publishes it under the stale token and reports done.
+type zombieConn struct {
+	cfg  core.Config
+	out  chan Message
+	once sync.Once
+	done chan struct{}
+
+	mu     sync.Mutex
+	assign *Message
+}
+
+func newZombieConn(cfg core.Config) *zombieConn {
+	c := &zombieConn{cfg: cfg, out: make(chan Message, 4), done: make(chan struct{})}
+	c.out <- Message{Type: TypeHello, Worker: "zombie"}
+	return c
+}
+
+func (c *zombieConn) Send(m Message) error {
+	if m.Type == TypeAssign {
+		c.mu.Lock()
+		if c.assign == nil {
+			mm := m
+			c.assign = &mm
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *zombieConn) Recv() <-chan Message { return c.out }
+
+// Kill is where the zombie does its damage: it is already presumed dead,
+// but the process behind it keeps running and publishes anyway.
+func (c *zombieConn) Kill() {
+	c.once.Do(func() {
+		go func() {
+			defer close(c.done)
+			defer close(c.out)
+			c.mu.Lock()
+			a := c.assign
+			c.mu.Unlock()
+			if a == nil {
+				return
+			}
+			p := a.Partitions[0]
+			out, err := core.ConstructDistPartition(context.Background(), c.cfg, p, core.FencedName(p, a.Token))
+			if err != nil {
+				return
+			}
+			c.out <- Message{Type: TypeDone, Worker: "zombie", Token: a.Token,
+				Partition: p, Name: out.Name, Bytes: out.Bytes, Vertices: out.Vertices,
+				Edges: out.Edges, Distinct: out.Distinct, Kmers: out.Kmers}
+		}()
+	})
+}
+
+func (c *zombieConn) Wait() error {
+	<-c.done
+	return nil
+}
+
+// zombieTransport hands worker w0 the scripted zombie and everything else
+// to the in-process transport.
+type zombieTransport struct {
+	local  *LocalTransport
+	zombie *zombieConn
+}
+
+func (t *zombieTransport) Start(ctx context.Context, id string) (Conn, error) {
+	if id == "w0" {
+		return t.zombie, nil
+	}
+	return t.local.Start(ctx, id)
+}
+
+// TestZombieWriteIsFencedOff proves the fencing invariant: when a revoked
+// worker publishes late under its old token, the write is rejected (counted
+// as a fenced write, file discarded), exactly one fencing token wins the
+// partition, and the build still converges byte-identically. The healthy
+// worker's deliveries are delayed so it is still mid-build when the
+// zombie's stale done arrives — the ordering is deterministic, not a race.
+func TestZombieWriteIsFencedOff(t *testing.T) {
+	reads, base := testData(t)
+	oracle := oracleBytes(t, reads, base)
+	dir := t.TempDir()
+	cfg := distConfig(base, dir)
+	tr := &zombieTransport{
+		local:  &LocalTransport{Cfg: cfg, Faults: map[string]Fault{"w1": {DelayMS: 60}}},
+		zombie: newZombieConn(cfg),
+	}
+	plan, res, stats, err := runDist(t, reads, cfg, tr, Options{Workers: 2, LeaseMS: 500})
+	if err != nil {
+		t.Fatalf("distributed build with zombie failed: %v", err)
+	}
+	checkConverged(t, res, oracle)
+	if stats.FencedWrites != 1 {
+		t.Fatalf("expected exactly 1 fenced write from the zombie, got %d", stats.FencedWrites)
+	}
+	if stats.LeaseExpiries < 1 {
+		t.Fatalf("zombie's lease never expired: %+v", stats)
+	}
+	if stats.Reassignments < 1 {
+		t.Fatalf("zombie's partitions were never reassigned: %+v", stats)
+	}
+	// Exactly one fencing token won: token high-water strictly exceeds the
+	// zombie's (reassignment minted a newer one), and no leases survive.
+	man := plan.Manifest()
+	if man.LeaseToken < 2 {
+		t.Fatalf("reassignment did not mint a newer fencing token: high-water %d", man.LeaseToken)
+	}
+	if n := len(man.Leases); n != 0 {
+		t.Fatalf("%d leases left in the manifest", n)
+	}
+	checkStoreClean(t, dir)
+}
+
+// TestWorkersExhaustedThenResume wedges the only worker, expects the typed
+// fleet-death error, and then finishes the same checkpoint with an ordinary
+// single-process resume — the distributed build's failure mode leaves a
+// durable, resumable store behind.
+func TestWorkersExhaustedThenResume(t *testing.T) {
+	reads, base := testData(t)
+	oracle := oracleBytes(t, reads, base)
+	dir := t.TempDir()
+	cfg := distConfig(base, dir)
+	tr := &LocalTransport{Cfg: cfg, Faults: map[string]Fault{
+		"w0": {Hang: true, HangAfter: 1},
+	}}
+	_, _, stats, err := runDist(t, reads, cfg, tr, Options{Workers: 1, LeaseMS: 400})
+	if !errors.Is(err, ErrWorkersExhausted) {
+		t.Fatalf("expected ErrWorkersExhausted, got %v", err)
+	}
+	if stats.LeaseExpiries < 1 {
+		t.Fatalf("hung worker's lease never expired: %+v", stats)
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Checkpoint.Resume = true
+	res, err := core.BuildContext(context.Background(), reads, resumeCfg)
+	if err != nil {
+		t.Fatalf("single-process resume after fleet death failed: %v", err)
+	}
+	checkConverged(t, res, oracle)
+	if res.Stats.ResumedPartitions == 0 {
+		t.Fatal("resume rebuilt everything; the partition journalled before the hang should have survived")
+	}
+	checkStoreClean(t, dir)
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"context"
+	"time"
+
+	"parahash/internal/core"
+)
+
+// Fault scripts one in-process worker's failure mode, all depths counted
+// in done messages observed by the transport. The zero value is a healthy
+// worker.
+type Fault struct {
+	// KillAfter > 0 kills the worker when its KillAfter-th done message
+	// reaches the transport, dropping that message — the worker died with
+	// a fenced result published but unreported.
+	KillAfter int
+	// HangAfter >= 0 with Hang set stops the transport from reading after
+	// HangAfter dones were delivered: the worker wedges on its next send,
+	// heartbeats stop, and only lease expiry + kill reclaims it.
+	Hang      bool
+	HangAfter int
+	// Isolate drops (but keeps consuming) every worker→coordinator message
+	// after IsolateAfter dones: the classic split brain, where the worker
+	// keeps constructing and publishing fenced files nobody will promote.
+	Isolate      bool
+	IsolateAfter int
+	// DelayMS delays every worker→coordinator delivery, so heartbeats and
+	// dones arrive after the lease they renew has already expired —
+	// exercising the stale-token (fenced write) rejection path.
+	DelayMS int
+}
+
+// LocalTransport runs workers as in-process goroutines over the same
+// protocol the subprocess transport speaks, with per-worker scripted
+// faults. The chaos dist mode uses it to drive kill/hang/isolate/delay
+// schedules deterministically derived from a seed.
+type LocalTransport struct {
+	Cfg    core.Config
+	Faults map[string]Fault
+}
+
+func (t *LocalTransport) Start(ctx context.Context, id string) (Conn, error) {
+	// The worker's context is independent of the coordinator's: a real
+	// subprocess does not die when its parent's context is canceled, only
+	// when killed. Kill() is the cancel.
+	wctx, cancel := context.WithCancel(context.Background())
+	// Small buffer so coordinator sends (an assign, a shutdown) never block
+	// on a busy worker — a subprocess's stdin pipe has the same slack.
+	toWorker := make(chan Message, 8)
+	fromWorker := make(chan Message)
+	out := make(chan Message, 16)
+	c := &localConn{cancel: cancel, toWorker: toWorker, out: out,
+		workerDone: make(chan struct{}), pumpDone: make(chan struct{})}
+
+	go func() {
+		defer close(c.workerDone)
+		defer close(fromWorker)
+		send := func(m Message) error {
+			select {
+			case fromWorker <- m:
+				return nil
+			case <-wctx.Done():
+				return context.Cause(wctx)
+			}
+		}
+		c.werr = RunWorker(wctx, id, t.Cfg, toWorker, send)
+	}()
+
+	f := t.Faults[id]
+	go func() {
+		defer close(c.pumpDone)
+		defer close(out)
+		dones := 0
+		for m := range fromWorker {
+			// The delay and the delivery run to completion even if the worker
+			// is killed meanwhile: a message handed to the network stays in
+			// flight, which is exactly how stale dones reach the coordinator
+			// after their lease is gone.
+			if f.DelayMS > 0 {
+				time.Sleep(time.Duration(f.DelayMS) * time.Millisecond)
+			}
+			if m.Type == TypeDone {
+				dones++
+				if f.KillAfter > 0 && dones >= f.KillAfter {
+					cancel()
+					return
+				}
+			}
+			if f.Isolate && dones >= f.IsolateAfter {
+				continue
+			}
+			out <- m
+			if f.Hang && m.Type == TypeDone && dones >= f.HangAfter {
+				// Stop reading but keep the stream open: a wedged process is
+				// silent, not gone — its pipe only closes when it is killed.
+				// The worker blocks on its next send until then.
+				<-wctx.Done()
+				return
+			}
+		}
+	}()
+	return c, nil
+}
+
+// localConn is a Conn over an in-process worker goroutine.
+type localConn struct {
+	cancel     context.CancelFunc
+	toWorker   chan Message
+	out        chan Message
+	workerDone chan struct{}
+	pumpDone   chan struct{}
+	werr       error
+}
+
+func (c *localConn) Send(m Message) error {
+	select {
+	case c.toWorker <- m:
+		return nil
+	case <-c.workerDone:
+		return context.Canceled
+	}
+}
+
+func (c *localConn) Recv() <-chan Message { return c.out }
+
+func (c *localConn) Kill() { c.cancel() }
+
+func (c *localConn) Wait() error {
+	<-c.workerDone
+	<-c.pumpDone
+	return c.werr
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Conn is the coordinator's handle on one worker: an ordered message pipe
+// in each direction plus process-level kill/reap. Recv's channel closes
+// when the worker side is gone (exited, killed, or its pipe broke).
+type Conn interface {
+	// Send delivers one coordinator→worker message. An error means the
+	// worker is unreachable and must be treated as dead.
+	Send(Message) error
+	// Recv returns the worker→coordinator message stream.
+	Recv() <-chan Message
+	// Kill force-stops the worker. Idempotent; the only way to reclaim a
+	// hung worker.
+	Kill()
+	// Wait blocks until the worker has fully stopped and releases its
+	// resources. Call after Kill or after Recv closed.
+	Wait() error
+}
+
+// Transport starts workers. The process transport spawns real subprocesses;
+// the in-process transport (see local.go) runs the same worker loop in a
+// goroutine with scripted faults, which is what the chaos dist mode drives.
+type Transport interface {
+	Start(ctx context.Context, id string) (Conn, error)
+}
+
+// ProcTransport launches each worker as a subprocess speaking the JSON-line
+// protocol over stdin/stdout. Command builds the (unstarted) command for a
+// worker id; the transport wires the pipes and forwards worker stderr to
+// this process's stderr.
+type ProcTransport struct {
+	Command func(id string) (*exec.Cmd, error)
+}
+
+func (t *ProcTransport) Start(ctx context.Context, id string) (Conn, error) {
+	cmd, err := t.Command(id)
+	if err != nil {
+		return nil, err
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s stdin: %w", id, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s stdout: %w", id, err)
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: starting worker %s: %w", id, err)
+	}
+	out := make(chan Message, 16)
+	c := &procConn{cmd: cmd, stdin: stdin, out: out}
+	go func() {
+		// A malformed line or pipe error just ends the stream: the
+		// coordinator sees the close and treats the worker as dead.
+		_ = ReadMessages(stdout, out)
+	}()
+	return c, nil
+}
+
+// procConn is a Conn over a live subprocess.
+type procConn struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   chan Message
+
+	mu     sync.Mutex
+	killed bool
+	waited bool
+	werr   error
+}
+
+func (c *procConn) Send(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteMessage(c.stdin, m)
+}
+
+func (c *procConn) Recv() <-chan Message { return c.out }
+
+func (c *procConn) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return
+	}
+	c.killed = true
+	_ = c.cmd.Process.Kill()
+}
+
+func (c *procConn) Wait() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waited {
+		return c.werr
+	}
+	c.waited = true
+	c.stdin.Close()
+	c.werr = c.cmd.Wait()
+	return c.werr
+}

@@ -72,6 +72,25 @@ type Step2Partition struct {
 	Distinct int64  `json:"distinct"`
 }
 
+// Lease records a coordinator-granted claim on a contiguous Step 2
+// partition range [Start, Start+Count). Token is the fencing token minted
+// when the lease was granted: it increases monotonically across all grants
+// (the manifest's LeaseToken is the high-water mark), so after a partition
+// is re-assigned, results carrying the old token are provably stale and are
+// discarded instead of published. ExpiryUnixMS is the wall-clock deadline
+// (Unix milliseconds) by which the holder must have renewed via heartbeat;
+// a lease past expiry is treated as abandoned and its range re-assigned.
+type Lease struct {
+	Start        int    `json:"start"`
+	Count        int    `json:"count"`
+	Worker       string `json:"worker"`
+	Token        int64  `json:"token"`
+	ExpiryUnixMS int64  `json:"expiry_unix_ms"`
+}
+
+// Covers reports whether the lease's range contains partition index p.
+func (l *Lease) Covers(p int) bool { return p >= l.Start && p < l.Start+l.Count }
+
 // Manifest is the persisted build journal.
 type Manifest struct {
 	Schema      string `json:"schema"`
@@ -84,6 +103,16 @@ type Manifest struct {
 	Step1Done bool             `json:"step1_done"`
 	Step1     []Step1Partition `json:"step1,omitempty"`
 	Step2     []Step2Partition `json:"step2,omitempty"`
+	// LeaseToken is the high-water fencing token: every granted lease's
+	// Token lies in (0, LeaseToken]. Journalling the high-water mark with
+	// the leases themselves guarantees tokens never repeat across a
+	// coordinator crash/restart.
+	LeaseToken int64 `json:"lease_token,omitempty"`
+	// Leases are the currently outstanding worker claims on Step 2
+	// partition ranges. They are advisory for resume (a fresh coordinator
+	// clears them and re-plans) but their integrity is validated like any
+	// other claim so a torn write cannot smuggle in an inconsistent view.
+	Leases []Lease `json:"leases,omitempty"`
 }
 
 // New returns an empty manifest for a build with the given fingerprint and
@@ -141,6 +170,38 @@ func Parse(data []byte) (*Manifest, error) {
 	}
 	if !m.Step1Done && len(m.Step2) > 0 {
 		return nil, fmt.Errorf("%w: step 2 completions recorded before step 1 finished", ErrCorrupt)
+	}
+	if len(m.Leases) > 0 && !m.Step1Done {
+		return nil, fmt.Errorf("%w: step 2 leases recorded before step 1 finished", ErrCorrupt)
+	}
+	if m.LeaseToken < 0 {
+		return nil, fmt.Errorf("%w: negative lease token high-water %d", ErrCorrupt, m.LeaseToken)
+	}
+	tokens := make(map[int64]bool, len(m.Leases))
+	claimed := make(map[int]bool)
+	for _, l := range m.Leases {
+		if l.Count <= 0 || l.Start < 0 || l.Start+l.Count > m.Partitions {
+			return nil, fmt.Errorf("%w: lease range [%d,%d) outside [0,%d)",
+				ErrCorrupt, l.Start, l.Start+l.Count, m.Partitions)
+		}
+		if l.Worker == "" {
+			return nil, fmt.Errorf("%w: lease on [%d,%d) has no worker id",
+				ErrCorrupt, l.Start, l.Start+l.Count)
+		}
+		if l.Token <= 0 || l.Token > m.LeaseToken {
+			return nil, fmt.Errorf("%w: lease token %d outside (0,%d]",
+				ErrCorrupt, l.Token, m.LeaseToken)
+		}
+		if tokens[l.Token] {
+			return nil, fmt.Errorf("%w: duplicate lease token %d", ErrCorrupt, l.Token)
+		}
+		tokens[l.Token] = true
+		for p := l.Start; p < l.Start+l.Count; p++ {
+			if claimed[p] {
+				return nil, fmt.Errorf("%w: partition %d leased twice", ErrCorrupt, p)
+			}
+			claimed[p] = true
+		}
 	}
 	return &m, nil
 }
@@ -259,3 +320,48 @@ func (m *Manifest) DropStep2(index int) {
 		}
 	}
 }
+
+// NextLeaseToken mints a fresh fencing token by bumping the journalled
+// high-water mark. The caller must Save before acting on the token so a
+// restart can never re-mint it.
+func (m *Manifest) NextLeaseToken() int64 {
+	m.LeaseToken++
+	return m.LeaseToken
+}
+
+// SetLease installs or replaces a lease keyed by its fencing token
+// (heartbeat renewals rewrite the same token with a later expiry).
+func (m *Manifest) SetLease(l Lease) {
+	for i := range m.Leases {
+		if m.Leases[i].Token == l.Token {
+			m.Leases[i] = l
+			return
+		}
+	}
+	m.Leases = append(m.Leases, l)
+}
+
+// DropLease removes the lease with the given fencing token, if present.
+func (m *Manifest) DropLease(token int64) {
+	for i := range m.Leases {
+		if m.Leases[i].Token == token {
+			m.Leases = append(m.Leases[:i], m.Leases[i+1:]...)
+			return
+		}
+	}
+}
+
+// LeaseFor returns the lease covering partition index p, or nil.
+func (m *Manifest) LeaseFor(p int) *Lease {
+	for i := range m.Leases {
+		if m.Leases[i].Covers(p) {
+			return &m.Leases[i]
+		}
+	}
+	return nil
+}
+
+// ClearLeases drops all outstanding leases (a restarting coordinator owns
+// the whole partition space again and re-plans from the Step 2 claims).
+// The token high-water mark is deliberately retained.
+func (m *Manifest) ClearLeases() { m.Leases = nil }

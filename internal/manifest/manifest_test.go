@@ -3,10 +3,12 @@ package manifest
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -17,6 +19,13 @@ func valid() *Manifest {
 	m.SetStep1(Step1Partition{Index: 1, Name: "superkmers/0001", Bytes: 20, CRC32: 2, Superkmers: 4, Kmers: 12})
 	m.Step1Done = true
 	m.SetStep2(Step2Partition{Index: 0, Name: "subgraphs/0000", Bytes: 30, Vertices: 5, Edges: 7, Distinct: 5})
+	return m
+}
+
+// validLeased is valid() with one outstanding single-partition lease.
+func validLeased() *Manifest {
+	m := valid()
+	m.Leases = []Lease{{Start: 0, Count: 1, Worker: "w0", Token: m.NextLeaseToken(), ExpiryUnixMS: 1234}}
 	return m
 }
 
@@ -104,6 +113,60 @@ func TestParseCorruption(t *testing.T) {
 			m.Step1Done = false
 			return mustJSON(t, m)
 		}},
+		{"lease before step1 done", func(t *testing.T) []byte {
+			m := valid()
+			m.Step1Done = false
+			m.Step2 = nil
+			m.LeaseToken = 1
+			m.Leases = []Lease{{Start: 0, Count: 1, Worker: "w0", Token: 1, ExpiryUnixMS: 9}}
+			return mustJSON(t, m)
+		}},
+		{"lease range out of bounds", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Count = 99
+			return mustJSON(t, m)
+		}},
+		{"lease range negative start", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Start = -1
+			return mustJSON(t, m)
+		}},
+		{"lease with zero count", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Count = 0
+			return mustJSON(t, m)
+		}},
+		{"lease without worker", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Worker = ""
+			return mustJSON(t, m)
+		}},
+		{"lease token above high-water", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Token = m.LeaseToken + 1
+			return mustJSON(t, m)
+		}},
+		{"lease token non-positive", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases[0].Token = 0
+			return mustJSON(t, m)
+		}},
+		{"negative lease high-water", func(t *testing.T) []byte {
+			m := valid()
+			m.LeaseToken = -1
+			return mustJSON(t, m)
+		}},
+		{"duplicate lease token", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases = append(m.Leases, Lease{Start: 1, Count: 1, Worker: "w1", Token: m.Leases[0].Token, ExpiryUnixMS: 9})
+			m.LeaseToken++
+			return mustJSON(t, m)
+		}},
+		{"overlapping leases", func(t *testing.T) []byte {
+			m := validLeased()
+			m.Leases = append(m.Leases, Lease{Start: 0, Count: 2, Worker: "w1", Token: m.NextLeaseToken(), ExpiryUnixMS: 9})
+			return mustJSON(t, m)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -179,6 +242,36 @@ func TestSetAndDrop(t *testing.T) {
 	m.DropStep2(1) // idempotent
 }
 
+func TestLeaseHelpers(t *testing.T) {
+	m := valid()
+	if m.NextLeaseToken() != 1 || m.NextLeaseToken() != 2 {
+		t.Fatal("NextLeaseToken is not 1, 2, ...")
+	}
+	m.SetLease(Lease{Start: 0, Count: 1, Worker: "w0", Token: 1, ExpiryUnixMS: 100})
+	m.SetLease(Lease{Start: 1, Count: 1, Worker: "w1", Token: 2, ExpiryUnixMS: 100})
+	// Renewal: same token, later expiry, replaces in place.
+	m.SetLease(Lease{Start: 0, Count: 1, Worker: "w0", Token: 1, ExpiryUnixMS: 200})
+	if len(m.Leases) != 2 || m.Leases[0].ExpiryUnixMS != 200 {
+		t.Fatalf("SetLease renewal did not replace: %+v", m.Leases)
+	}
+	if l := m.LeaseFor(1); l == nil || l.Worker != "w1" {
+		t.Fatalf("LeaseFor(1) = %+v, want w1", l)
+	}
+	// The leased view must survive the Parse round trip (Save/Load closure).
+	if _, err := Parse(mustJSON(t, m)); err != nil {
+		t.Fatalf("leased manifest rejected: %v", err)
+	}
+	m.DropLease(1)
+	if m.LeaseFor(0) != nil || len(m.Leases) != 1 {
+		t.Fatalf("DropLease(1) left %+v", m.Leases)
+	}
+	m.DropLease(1) // idempotent
+	m.ClearLeases()
+	if len(m.Leases) != 0 || m.LeaseToken != 2 {
+		t.Fatalf("ClearLeases must drop leases but keep the token high-water: %+v", m)
+	}
+}
+
 func TestFingerprintStability(t *testing.T) {
 	a := Fingerprint("k=27", "p=9", "partitions=16")
 	if b := Fingerprint("k=27", "p=9", "partitions=16"); b != a {
@@ -206,6 +299,14 @@ func FuzzManifest(f *testing.F) {
 	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":2,` +
 		`"step1":[{"index":0},{"index":0}]}`))
 	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":1,"step1_done":true}`))
+	f.Add(mustJSONF(f, validLeasedF(f)))
+	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":2,"step1_done":true,` +
+		`"step1":[{"index":0},{"index":1}],"lease_token":1,` +
+		`"leases":[{"start":0,"count":2,"worker":"w0","token":2}]}`))
+	f.Add([]byte(`{"schema":"parahash.manifest/v1","partitions":2,"step1_done":true,` +
+		`"step1":[{"index":0},{"index":1}],"lease_token":3,` +
+		`"leases":[{"start":0,"count":1,"worker":"a","token":1},` +
+		`{"start":0,"count":2,"worker":"b","token":2}]}`))
 	data := mustJSONF(f, valid())
 	f.Add(data[:len(data)/2])
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -227,6 +328,27 @@ func FuzzManifest(f *testing.F) {
 		if !m.Step1Done && len(m.Step2) > 0 {
 			t.Fatalf("accepted step 2 before step 1: %+v", m)
 		}
+		// Lease invariants the distributed coordinator assumes: every
+		// accepted lease is in range, fenced below the high-water token,
+		// and no partition is leased to two workers at once.
+		claimed := make(map[int]bool)
+		for _, l := range m.Leases {
+			if !m.Step1Done {
+				t.Fatalf("accepted lease before step 1: %+v", m)
+			}
+			if l.Count <= 0 || l.Start < 0 || l.Start+l.Count > m.Partitions {
+				t.Fatalf("accepted out-of-range lease: %+v", l)
+			}
+			if l.Worker == "" || l.Token <= 0 || l.Token > m.LeaseToken {
+				t.Fatalf("accepted unfenced lease: %+v (high-water %d)", l, m.LeaseToken)
+			}
+			for p := l.Start; p < l.Start+l.Count; p++ {
+				if claimed[p] {
+					t.Fatalf("accepted double-leased partition %d: %+v", p, m.Leases)
+				}
+				claimed[p] = true
+			}
+		}
 		// And they must re-encode and re-parse cleanly (Save/Load closure).
 		re, err := json.Marshal(m)
 		if err != nil {
@@ -245,4 +367,66 @@ func mustJSONF(f *testing.F, m *Manifest) []byte {
 		f.Fatal(err)
 	}
 	return data
+}
+
+// validLeasedF mirrors validLeased for fuzz seeding (testing.F helpers
+// cannot call testing.T constructors).
+func validLeasedF(f *testing.F) *Manifest {
+	f.Helper()
+	m := valid()
+	m.Leases = []Lease{{Start: 0, Count: 1, Worker: "w0", Token: m.NextLeaseToken(), ExpiryUnixMS: 1234}}
+	return m
+}
+
+// TestConcurrentDoubleClaim races many would-be coordinators for the same
+// partition through the claim discipline the dist coordinator uses
+// (check LeaseFor, then mint-and-set under the manifest owner's lock):
+// exactly one fencing token may win, and the journalled result must still
+// parse — the manifest's own invariants reject any state where two live
+// leases cover one partition.
+func TestConcurrentDoubleClaim(t *testing.T) {
+	m := valid()
+	const claimants = 16
+	var (
+		mu      sync.Mutex
+		winners []int64
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// The manifest has a single writer by contract; the lock stands
+			// in for the coordinator's event loop.
+			mu.Lock()
+			defer mu.Unlock()
+			if m.LeaseFor(1) != nil {
+				return // lost the claim: no token minted, no lease written
+			}
+			tok := m.NextLeaseToken()
+			m.SetLease(Lease{Start: 1, Count: 1, Worker: fmt.Sprintf("w%d", worker), Token: tok, ExpiryUnixMS: 1234})
+			winners = append(winners, tok)
+		}(i)
+	}
+	wg.Wait()
+	if len(winners) != 1 {
+		t.Fatalf("expected exactly one fencing token to win partition 1, got %d: %v", len(winners), winners)
+	}
+	if m.LeaseToken != 1 {
+		t.Fatalf("losers minted tokens: high-water %d", m.LeaseToken)
+	}
+	got, err := Parse(mustJSON(t, m))
+	if err != nil {
+		t.Fatalf("single-winner manifest rejected: %v", err)
+	}
+	if l := got.LeaseFor(1); l == nil || l.Token != winners[0] {
+		t.Fatalf("winning lease did not round-trip: %+v", l)
+	}
+
+	// A hypothetical second winner is exactly the state the journal refuses
+	// to load: duplicate claims cannot survive a coordinator restart.
+	m.Leases = append(m.Leases, Lease{Start: 1, Count: 1, Worker: "rogue", Token: m.NextLeaseToken(), ExpiryUnixMS: 1234})
+	if _, err := Parse(mustJSON(t, m)); err == nil {
+		t.Fatal("manifest with two leases on one partition parsed")
+	}
 }

@@ -144,6 +144,29 @@ type GovernanceMetrics struct {
 	PeakAdmittedBytes int64 `json:"peak_admitted_bytes"`
 }
 
+// DistMetrics aggregates the distributed-build fault-tolerance counters: a
+// coordinator's record of how the worker fleet behaved. Present only on
+// `-workers=N` runs (the field is omitted for single-process builds, so
+// existing consumers of the schema are unaffected).
+type DistMetrics struct {
+	// Workers is the configured fleet size; Spawned counts worker
+	// processes actually started, replacements included.
+	Workers int `json:"workers"`
+	Spawned int `json:"spawned"`
+	// LeaseGrants counts partition-range leases granted; LeaseExpiries
+	// counts leases revoked after missing their heartbeat deadline.
+	LeaseGrants   int64 `json:"lease_grants"`
+	LeaseExpiries int64 `json:"lease_expiries"`
+	// Reassignments counts partitions re-leased to a surviving worker.
+	Reassignments int64 `json:"reassignments"`
+	// FencedWrites counts stale-token results rejected — each one a write
+	// that fencing prevented from corrupting a re-assigned partition.
+	FencedWrites int64 `json:"fenced_writes"`
+	// WorkerQuarantines counts workers removed after exhausting their
+	// failure budget.
+	WorkerQuarantines int64 `json:"worker_quarantines"`
+}
+
 // BuildMetrics is the one-stop registry for a finished construction run —
 // the struct the -metrics-json flag serialises. Field order is the schema;
 // keep additions append-only within each struct.
@@ -156,6 +179,7 @@ type BuildMetrics struct {
 	Steps      []StepMetrics     `json:"steps"`
 	Resilience ResilienceMetrics `json:"resilience"`
 	Governance GovernanceMetrics `json:"governance"`
+	Dist       *DistMetrics      `json:"dist,omitempty"`
 }
 
 // WriteJSON serialises the registry with stable field ordering and a

@@ -32,6 +32,12 @@ type GateStats struct {
 	Waits int64
 	// WaitSeconds is the total wall-clock time spent queued.
 	WaitSeconds float64
+	// WaitEWMASeconds is an exponentially weighted moving average of the
+	// per-admission queue wait (immediate admissions count as zero wait),
+	// a live estimate of current queue pressure. Load-shedding callers use
+	// it to derive a Retry-After hint proportional to what recent
+	// admissions actually waited, rather than a constant.
+	WaitEWMASeconds float64
 	// PeakBytes is the largest concurrently admitted weight sum observed;
 	// by construction PeakBytes <= Budget.
 	PeakBytes int64
@@ -98,7 +104,7 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) error {
 	w := g.clamp(weight)
 	if len(g.waiters) == 0 && g.admitted+w <= g.budget {
 		g.admitted += w
-		g.bookLocked(weight)
+		g.bookLocked(weight, 0)
 		g.mu.Unlock()
 		return nil
 	}
@@ -112,8 +118,9 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) error {
 	case <-waiter.ready:
 		// grantLocked already reserved the weight; book the admission only.
 		g.mu.Lock()
-		g.stats.WaitSeconds += time.Since(start).Seconds()
-		g.bookLocked(weight)
+		waited := time.Since(start).Seconds()
+		g.stats.WaitSeconds += waited
+		g.bookLocked(weight, waited)
 		g.mu.Unlock()
 		return nil
 	case <-ctx.Done():
@@ -142,9 +149,16 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) error {
 	}
 }
 
+// waitEWMAAlpha weights the most recent admission's queue wait in the
+// moving average; at 0.25, roughly the last dozen admissions dominate, so
+// the estimate tracks current pressure without flapping on one outlier.
+const waitEWMAAlpha = 0.25
+
 // bookLocked records one granted admission (the weight itself is reserved
-// by the caller or by grantLocked).
-func (g *Gate) bookLocked(requested int64) {
+// by the caller or by grantLocked). waited is the seconds the admission
+// queued — zero for immediate grants — folded into the wait EWMA either
+// way so the estimate decays back toward zero as pressure subsides.
+func (g *Gate) bookLocked(requested int64, waited float64) {
 	g.stats.Admissions++
 	if requested > g.budget {
 		g.stats.Clamped++
@@ -152,6 +166,7 @@ func (g *Gate) bookLocked(requested int64) {
 	if g.admitted > g.stats.PeakBytes {
 		g.stats.PeakBytes = g.admitted
 	}
+	g.stats.WaitEWMASeconds += waitEWMAAlpha * (waited - g.stats.WaitEWMASeconds)
 }
 
 // grantLocked wakes queued waiters, in order, while they fit. The grant

@@ -104,6 +104,52 @@ func TestGateQueuesAndGrantsFIFO(t *testing.T) {
 	}
 }
 
+// TestGateWaitEWMA checks the queue-pressure estimate: immediate admissions
+// keep it at zero, a queued admission pulls it up toward the observed wait,
+// and subsequent immediate admissions decay it geometrically back down.
+func TestGateWaitEWMA(t *testing.T) {
+	g, err := NewGate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if e := g.Stats().WaitEWMASeconds; e != 0 {
+		t.Fatalf("EWMA after immediate admission = %v, want 0", e)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background(), 10) }()
+	waitForWaiters(t, g, 1)
+	time.Sleep(20 * time.Millisecond)
+	g.Release(10)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	after := g.Stats().WaitEWMASeconds
+	if after <= 0 {
+		t.Fatalf("EWMA after a queued admission = %v, want > 0", after)
+	}
+	g.Release(10)
+
+	// Pressure gone: immediate admissions decay the estimate toward zero.
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		g.Release(1)
+	}
+	decayed := g.Stats().WaitEWMASeconds
+	if decayed >= after {
+		t.Fatalf("EWMA did not decay: %v -> %v", after, decayed)
+	}
+	want := after * (1 - waitEWMAAlpha) * (1 - waitEWMAAlpha) * (1 - waitEWMAAlpha)
+	if diff := decayed - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("EWMA decay = %v, want %v", decayed, want)
+	}
+}
+
 func TestGateClampsOversizedWeight(t *testing.T) {
 	g, err := NewGate(10)
 	if err != nil {

@@ -51,8 +51,9 @@ func Handler(m *Manager) http.Handler {
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			// Typed load-shedding: the client backs off and retries; the
-			// server never queues unboundedly toward an OOM.
-			w.Header().Set("Retry-After", "1")
+			// server never queues unboundedly toward an OOM. The hint
+			// tracks how long admitted jobs have actually been waiting.
+			w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfterSeconds()))
 			reason := "queue_full"
 			if errors.Is(err, ErrDraining) {
 				reason = "draining"

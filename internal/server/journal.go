@@ -98,9 +98,12 @@ type JobRecord struct {
 	FinishedUnix  int64 `json:"finished_unix,omitempty"`
 }
 
-// journalFile is the serialised journal document.
+// journalFile is the serialised journal document. MaxSeq pins the id
+// sequence's high-water mark so compaction can drop old terminal records
+// without ever letting a restarted server reuse their ids.
 type journalFile struct {
 	Schema string      `json:"schema"`
+	MaxSeq int         `json:"max_seq,omitempty"`
 	Jobs   []JobRecord `json:"jobs"`
 }
 
@@ -114,6 +117,9 @@ type Journal struct {
 	jobs map[string]JobRecord
 	// order preserves submission order for listings.
 	order []string
+	// maxSeq is the id sequence high-water mark, covering compacted-away
+	// records too.
+	maxSeq int
 }
 
 // OpenJournal loads the journal at path, creating an empty one if the file
@@ -143,6 +149,10 @@ func OpenJournal(path string) (*Journal, error) {
 		}
 		j.jobs[r.ID] = r
 		j.order = append(j.order, r.ID)
+	}
+	j.maxSeq = doc.MaxSeq
+	if n := j.maxSeqFromIDsLocked(); n > j.maxSeq {
+		j.maxSeq = n
 	}
 	return j, nil
 }
@@ -202,11 +212,20 @@ func (j *Journal) Update(id string, fn func(*JobRecord)) error {
 	return nil
 }
 
-// MaxSeq returns the largest numeric suffix among journalled "j<N>" ids, so
-// a restarted server continues the id sequence instead of reusing ids.
+// MaxSeq returns the id sequence high-water mark — the largest numeric
+// suffix among "j<N>" ids ever journalled, including records compaction has
+// since dropped — so a restarted server continues the sequence instead of
+// reusing ids.
 func (j *Journal) MaxSeq() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if n := j.maxSeqFromIDsLocked(); n > j.maxSeq {
+		j.maxSeq = n
+	}
+	return j.maxSeq
+}
+
+func (j *Journal) maxSeqFromIDsLocked() int {
 	max := 0
 	for id := range j.jobs {
 		var n int
@@ -217,11 +236,63 @@ func (j *Journal) MaxSeq() int {
 	return max
 }
 
+// Compact drops terminal records beyond the most recent retain, rewriting
+// the journal atomically. Non-terminal records are always kept — recovery
+// after a compacting restart is identical to recovery without it — and the
+// max_seq high-water in the rewritten file keeps dropped ids retired
+// forever. Returns how many records were dropped.
+func (j *Journal) Compact(retain int) (int, error) {
+	if retain < 0 {
+		retain = 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n := j.maxSeqFromIDsLocked(); n > j.maxSeq {
+		j.maxSeq = n
+	}
+	terminal := 0
+	for _, id := range j.order {
+		if j.jobs[id].State.Terminal() {
+			terminal++
+		}
+	}
+	drop := terminal - retain
+	if drop <= 0 {
+		return 0, nil
+	}
+	// Submission order is oldest-first: walk from the front, dropping
+	// terminal records until the budget is met.
+	keptOrder := make([]string, 0, len(j.order)-drop)
+	keptJobs := make(map[string]JobRecord, len(j.jobs)-drop)
+	dropped := 0
+	for _, id := range j.order {
+		if dropped < drop && j.jobs[id].State.Terminal() {
+			dropped++
+			continue
+		}
+		keptOrder = append(keptOrder, id)
+		keptJobs[id] = j.jobs[id]
+	}
+	// Persist the compacted view before committing it in memory; a failed
+	// rewrite leaves the full journal intact.
+	prevJobs, prevOrder := j.jobs, j.order
+	j.jobs, j.order = keptJobs, keptOrder
+	if err := j.persistLocked(); err != nil {
+		j.jobs, j.order = prevJobs, prevOrder
+		return 0, err
+	}
+	return dropped, nil
+}
+
 // saveLocked persists the journal including the staged record, atomically:
 // marshal, write "<path>.tmp", fsync, rename, fsync the directory. A crash
 // at any point leaves either the old or the new journal, never a mix.
 func (j *Journal) saveLocked(staged JobRecord, existed bool) error {
-	doc := journalFile{Schema: JournalSchema}
+	var n int
+	if _, err := fmt.Sscanf(staged.ID, "j%d", &n); err == nil && n > j.maxSeq {
+		j.maxSeq = n
+	}
+	doc := journalFile{Schema: JournalSchema, MaxSeq: j.maxSeq}
 	ids := j.order
 	if !existed {
 		ids = append(append([]string(nil), j.order...), staged.ID)
@@ -233,6 +304,20 @@ func (j *Journal) saveLocked(staged JobRecord, existed bool) error {
 		}
 		doc.Jobs = append(doc.Jobs, r)
 	}
+	return j.writeDoc(doc)
+}
+
+// persistLocked rewrites the journal from the current in-memory view.
+func (j *Journal) persistLocked() error {
+	doc := journalFile{Schema: JournalSchema, MaxSeq: j.maxSeq}
+	for _, id := range j.order {
+		doc.Jobs = append(doc.Jobs, j.jobs[id])
+	}
+	return j.writeDoc(doc)
+}
+
+// writeDoc publishes one serialised journal document atomically.
+func (j *Journal) writeDoc(doc journalFile) error {
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("server: encoding job journal: %w", err)

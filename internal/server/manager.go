@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -78,6 +79,19 @@ type Options struct {
 	RetryJitter float64
 	RetrySeed   int64
 
+	// GraphCacheSize bounds the completed-graph query cache (LRU): a
+	// long-lived server answering queries over many finished jobs holds at
+	// most this many decoded graphs in memory, reloading evicted ones from
+	// their published files on demand. 0 selects 8.
+	GraphCacheSize int
+
+	// JournalRetain bounds how many terminal job records the journal keeps
+	// across a restart: startup compacts older done/failed/canceled records
+	// away (atomic rewrite, id sequence preserved) so the journal does not
+	// grow without bound over the server's lifetime. Non-terminal records
+	// are never compacted. 0 selects 64.
+	JournalRetain int
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -107,6 +121,9 @@ type RecoveryReport struct {
 	// TmpSwept counts orphaned in-flight files removed across all job
 	// checkpoints plus the journal directory.
 	TmpSwept int
+	// CompactedJobs counts terminal journal records dropped by startup
+	// compaction.
+	CompactedJobs int
 }
 
 // Manager owns the job lifecycle: admission, execution, recovery, drain.
@@ -115,14 +132,16 @@ type Manager struct {
 	journal *Journal
 	gate    *pipeline.Gate
 
-	mu      sync.Mutex
-	seq     int
-	active  map[string]*jobRuntime
-	graphs  map[string]*parahash.Graph // completed-graph cache for queries
-	shed    int64                      // submissions rejected 429
-	jitter  *rand.Rand                 // retry-backoff jitter stream
-	ready   bool
-	drained bool
+	mu         sync.Mutex
+	seq        int
+	active     map[string]*jobRuntime
+	graphs     map[string]*parahash.Graph // completed-graph cache for queries (LRU)
+	graphLRU   []string                   // cache ids, least recently used first
+	graphEvict int64                      // graphs evicted from the cache
+	shed       int64                      // submissions rejected 429
+	jitter     *rand.Rand                 // retry-backoff jitter stream
+	ready      bool
+	drained    bool
 
 	killed bool // SIGKILL-equivalent: suppress all journal writes
 
@@ -154,6 +173,12 @@ func Open(opts Options) (*Manager, error) {
 	}
 	if opts.RetryBackoff == 0 {
 		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.GraphCacheSize == 0 {
+		opts.GraphCacheSize = 8
+	}
+	if opts.JournalRetain == 0 {
+		opts.JournalRetain = 64
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -194,6 +219,19 @@ func Open(opts Options) (*Manager, error) {
 	}
 	m.journal = j
 	m.seq = j.MaxSeq()
+
+	// Bound the journal before replaying it: old terminal records are
+	// compacted away (their ids stay retired through the max_seq high-water)
+	// while everything recovery acts on — queued and running jobs — is kept
+	// verbatim, so recovery after compaction is identical to without.
+	dropped, err := j.Compact(opts.JournalRetain)
+	if err != nil {
+		return nil, err
+	}
+	m.recovery.CompactedJobs = dropped
+	if dropped > 0 {
+		opts.Logf("server: compacted %d terminal journal record(s)", dropped)
+	}
 
 	if err := m.recover(); err != nil {
 		return nil, err
@@ -269,6 +307,11 @@ type Stats struct {
 	// Queued and Running count non-terminal jobs.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
+	// GraphsCached and GraphEvictions describe the completed-graph query
+	// cache: how many decoded graphs are resident and how many have been
+	// evicted by its LRU bound since startup.
+	GraphsCached   int   `json:"graphs_cached"`
+	GraphEvictions int64 `json:"graph_evictions"`
 }
 
 // Stats snapshots the governance counters.
@@ -277,6 +320,8 @@ func (m *Manager) Stats() Stats {
 	s.Gate = m.gate.Stats()
 	m.mu.Lock()
 	s.Shed = m.shed
+	s.GraphsCached = len(m.graphs)
+	s.GraphEvictions = m.graphEvict
 	m.mu.Unlock()
 	for _, r := range m.journal.List() {
 		switch r.State {
@@ -287,6 +332,26 @@ func (m *Manager) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// RetryAfterSeconds derives the Retry-After hint for 429 responses from
+// the admission gate's wait-time EWMA: a client told to come back should
+// wait about as long as recently admitted jobs actually waited, clamped to
+// [1s, 60s] so the hint is never zero and never absurd. Without a gate
+// there is no wait signal and the floor is the answer.
+func (m *Manager) RetryAfterSeconds() int {
+	return retryAfterFromEWMA(m.gate.Stats().WaitEWMASeconds)
+}
+
+func retryAfterFromEWMA(ewma float64) int {
+	secs := int(math.Ceil(ewma))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // jobDir returns the directory holding one job's artifacts.
@@ -579,7 +644,7 @@ func (m *Manager) finishJob(ctx context.Context, id string, res *parahash.Result
 	switch {
 	case err == nil:
 		m.mu.Lock()
-		m.graphs[id] = res.Graph
+		m.cacheGraphLocked(id, res.Graph)
 		m.mu.Unlock()
 		if jerr := m.journalState(id, func(jr *JobRecord) {
 			jr.State = StateDone
@@ -715,6 +780,9 @@ func (m *Manager) Query(id, kmer string) (QueryResult, error) {
 func (m *Manager) loadGraph(id string) (*parahash.Graph, error) {
 	m.mu.Lock()
 	g := m.graphs[id]
+	if g != nil {
+		m.touchGraphLocked(id)
+	}
 	m.mu.Unlock()
 	if g != nil {
 		return g, nil
@@ -729,9 +797,39 @@ func (m *Manager) loadGraph(id string) (*parahash.Graph, error) {
 	}
 	g.Sort() // Lookup binary-searches; published graphs are sorted, but cheap to guarantee
 	m.mu.Lock()
-	m.graphs[id] = g
+	m.cacheGraphLocked(id, g)
 	m.mu.Unlock()
 	return g, nil
+}
+
+// cacheGraphLocked inserts a decoded graph into the LRU query cache,
+// evicting the least recently used entry past the bound. Evicted graphs
+// reload from their published file on the next query — the cache bounds
+// memory, never availability.
+func (m *Manager) cacheGraphLocked(id string, g *parahash.Graph) {
+	if _, ok := m.graphs[id]; ok {
+		m.graphs[id] = g
+		m.touchGraphLocked(id)
+		return
+	}
+	m.graphs[id] = g
+	m.graphLRU = append(m.graphLRU, id)
+	for len(m.graphLRU) > m.opts.GraphCacheSize {
+		victim := m.graphLRU[0]
+		m.graphLRU = m.graphLRU[1:]
+		delete(m.graphs, victim)
+		m.graphEvict++
+	}
+}
+
+// touchGraphLocked marks a cached graph most recently used.
+func (m *Manager) touchGraphLocked(id string) {
+	for i, v := range m.graphLRU {
+		if v == id {
+			m.graphLRU = append(append(m.graphLRU[:i:i], m.graphLRU[i+1:]...), id)
+			return
+		}
+	}
 }
 
 // Drain gracefully shuts the manager down: stop admitting, cancel running

@@ -24,6 +24,7 @@ import (
 
 	"parahash/internal/core"
 	"parahash/internal/costmodel"
+	"parahash/internal/dist"
 	"parahash/internal/fastq"
 	"parahash/internal/graph"
 	"parahash/internal/obs"
@@ -159,3 +160,38 @@ func TinyProfile() Profile { return simulate.TinyProfile() }
 
 // ReadGraph parses a serialised subgraph produced by Graph.Write.
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadSubgraph(r) }
+
+// Distributed build surface: Step 2 fanned out to worker processes under
+// manifest-journalled leases with fencing tokens (see internal/dist).
+
+// DistPlan is a checkpointed build prepared for distributed Step 2.
+type DistPlan = core.DistPlan
+
+// DistStats aggregates the distributed build's fault-tolerance counters.
+type DistStats = core.DistStats
+
+// DistOptions tunes the distributed coordinator (fleet size, lease
+// duration, failure budgets).
+type DistOptions = dist.Options
+
+// DistTransport starts distributed workers; dist.ProcTransport spawns
+// subprocesses, dist.LocalTransport runs scripted in-process workers.
+type DistTransport = dist.Transport
+
+// ErrWorkersExhausted reports a distributed build whose whole worker fleet
+// died or was quarantined; the checkpoint stays resumable.
+var ErrWorkersExhausted = dist.ErrWorkersExhausted
+
+// PrepareDistBuild runs Step 1 into the configured checkpoint and returns
+// the plan whose pending partitions a distributed coordinator leases out.
+func PrepareDistBuild(ctx context.Context, reads []Read, cfg Config) (*DistPlan, error) {
+	return core.PrepareDistBuild(ctx, reads, cfg)
+}
+
+// RunDistributed executes the plan's Step 2 across a worker fleet started
+// through the transport, surviving worker crashes, hangs and partitions by
+// lease expiry, fencing and reassignment. Call plan.Finish with the
+// returned stats to assemble the Result.
+func RunDistributed(ctx context.Context, plan *DistPlan, tr DistTransport, opts DistOptions) (DistStats, error) {
+	return dist.Run(ctx, plan, tr, opts)
+}
