@@ -26,7 +26,7 @@ func TestMeasureAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "parahash.bench_hotpath/v2" {
+	if rep.Schema != "parahash.bench_hotpath/v3" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
@@ -42,8 +42,22 @@ func TestMeasureAll(t *testing.T) {
 	if rep.Scanner.AllocsPerRead != 0 {
 		t.Errorf("warmed scanner allocates %.1f objects/read, want 0", rep.Scanner.AllocsPerRead)
 	}
-	if rep.Step2.BeforeSeconds <= 0 || rep.Step2.AfterSeconds <= 0 {
+	if rep.Step2.AfterSeconds <= 0 {
 		t.Errorf("step2 not measured: %+v", rep.Step2)
+	}
+	if rep.Step2.Authoritative {
+		if rep.Step2.Degraded {
+			t.Error("step2 comparison marked authoritative on a degraded host")
+		}
+		if rep.Step2.BeforeSeconds <= 0 || rep.Step2.Speedup <= 0 {
+			t.Errorf("authoritative step2 comparison not measured: %+v", rep.Step2)
+		}
+	} else {
+		// Honesty contract: a degraded host must not record a comparison
+		// at all — a clamped "regression" is scheduler noise.
+		if rep.Step2.BeforeSeconds != 0 || rep.Step2.Speedup != 0 {
+			t.Errorf("non-authoritative step2 still carries comparison figures: %+v", rep.Step2)
+		}
 	}
 	if rep.Counters.SharedNsPerEdge <= 0 || rep.Counters.ShardedNsPerEdge <= 0 {
 		t.Errorf("counters not measured: %+v", rep.Counters)
@@ -66,6 +80,19 @@ func TestMeasureAll(t *testing.T) {
 		if r.MaxMeanImbalance < 1 && r.EffectiveWorkers > 1 {
 			t.Errorf("%s/%dw: max/mean imbalance %.2f below 1", r.Backend, r.RequestedWorkers, r.MaxMeanImbalance)
 		}
+	}
+	oc := rep.OutOfCore
+	if !oc.Identical {
+		t.Fatalf("out-of-core graph not identical to in-core: %+v", oc)
+	}
+	if oc.SpillRuns <= 0 || oc.SpilledBytes <= 0 || oc.MergePasses <= 0 {
+		t.Errorf("out-of-core path did not spill: %+v", oc)
+	}
+	if oc.RunBufferBytes >= oc.TableBytes {
+		t.Errorf("run buffer %d not smaller than the table %d it replaces", oc.RunBufferBytes, oc.TableBytes)
+	}
+	if oc.InCoreNsPerKmer <= 0 || oc.OutOfCoreNsPerKmer <= 0 || oc.Overhead <= 0 {
+		t.Errorf("out-of-core comparison not measured: %+v", oc)
 	}
 	if _, err := json.MarshalIndent(rep, "", "  "); err != nil {
 		t.Fatal(err)

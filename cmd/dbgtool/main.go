@@ -178,8 +178,14 @@ func cmdScrub(w io.Writer, dir string) error {
 	}
 	fmt.Fprintf(w, "step 1 claims verified: %d (damaged %d)\n", rep.Step1Verified, rep.Step1Damaged)
 	fmt.Fprintf(w, "step 2 claims verified: %d (damaged %d)\n", rep.Step2Verified, rep.Step2Damaged)
+	if rep.SpillVerified > 0 || rep.SpillDamaged > 0 {
+		fmt.Fprintf(w, "spill run claims verified: %d (damaged %d)\n", rep.SpillVerified, rep.SpillDamaged)
+	}
 	for _, name := range rep.TmpSwept {
 		fmt.Fprintf(w, "swept in-flight file: %s\n", name)
+	}
+	for _, name := range rep.SpillSwept {
+		fmt.Fprintf(w, "swept orphaned spill run: %s\n", name)
 	}
 	for _, name := range rep.Quarantined {
 		fmt.Fprintf(w, "quarantined: %s\n", name)

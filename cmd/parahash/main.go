@@ -116,6 +116,7 @@ func run(args []string, stdout io.Writer) error {
 		timeout           = fs.Duration("timeout", 0, "cancel the whole build after this wall-clock duration (0 = none)")
 		partitionDeadline = fs.Duration("partition-deadline", 0, "watchdog deadline per partition attempt; expiry counts as a processor fault (0 = none)")
 		memBudget         = fs.String("mem-budget", "", "Step 2 memory budget, e.g. 512M or 2G: concurrent predicted hash-table residency queues under this bound (empty = none)")
+		partMemBudget     = fs.String("partition-mem-budget", "", "per-partition Step 2 memory budget, e.g. 64M: a partition whose predicted hash table exceeds this is built out-of-core by sort-merge spilling under the bound (empty = spill only when a single partition exceeds -mem-budget)")
 
 		checkpointDir = fs.String("checkpoint-dir", "", "durable on-disk partition store + build manifest in this directory (crash-safe)")
 		resume        = fs.Bool("resume", false, "resume from the -checkpoint-dir manifest: skip verified completed partitions, rebuild corrupt ones")
@@ -175,6 +176,16 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-mem-budget: %w", err)
 		}
 		cfg.MemoryBudgetBytes = budget
+	}
+	if *partMemBudget != "" {
+		budget, err := parseBytes(*partMemBudget)
+		if err != nil {
+			return fmt.Errorf("-partition-mem-budget: %w", err)
+		}
+		cfg.PartitionMemoryBudgetBytes = budget
+	}
+	cfg.Logf = func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "parahash: "+format+"\n", a...)
 	}
 	if *hostCal {
 		cfg.Calibration = device.CalibrateHost(*threads)
@@ -254,6 +265,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *noCPU {
 			wargs = append(wargs, "-no-cpu")
+		}
+		if *memBudget != "" {
+			wargs = append(wargs, "-mem-budget", *memBudget)
+		}
+		if *partMemBudget != "" {
+			// Workers make the same in-core vs spill routing decision the
+			// coordinator would, so the budgets travel with them.
+			wargs = append(wargs, "-partition-mem-budget", *partMemBudget)
 		}
 		if res, err = runDistributed(ctx, stdout, reads, cfg, *workers, *distLeaseMS, wargs); err != nil {
 			return err
@@ -500,6 +519,10 @@ func printStats(w io.Writer, res *parahash.Result, cfg parahash.Config) {
 		fmt.Fprintf(w, "memory budget: %.1f MB; %d admissions (%d queued, %.2fs waiting), peak admitted %.1f MB\n",
 			float64(cfg.MemoryBudgetBytes)/(1<<20), st2.Admissions, st2.AdmissionWaits,
 			st2.AdmissionWaitSeconds, float64(st2.PeakAdmittedBytes)/(1<<20))
+	}
+	if sp := s.Spill; sp.Partitions > 0 {
+		fmt.Fprintf(w, "out-of-core: %d partitions spilled (%d auto-routed), %d runs, %.1f MB spilled, %d merge passes\n",
+			sp.Partitions, sp.AutoRouted, sp.Runs, float64(sp.SpilledBytes)/(1<<20), sp.MergePasses)
 	}
 }
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Experiment 001-out-of-core: sweep the per-partition memory budget and
+# measure the sort-merge spill path's wall-clock cost against the
+# unconstrained oracle, asserting byte-identical output at every point.
+# See README.md in this directory for goal, criteria and result schema.
+set -euo pipefail
+
+PROFILE="${PROFILE:-tiny}"
+PARTITIONS="${PARTITIONS:-8}"
+THREADS="${THREADS:-4}"
+BUDGETS="${BUDGETS:-64K 16K 4K 1K}"
+
+here="$(cd "$(dirname "$0")" && pwd)"
+root="$(cd "$here/../.." && pwd)"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+cd "$root"
+go build -o "$work/parahash" ./cmd/parahash
+
+now_s() { date +%s.%N; }
+
+echo "oracle: profile=$PROFILE partitions=$PARTITIONS (unconstrained)"
+t0=$(now_s)
+"$work/parahash" -profile "$PROFILE" -partitions "$PARTITIONS" \
+  -threads "$THREADS" -out "$work/oracle.dbg" >/dev/null
+t1=$(now_s)
+oracle_seconds=$(echo "$t1 $t0" | awk '{printf "%.3f", $1-$2}')
+
+sweep="[]"
+for budget in $BUDGETS; do
+  echo "sweep: -partition-mem-budget $budget"
+  t0=$(now_s)
+  "$work/parahash" -profile "$PROFILE" -partitions "$PARTITIONS" \
+    -threads "$THREADS" -partition-mem-budget "$budget" \
+    -metrics-json "$work/m.json" -out "$work/ooc.dbg" >/dev/null
+  t1=$(now_s)
+  seconds=$(echo "$t1 $t0" | awk '{printf "%.3f", $1-$2}')
+
+  identical=true
+  cmp -s "$work/oracle.dbg" "$work/ooc.dbg" || identical=false
+  if [ "$identical" != true ]; then
+    echo "FAIL: output at budget $budget differs from the oracle" >&2
+    exit 1
+  fi
+
+  sweep=$(jq --argjson sweep "$sweep" --arg sec "$seconds" \
+    --argjson ident "$identical" \
+    '$sweep + [{budget_bytes: .spill.partition_memory_budget_bytes,
+                seconds: ($sec | tonumber),
+                identical: $ident,
+                spill: .spill}]' "$work/m.json")
+done
+
+# Hard criterion 2: the tightest budget must really have spilled.
+echo "$sweep" | jq -e 'last | .spill.spill_runs > 0 and .spill.spilled_partitions > 0' >/dev/null || {
+  echo "FAIL: tightest budget did not spill — sweep measured nothing" >&2
+  exit 1
+}
+
+jq -n --argjson sweep "$sweep" --arg profile "$PROFILE" \
+  --arg oracle "$oracle_seconds" --arg parts "$PARTITIONS" \
+  '{schema: "parahash.experiment/001-out-of-core/v1",
+    profile: $profile,
+    partitions: ($parts | tonumber),
+    host_cpus: '"$(nproc)"',
+    oracle_seconds: ($oracle | tonumber),
+    sweep: $sweep}' > "$here/results.json"
+
+echo "wrote $here/results.json"
+jq -r '.sweep[] | "budget \(.budget_bytes)B: \(.seconds)s, \(.spill.spill_runs) runs, \(.spill.merge_passes) merge passes"' "$here/results.json"

@@ -92,6 +92,11 @@ type Scenario struct {
 	// MemoryBudgetBytes, when positive, runs Step 2 under a tight
 	// admission budget.
 	MemoryBudgetBytes int64
+	// PartitionMemoryBudgetBytes, when positive, is drawn far below any
+	// partition's predicted table so every partition takes the out-of-core
+	// sort-merge path. The oracle is always in-core, so a completed spilling
+	// run doubles as a full spill-vs-in-core differential check.
+	PartitionMemoryBudgetBytes int64
 	// PartitionDeadline arms the per-attempt watchdog; always set when the
 	// plan hangs processor calls, so a wedged kernel is abandoned instead
 	// of wedging the run.
@@ -230,14 +235,40 @@ func GenerateScenario(seed int64, prof Profile) Scenario {
 		s.CancelAfter = time.Duration(50+rng.Intn(100)) * time.Millisecond
 		note("stall at step2.partition hit %d, cancel after %v", hit, s.CancelAfter)
 	}
+	// The backend draw sits deliberately after every fault dimension above:
+	// it consumes its rng draw after them, so pinned seeds replay the exact
+	// fault schedules they produced before backends existed.
+	backends := hashtable.Backends()
+	s.TableBackend = string(backends[rng.Intn(len(backends))])
+
+	// The out-of-core dimension's draws come after the backend's, by the
+	// same pinned-seed reasoning: a tight per-partition budget forces every
+	// partition through the sort-merge spill path, optionally stacked with
+	// faulted spill IO and crashes at the spill-specific points (mid-scan,
+	// with some runs journalled; and between scan and merge, the merge-only
+	// resume window).
+	if pick(0.3) {
+		s.PartitionMemoryBudgetBytes = 512 + rng.Int63n(8<<10)
+		note("partition memory budget %d bytes (out-of-core step 2)", s.PartitionMemoryBudgetBytes)
+		if pick(0.35) {
+			f := faultinject.StoreFault{File: core.SpillRunFile(part(), rng.Intn(2)), Times: 1 + rng.Intn(2)}
+			s.Plan.WriteFaults = append(s.Plan.WriteFaults, f)
+			note("write-fault %s x%d", f.File, f.Times)
+		}
+		if pick(0.25) {
+			point := "step2.spill"
+			if pick(0.5) {
+				point = "step2.spill.merge"
+			}
+			hit := 1 + rng.Intn(prof.Partitions)
+			s.Plan.CancelPoints = append(s.Plan.CancelPoints, faultinject.PointFault{Point: point, Hit: hit})
+			note("cancel at %s hit %d", point, hit)
+		}
+	}
+
 	if len(s.Faults) == 0 {
 		note("fault-free baseline")
 	}
-	// The backend draw sits deliberately last: it consumes its rng draw
-	// after every fault dimension, so pinned seeds replay the exact fault
-	// schedules they produced before backends existed.
-	backends := hashtable.Backends()
-	s.TableBackend = string(backends[rng.Intn(len(backends))])
 	note("table backend %s", s.TableBackend)
 	return s
 }
@@ -328,6 +359,7 @@ func (e *Engine) scenarioConfig(s Scenario, dir string) core.Config {
 	cfg := e.baseCfg
 	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: e.inputLabel()}
 	cfg.MemoryBudgetBytes = s.MemoryBudgetBytes
+	cfg.PartitionMemoryBudgetBytes = s.PartitionMemoryBudgetBytes
 	cfg.TableBackend = s.TableBackend
 	// Seeded in-build retry jitter: decorrelates partition retries without
 	// consuming any scenario rng draws, so pinned seeds keep replaying the
@@ -413,11 +445,15 @@ func (e *Engine) RunScenario(ctx context.Context, s Scenario, dir string) (rep R
 		scrub, serr := core.Scrub(dir)
 		if serr != nil {
 			violate("consistent-checkpoint", "scrub failed: %v", serr)
-		} else if scrub.Step1Damaged != 0 || scrub.Step2Damaged != 0 {
+		} else if scrub.Step1Damaged != 0 || scrub.Step2Damaged != 0 || scrub.SpillDamaged != 0 {
 			violate("consistent-checkpoint", "scrub found damaged claims: %+v", scrub)
 		}
-		// ...and from which a fault-free resume converges to the oracle.
+		// ...and from which a fault-free resume converges to the oracle. The
+		// resume keeps the scenario's partition budget (the fingerprint
+		// excludes it — spill output is byte-identical), so a run crashed
+		// between scan and merge exercises the merge-only resume path here.
 		resumeCfg := e.baseCfg
+		resumeCfg.PartitionMemoryBudgetBytes = s.PartitionMemoryBudgetBytes
 		resumeCfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: e.inputLabel(), Resume: true}
 		resumed, rerr := core.BuildContext(ctx, e.reads, resumeCfg)
 		if rerr != nil {

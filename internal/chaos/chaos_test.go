@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"parahash/internal/faultinject"
@@ -30,6 +31,7 @@ func TestScenarioSweepCoversEveryDimension(t *testing.T) {
 		t.Fatal(err)
 	}
 	var reads, writes, corrupt, slow, capacity, procs, budget, cancels, stalls, baseline bool
+	var spill, spillWrites, spillCancels bool
 	for seed := int64(0); seed < 500; seed++ {
 		s := GenerateScenario(seed, prof)
 		for _, f := range s.Plan.ReadFaults {
@@ -46,14 +48,26 @@ func TestScenarioSweepCoversEveryDimension(t *testing.T) {
 		budget = budget || s.MemoryBudgetBytes > 0
 		cancels = cancels || len(s.Plan.CancelPoints) > 0
 		stalls = stalls || len(s.Plan.StallPoints) > 0
+		if s.PartitionMemoryBudgetBytes > 0 {
+			spill = true
+			for _, f := range s.Plan.WriteFaults {
+				spillWrites = spillWrites || strings.HasPrefix(f.File, "spill/")
+			}
+			for _, p := range s.Plan.CancelPoints {
+				spillCancels = spillCancels || strings.HasPrefix(p.Point, "step2.spill")
+			}
+		}
 		baseline = baseline || len(s.Plan.ReadFaults)+len(s.Plan.WriteFaults)+
 			len(s.Plan.ProcessorFaults)+len(s.Plan.CancelPoints)+len(s.Plan.StallPoints) == 0 &&
-			s.Plan.CapacityBytes == 0 && s.MemoryBudgetBytes == 0
+			s.Plan.CapacityBytes == 0 && s.MemoryBudgetBytes == 0 &&
+			s.PartitionMemoryBudgetBytes == 0
 	}
 	for name, hit := range map[string]bool{
 		"read-faults": reads, "corruption": corrupt, "write-faults": writes,
 		"slow-io": slow, "capacity": capacity, "processor-faults": procs,
 		"memory-budget": budget, "cancel-points": cancels, "stall-points": stalls,
+		"partition-memory-budget": spill, "spill-write-faults": spillWrites,
+		"spill-cancel-points": spillCancels,
 		"fault-free baseline": baseline,
 	} {
 		if !hit {
@@ -196,5 +210,77 @@ func TestCancelPointScenario(t *testing.T) {
 	}
 	if rep.Outcome != "failed-typed" || !rep.Resumed {
 		t.Fatalf("outcome = %q resumed = %v, want typed failure + resume", rep.Outcome, rep.Resumed)
+	}
+}
+
+// TestOutOfCoreScenario pins the spill-vs-in-core differential: a partition
+// budget far below every partition's predicted table routes the whole build
+// through the sort-merge path, and the result must still be byte-identical
+// to the in-core oracle.
+func TestOutOfCoreScenario(t *testing.T) {
+	e := smallEngine(t)
+	s := Scenario{Seed: 3, PartitionMemoryBudgetBytes: 2048,
+		Faults: []string{"partition memory budget 2048 bytes"}}
+	rep := e.RunScenario(context.Background(), s, t.TempDir())
+	if len(rep.Violations) != 0 {
+		t.Fatalf("out-of-core scenario violated invariants: %+v", rep.Violations)
+	}
+	if rep.Outcome != "completed" {
+		t.Fatalf("outcome = %q, want completed (%+v)", rep.Outcome, rep)
+	}
+}
+
+// TestSpillCrashMidMergeScenario crashes between a partition's completed
+// spill scan and its merge — the window where runs are journalled and
+// SpillDone is set — and requires the resume (which keeps the partition
+// budget, so it takes the merge-only path) to converge to the oracle.
+func TestSpillCrashMidMergeScenario(t *testing.T) {
+	e := smallEngine(t)
+	s := Scenario{Seed: 4, PartitionMemoryBudgetBytes: 2048,
+		Faults: []string{"cancel at step2.spill.merge hit 1"}}
+	s.Plan.CancelPoints = append(s.Plan.CancelPoints,
+		faultinject.PointFault{Point: "step2.spill.merge", Hit: 1})
+	rep := e.RunScenario(context.Background(), s, t.TempDir())
+	if len(rep.Violations) != 0 {
+		t.Fatalf("spill crash-mid-merge scenario violated invariants: %+v", rep.Violations)
+	}
+	if rep.Outcome != "failed-typed" || !rep.Resumed {
+		t.Fatalf("outcome = %q resumed = %v, want typed failure + resume", rep.Outcome, rep.Resumed)
+	}
+}
+
+// TestSpillCrashMidScanScenario crashes mid-scan, after some runs were
+// journalled but before the partition's SpillDone: the resume must distrust
+// the partial scan, re-spill it, and converge.
+func TestSpillCrashMidScanScenario(t *testing.T) {
+	e := smallEngine(t)
+	s := Scenario{Seed: 5, PartitionMemoryBudgetBytes: 2048,
+		Faults: []string{"cancel at step2.spill hit 2"}}
+	s.Plan.CancelPoints = append(s.Plan.CancelPoints,
+		faultinject.PointFault{Point: "step2.spill", Hit: 2})
+	rep := e.RunScenario(context.Background(), s, t.TempDir())
+	if len(rep.Violations) != 0 {
+		t.Fatalf("spill crash-mid-scan scenario violated invariants: %+v", rep.Violations)
+	}
+	if rep.Outcome != "failed-typed" || !rep.Resumed {
+		t.Fatalf("outcome = %q resumed = %v, want typed failure + resume", rep.Outcome, rep.Resumed)
+	}
+}
+
+// TestSpillWriteFaultScenario faults the first spill run write transiently:
+// the partition attempt fails, the retry re-spills from scratch (stale
+// claims cleared), and the build must still complete byte-identical.
+func TestSpillWriteFaultScenario(t *testing.T) {
+	e := smallEngine(t)
+	s := Scenario{Seed: 6, PartitionMemoryBudgetBytes: 2048,
+		Faults: []string{"write-fault spill/0000/run-0000 x1"}}
+	s.Plan.WriteFaults = append(s.Plan.WriteFaults,
+		faultinject.StoreFault{File: "spill/0000/run-0000", Times: 1})
+	rep := e.RunScenario(context.Background(), s, t.TempDir())
+	if len(rep.Violations) != 0 {
+		t.Fatalf("spill write-fault scenario violated invariants: %+v", rep.Violations)
+	}
+	if rep.Outcome != "completed" {
+		t.Fatalf("outcome = %q, want completed (%+v)", rep.Outcome, rep)
 	}
 }

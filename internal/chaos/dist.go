@@ -37,8 +37,8 @@ import (
 	"time"
 
 	"parahash/internal/core"
-	"parahash/internal/dist"
 	"parahash/internal/diskstore"
+	"parahash/internal/dist"
 	"parahash/internal/hashtable"
 )
 
@@ -58,6 +58,11 @@ type DistScenario struct {
 	// the state-transfer reference, so completed runs double as
 	// cross-backend differential checks.
 	TableBackend string
+	// PartitionMemoryBudgetBytes, when positive, routes every partition
+	// through the out-of-core path on the workers, who spill runs under
+	// their own fencing tokens; killed workers' orphaned runs must be swept
+	// like fenced subgraphs.
+	PartitionMemoryBudgetBytes int64
 	// Faults describes the schedule for the report.
 	Faults []string
 }
@@ -118,6 +123,14 @@ func GenerateDistScenario(seed int64, prof Profile) DistScenario {
 	backends := hashtable.Backends()
 	s.TableBackend = string(backends[rng.Intn(len(backends))])
 	note("table backend %s", s.TableBackend)
+	// The out-of-core draw comes after the backend's, preserving pinned
+	// seeds again: a tight per-partition budget makes every worker construct
+	// out-of-core under its fencing token, stacking the spill lifecycle on
+	// whatever process faults were drawn above.
+	if pick(0.3) {
+		s.PartitionMemoryBudgetBytes = 512 + rng.Int63n(8<<10)
+		note("partition memory budget %d bytes (out-of-core workers)", s.PartitionMemoryBudgetBytes)
+	}
 	return s
 }
 
@@ -150,6 +163,7 @@ func (e *Engine) distScenarioConfig(s DistScenario, dir string) core.Config {
 	cfg := e.baseCfg
 	cfg.Checkpoint = core.CheckpointConfig{Dir: dir, InputLabel: e.inputLabel()}
 	cfg.TableBackend = s.TableBackend
+	cfg.PartitionMemoryBudgetBytes = s.PartitionMemoryBudgetBytes
 	cfg.Resilience.BackoffJitter = 0.5
 	cfg.Resilience.BackoffJitterSeed = s.Seed
 	return cfg
@@ -212,7 +226,7 @@ func (e *Engine) RunDistScenario(ctx context.Context, s DistScenario, dir string
 		scrub, serr := core.Scrub(dir)
 		if serr != nil {
 			violate("consistent-checkpoint", "scrub failed: %v", serr)
-		} else if scrub.Step1Damaged != 0 || scrub.Step2Damaged != 0 {
+		} else if scrub.Step1Damaged != 0 || scrub.Step2Damaged != 0 || scrub.SpillDamaged != 0 {
 			violate("consistent-checkpoint", "scrub found damaged claims: %+v", scrub)
 		}
 		// ...from which a fresh fault-free coordinator resumes to the

@@ -333,7 +333,7 @@ func (e *Engine) RunServerScenario(ctx context.Context, s ServerScenario, dir st
 	}
 	rec2 := m2.Recovery()
 	for id, sr := range rec2.Scrubbed {
-		if sr.Step1Damaged != 0 || sr.Step2Damaged != 0 {
+		if sr.Step1Damaged != 0 || sr.Step2Damaged != 0 || sr.SpillDamaged != 0 {
 			violate("consistent-checkpoint", "job %s scrub found damaged claims: %+v", id, sr)
 		}
 	}

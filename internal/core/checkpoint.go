@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"parahash/internal/diskstore"
 	"parahash/internal/graph"
@@ -27,6 +29,12 @@ type checkpoint struct {
 	man  *manifest.Manifest
 	path string
 
+	// mu serialises manifest mutation and Save. Step 2 completions are
+	// journalled from the pipeline's write stage (single-threaded), but
+	// spill runs are journalled from concurrent compute workers — several
+	// oversized partitions can publish runs at once.
+	mu sync.Mutex
+
 	// step1Valid marks the manifest's Step 1 roster trustworthy: every
 	// partition file either verified or is listed in step1Rebuild.
 	step1Valid bool
@@ -39,6 +47,11 @@ type checkpoint struct {
 	// subgraphs caches the resumed partitions' parsed subgraphs when the
 	// build keeps them (they were parsed for verification anyway).
 	subgraphs map[int]*graph.Subgraph
+	// spillReady maps partitions whose spill scan completed before the
+	// crash (spill-done journalled, every run file verified) to their run
+	// records in merge order. A resume that still routes the partition
+	// out-of-core merges these runs directly instead of re-spilling.
+	spillReady map[int][]manifest.SpillRun
 
 	// resumed counts partitions skipped because their Step 2 artifact
 	// verified; rebuiltSet collects partitions whose manifest claim failed
@@ -76,6 +89,7 @@ func openCheckpoint(cfg Config) (store.PartitionStore, *checkpoint, error) {
 		step1Rebuild: make(map[int]bool),
 		step2Skip:    make(map[int]manifest.Step2Partition),
 		subgraphs:    make(map[int]*graph.Subgraph),
+		spillReady:   make(map[int][]manifest.SpillRun),
 		rebuiltSet:   make(map[int]bool),
 	}
 	fp := cfg.fingerprint()
@@ -121,6 +135,7 @@ func (ck *checkpoint) assess(cfg Config) {
 		// A crash before Step 1 completion leaves only unpublished *.tmp
 		// files; nothing claimed, nothing trusted — full rerun.
 		m.Step1, m.Step2, m.Step1Done = nil, nil, false
+		m.SpillRuns, m.SpillDone = nil, nil
 		return
 	}
 	ck.step1Valid = true
@@ -136,6 +151,19 @@ func (ck *checkpoint) assess(cfg Config) {
 			}
 			m.DropStep2(i)
 			ck.rebuiltSet[i] = true
+		}
+		// Spill claims are trusted for a merge-only resume only when the run
+		// scan completed before the crash and every journalled run file
+		// verifies (size, CRC footer, journalled checksum, sort order).
+		// Anything less — a partial scan, a missing or damaged run — drops
+		// the partition's whole spill state; it re-spills from its Step 1
+		// file, overwriting the same deterministic run names.
+		if runs := m.SpillRunsFor(i); len(runs) > 0 || m.IsSpillDone(i) {
+			if m.IsSpillDone(i) && verifySpillRuns(ck.ds, cfg.K, runs) {
+				ck.spillReady[i] = runs
+			} else {
+				m.DropSpill(i)
+			}
 		}
 		// The partition will run Step 2, so its Step 1 file must be intact.
 		if !ck.verifyStep1(m.Step1For(i)) {
@@ -205,6 +233,32 @@ func verifySubgraphFile(ds store.PartitionStore, rec *manifest.Step2Partition) (
 	return g, true
 }
 
+// verifySpillRuns checks every journalled run of a partition: present, the
+// recorded size, a clean streaming verification (structure, sort order,
+// CRC footer) and a checksum matching the manifest's independent record.
+func verifySpillRuns(ds store.PartitionStore, k int, runs []manifest.SpillRun) bool {
+	for _, rec := range runs {
+		if !verifySpillRunFile(ds, k, rec) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifySpillRunFile applies the spill-run judgement shared by resume
+// assessment and Scrub.
+func verifySpillRunFile(ds store.PartitionStore, k int, rec manifest.SpillRun) bool {
+	if sz, err := ds.Size(rec.Name); err != nil || sz != rec.Bytes {
+		return false
+	}
+	r, err := ds.Open(rec.Name)
+	if err != nil {
+		return false
+	}
+	n, crc, err := graph.VerifyRun(r, k)
+	return err == nil && n == rec.Vertices && crc == rec.CRC32
+}
+
 // skipStep2 reports whether a partition's Step 2 is already durably done.
 func (ck *checkpoint) skipStep2(i int) bool {
 	_, ok := ck.step2Skip[i]
@@ -259,8 +313,15 @@ func (ck *checkpoint) recordStep1(stats []msp.PartitionStats, infos []msp.FileIn
 // markStep2 journals one partition's Step 2 completion after its subgraph
 // file has been durably published. written is the graph as written (after
 // any output filtering); distinct is the constructed pre-filter vertex
-// count, preserved so resumed runs keep exact graph-size accounting.
+// count, preserved so resumed runs keep exact graph-size accounting. Any
+// spill claims the partition accumulated are dropped in the same atomic
+// save — the subgraph supersedes its runs — and the run files are removed
+// afterwards (a crash in between leaves unjournalled orphans, swept by
+// Scrub).
 func (ck *checkpoint) markStep2(i int, written *graph.Subgraph, distinct int64) error {
+	ck.mu.Lock()
+	spilled := ck.man.SpillRunsFor(i)
+	ck.man.DropSpill(i)
 	ck.man.SetStep2(manifest.Step2Partition{
 		Index:    i,
 		Name:     subgraphFile(i),
@@ -269,6 +330,70 @@ func (ck *checkpoint) markStep2(i int, written *graph.Subgraph, distinct int64) 
 		Edges:    int64(written.NumEdges()),
 		Distinct: distinct,
 	})
+	err := ck.man.Save(ck.path)
+	ck.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, rec := range spilled {
+		_ = ck.ds.Remove(rec.Name)
+	}
+	if len(spilled) > 0 {
+		// Merge intermediates continue the run ordinal sequence but are
+		// never journalled (they are reconstructible), so the claim loop
+		// above misses them: sweep the partition's whole spill namespace.
+		sweepSpillPrefix(ck.ds, i)
+	}
+	return nil
+}
+
+// sweepSpillPrefix best-effort removes every store object under a
+// partition's spill directory — journalled runs and unjournalled merge
+// intermediates alike. Called only after the partition's subgraph is
+// durable, when the runs have nothing left to prove.
+func sweepSpillPrefix(st store.PartitionStore, part int) {
+	names, err := st.List()
+	if err != nil {
+		return
+	}
+	prefix := fmt.Sprintf("spill/%04d/", part)
+	for _, name := range names {
+		if strings.HasPrefix(name, prefix) {
+			_ = st.Remove(name)
+		}
+	}
+}
+
+// journalSpillRun records one durably published out-of-core run. Called
+// from concurrent compute workers, after the run file's atomic rename.
+func (ck *checkpoint) journalSpillRun(rec manifest.SpillRun) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.man.AddSpillRun(rec)
+	return ck.man.Save(ck.path)
+}
+
+// journalSpillDone marks a partition's run scan complete: every run it
+// will ever have is journalled, so a crash from here on resumes at the
+// merge.
+func (ck *checkpoint) journalSpillDone(i int) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.man.SetSpillDone(i)
+	return ck.man.Save(ck.path)
+}
+
+// clearSpillClaims drops a partition's journalled spill state before a
+// fresh spill attempt (a retry after a failed attempt). Files are left in
+// place — the retry overwrites the same deterministic names, and anything
+// beyond the new attempt's run count becomes an unjournalled orphan.
+func (ck *checkpoint) clearSpillClaims(i int) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if len(ck.man.SpillRunsFor(i)) == 0 && !ck.man.IsSpillDone(i) {
+		return nil
+	}
+	ck.man.DropSpill(i)
 	return ck.man.Save(ck.path)
 }
 

@@ -152,6 +152,23 @@ type Config struct {
 	// budget still runs, alone. 0 disables admission control.
 	MemoryBudgetBytes int64
 
+	// PartitionMemoryBudgetBytes, when positive, bounds one partition's
+	// in-memory Step 2 footprint: a partition whose Property-1 table
+	// prediction exceeds it is constructed out-of-core instead — superkmers
+	// are scanned into budget-sized sorted runs, spilled to the partition
+	// store, and k-way merged into the same sorted subgraph the hash-table
+	// path produces (byte-identical output). When it is 0 but
+	// MemoryBudgetBytes is set, partitions predicted above the whole build
+	// budget are auto-routed to the spill path (with a warning via Logf)
+	// instead of running alone against an admission weight clamped to the
+	// budget. 0 with no MemoryBudgetBytes keeps every partition in-core.
+	PartitionMemoryBudgetBytes int64
+
+	// Logf, when set, receives warning-level build log lines (for example
+	// when an oversized partition is auto-routed out-of-core). Nil discards
+	// them.
+	Logf func(format string, args ...any)
+
 	// Checkpoint selects durable on-disk storage with a build manifest,
 	// enabling crash-safe checkpoint/resume. The zero value keeps the
 	// in-memory simulated store.
@@ -236,6 +253,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Resilience.PartitionDeadline=%v must be non-negative", c.Resilience.PartitionDeadline)
 	case c.MemoryBudgetBytes < 0:
 		return fmt.Errorf("core: MemoryBudgetBytes=%d must be non-negative", c.MemoryBudgetBytes)
+	case c.PartitionMemoryBudgetBytes < 0:
+		return fmt.Errorf("core: PartitionMemoryBudgetBytes=%d must be non-negative", c.PartitionMemoryBudgetBytes)
 	case c.Checkpoint.Resume && c.Checkpoint.Dir == "":
 		return fmt.Errorf("core: Checkpoint.Resume requires Checkpoint.Dir")
 	}
@@ -255,11 +274,21 @@ func (c Config) tableBackend() hashtable.Backend {
 	return b
 }
 
+// logf emits a warning-level build log line through Logf, if set.
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
 // fingerprint derives the manifest config fingerprint from every field that
 // determines partition file content: K, P, the partition count, the output
 // filter, and the input identity. Scheduling knobs (chunking, processors,
 // calibration) are deliberately excluded — they change timing, never bytes —
 // so a resume may rebalance processors without invalidating the checkpoint.
+// The memory budgets (including PartitionMemoryBudgetBytes) are excluded for
+// the same reason: the spill path produces byte-identical subgraphs, so a
+// resume may tighten or drop the budget freely.
 func (c Config) fingerprint() string {
 	return manifest.Fingerprint(
 		"k="+strconv.Itoa(c.K),

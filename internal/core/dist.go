@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 
+	"parahash/internal/device"
 	"parahash/internal/diskstore"
 	"parahash/internal/fastq"
 	"parahash/internal/graph"
@@ -81,10 +83,20 @@ func PrepareDistBuild(ctx context.Context, reads []fastq.Read, cfg Config) (*Dis
 		return nil, canceledErr(ctx, fmt.Errorf("core: step 1 (MSP partitioning): %w", err))
 	}
 	// Any leases in a resumed manifest belong to a dead coordinator; this
-	// process owns the whole partition space now.
+	// process owns the whole partition space now. So do any journalled
+	// spill runs: they were scanned by a dead single-process build, and
+	// workers spill under their own fenced names instead of reading the
+	// manifest, so nothing will ever merge them — drop the claims in the
+	// same save, then remove the files.
 	ck.man.ClearLeases()
+	staleRuns := append([]manifest.SpillRun(nil), ck.man.SpillRuns...)
+	ck.man.SpillRuns, ck.man.SpillDone = nil, nil
+	ck.spillReady = map[int][]manifest.SpillRun{}
 	if err := ck.man.Save(ck.path); err != nil {
 		return nil, err
+	}
+	for _, rec := range staleRuns {
+		_ = ck.ds.Remove(rec.Name) // best-effort; scrub sweeps leftovers
 	}
 	p := &DistPlan{cfg: cfg, ck: ck, partStats: partStats, step1: step1Stats}
 	// So are any fenced orphans: results the dead fleet published but never
@@ -164,10 +176,12 @@ func (p *DistPlan) DiscardFenced(i int, token int64) error {
 	return p.ck.ds.Remove(FencedName(i, token))
 }
 
-// SweepFenced removes every fenced subgraph file still in the store — the
-// orphans of revoked leases whose workers published after losing their
-// claim — returning the swept names. Run after the build completes so the
-// checkpoint directory holds exactly the canonical artifacts.
+// SweepFenced removes every fenced file still in the store — the orphans of
+// revoked leases whose workers published after losing their claim: fenced
+// subgraphs, and the fenced spill runs of workers killed mid-merge on an
+// out-of-core partition. Returns the swept names. Run after the build
+// completes so the checkpoint directory holds exactly the canonical
+// artifacts.
 func (p *DistPlan) SweepFenced() ([]string, error) {
 	names, err := p.ck.ds.List()
 	if err != nil {
@@ -175,14 +189,21 @@ func (p *DistPlan) SweepFenced() ([]string, error) {
 	}
 	var swept []string
 	for _, name := range names {
-		var idx int
+		var idx, run int
 		var token int64
+		fenced := false
 		if n, _ := fmt.Sscanf(name, "subgraphs/%04d.t%d", &idx, &token); n == 2 {
-			if err := p.ck.ds.Remove(name); err != nil {
-				return swept, err
-			}
-			swept = append(swept, name)
+			fenced = true
+		} else if n, _ := fmt.Sscanf(name, "spill/%04d/run-%04d.t%d", &idx, &run, &token); n == 3 {
+			fenced = true
 		}
+		if !fenced {
+			continue
+		}
+		if err := p.ck.ds.Remove(name); err != nil {
+			return swept, err
+		}
+		swept = append(swept, name)
 	}
 	return swept, nil
 }
@@ -283,9 +304,30 @@ func ConstructDistPartition(ctx context.Context, cfg Config, index int, outName 
 	if len(procs) == 0 {
 		return DistOutput{}, fmt.Errorf("core: no processors configured")
 	}
-	out, err := step2Construct(ctx, procs[0], sks, cfg)
-	if err != nil {
-		return DistOutput{}, fmt.Errorf("core: constructing partition %d: %w", index, err)
+	var kmers int64
+	for i := range sks {
+		kmers += int64(sks[i].NumKmers(cfg.K))
+	}
+	var out device.Step2Output
+	spilled := false
+	if predicted, ok := cfg.predictedTableBytes(kmers); ok {
+		if budget, auto := cfg.spillBudgetFor(predicted); budget > 0 {
+			if auto {
+				cfg.logf("core: worker: partition %d predicted %d table bytes, over the %d-byte memory budget; auto-routing out-of-core",
+					index, predicted, cfg.MemoryBudgetBytes)
+			}
+			out, err = distSpillStep2(ctx, cfg, index, outName, sks, st, budget)
+			if err != nil {
+				return DistOutput{}, fmt.Errorf("core: constructing partition %d out-of-core: %w", index, err)
+			}
+			spilled = true
+		}
+	}
+	if !spilled {
+		out, err = step2Construct(ctx, procs[0], sks, cfg)
+		if err != nil {
+			return DistOutput{}, fmt.Errorf("core: constructing partition %d: %w", index, err)
+		}
 	}
 	toWrite := out.Graph
 	if cfg.OutputFilterMin > 1 {
@@ -313,4 +355,51 @@ func ConstructDistPartition(ctx context.Context, cfg Config, index int, outName 
 		Distinct: out.Distinct,
 		Kmers:    out.Kmers,
 	}, nil
+}
+
+// distSpillStep2 is the worker side of an out-of-core partition: spill
+// budget-bounded sorted runs, merge them into the subgraph, then remove the
+// runs — the merged graph is in memory and the fenced subgraph publish below
+// is the only artifact the coordinator will ever trust. Workers never touch
+// the manifest, so runs are fenced by name instead of journalled: the
+// worker's fencing token (parsed from its assigned output name) suffixes
+// every run, keeping a zombie holding a revoked lease out of the current
+// holder's in-flight files. A worker killed at any point leaves only fenced
+// orphans, which SweepFenced removes.
+func distSpillStep2(ctx context.Context, cfg Config, index int, outName string, sks []msp.Superkmer, st store.PartitionStore, budget int64) (device.Step2Output, error) {
+	threads := cfg.CPUThreads
+	if threads < 1 {
+		threads = 1
+	}
+	runSuffix := ""
+	var subIdx int
+	var token int64
+	if n, _ := fmt.Sscanf(outName, "subgraphs/%04d.t%d", &subIdx, &token); n == 2 {
+		runSuffix = fmt.Sprintf(".t%d", token)
+	}
+	ecfg := device.ExternalConfig{
+		K:           cfg.K,
+		BufferBytes: budget,
+		SortWorkers: threads,
+		Store:       st,
+		RunName:     func(run int) string { return spillRunFile(index, run) + runSuffix },
+		Cal:         cfg.Calibration,
+		Threads:     threads,
+	}
+	out, _, _, err := device.ExternalStep2(ctx, sks, ecfg)
+	if err != nil {
+		return device.Step2Output{}, err
+	}
+	// Best-effort cleanup of this attempt's runs, merge intermediates
+	// included (they continue the ordinal sequence under the same fenced
+	// suffix); failures leave orphans for SweepFenced.
+	if names, err := st.List(); err == nil {
+		prefix := fmt.Sprintf("spill/%04d/", index)
+		for _, name := range names {
+			if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, runSuffix) {
+				_ = st.Remove(name)
+			}
+		}
+	}
+	return out, nil
 }

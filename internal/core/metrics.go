@@ -59,6 +59,14 @@ func MetricsOf(res *Result, cfg Config) *obs.BuildMetrics {
 			AdmissionWaitSeconds: res.Stats.Step1.AdmissionWaitSeconds + res.Stats.Step2.AdmissionWaitSeconds,
 			PeakAdmittedBytes:    res.Stats.PeakAdmittedBytes(),
 		},
+		Spill: obs.SpillMetrics{
+			SpilledPartitions:          res.Stats.Spill.Partitions,
+			AutoRouted:                 res.Stats.Spill.AutoRouted,
+			SpillRuns:                  res.Stats.Spill.Runs,
+			SpillBytes:                 res.Stats.Spill.SpilledBytes,
+			MergePasses:                res.Stats.Spill.MergePasses,
+			PartitionMemoryBudgetBytes: cfg.PartitionMemoryBudgetBytes,
+		},
 	}
 	if d := res.Stats.Dist; d != nil {
 		m.Dist = &obs.DistMetrics{

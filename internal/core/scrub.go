@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"parahash/internal/diskstore"
 	"parahash/internal/manifest"
@@ -35,6 +36,19 @@ type ScrubReport struct {
 	// partitions.
 	Step1Damaged int
 	Step2Damaged int
+	// SpillVerified and SpillDamaged count journalled out-of-core run
+	// claims by the same judgement resume assessment applies (size, CRC
+	// footer, journalled checksum, sort order). A partition with any
+	// damaged run — or an incomplete scan — has its whole spill state
+	// dropped; the resume re-spills it from its Step 1 file. Only failed
+	// verification counts as damage: dropping an incomplete scan's claims
+	// is routine crash hygiene, not corruption.
+	SpillVerified int
+	SpillDamaged  int
+	// SpillSwept lists orphaned spill run files removed from the data
+	// directory (merge intermediates, runs of dropped claims, runs
+	// superseded by a published subgraph), sorted.
+	SpillSwept []string
 	// Quarantined lists store names whose damaged bytes were moved into
 	// the checkpoint's quarantine/ directory (a claim damaged by absence
 	// has nothing to move), sorted.
@@ -47,7 +61,8 @@ type ScrubReport struct {
 // Clean reports a checkpoint with nothing swept, nothing damaged — every
 // claim verified against its durable bytes.
 func (r ScrubReport) Clean() bool {
-	return len(r.TmpSwept) == 0 && r.Step1Damaged == 0 && r.Step2Damaged == 0
+	return len(r.TmpSwept) == 0 && r.Step1Damaged == 0 && r.Step2Damaged == 0 &&
+		r.SpillDamaged == 0 && len(r.SpillSwept) == 0
 }
 
 // Scrub is the offline checkpoint-repair pass: it verifies every manifest
@@ -135,6 +150,30 @@ func Scrub(dir string) (ScrubReport, error) {
 				repaired = true
 			}
 		}
+		// Spill claims: verify every journalled run; any damage — or an
+		// incomplete scan — drops the partition's whole spill state so the
+		// resume re-spills from the (verified) Step 1 file. k comes from the
+		// run headers themselves; the manifest cross-checks size, checksum
+		// and vertex count, which is what distinguishes a damaged run from a
+		// well-formed but wrong one.
+		if runs := m.SpillRunsFor(i); len(runs) > 0 || m.IsSpillDone(i) {
+			damaged := false
+			for _, rec := range runs {
+				if verifySpillRunFile(ds, 0, rec) {
+					rep.SpillVerified++
+					continue
+				}
+				rep.SpillDamaged++
+				damaged = true
+				if err := quarantine(rec.Name); err != nil {
+					return rep, fmt.Errorf("core: scrub: quarantining %q: %w", rec.Name, err)
+				}
+			}
+			if damaged || !m.IsSpillDone(i) {
+				m.DropSpill(i)
+				repaired = true
+			}
+		}
 		if rec := m.Step1For(i); verifyStep1File(ds, rec) {
 			rep.Step1Verified++
 		} else {
@@ -155,6 +194,31 @@ func Scrub(dir string) (ScrubReport, error) {
 		}
 		rep.ManifestRepaired = true
 	}
+
+	// Sweep orphaned spill files: merge intermediates (never journalled),
+	// runs of claims dropped above, and runs superseded by a published
+	// subgraph. Every surviving claim was verified, so anything under
+	// spill/ not claimed is reconstructible in-flight state, removed like a
+	// *.tmp file. The sweep runs only after the repaired manifest is saved —
+	// removing a file before its claim is durably dropped would turn a crash
+	// here into phantom damage on the next pass.
+	claimed := make(map[string]bool, len(m.SpillRuns))
+	for _, rec := range m.SpillRuns {
+		claimed[rec.Name] = true
+	}
+	names, err := ds.List()
+	if err != nil {
+		return rep, fmt.Errorf("core: scrub: listing store: %w", err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "spill/") && !claimed[name] {
+			if err := ds.Remove(name); err != nil {
+				return rep, fmt.Errorf("core: scrub: sweeping %q: %w", name, err)
+			}
+			rep.SpillSwept = append(rep.SpillSwept, name)
+		}
+	}
+	sort.Strings(rep.SpillSwept)
 	sort.Strings(rep.Quarantined)
 	return rep, nil
 }

@@ -141,6 +141,34 @@ func (h HashStats) ContentionReduction() float64 {
 	return float64(h.Updates) / float64(h.Inserts+h.Updates)
 }
 
+// SpillStats aggregates the out-of-core Step 2 path's work across a run:
+// partitions whose Property-1 table prediction exceeded their memory
+// budget and were constructed by sort-merge spill instead of a hash table.
+type SpillStats struct {
+	// Partitions counts partitions constructed out-of-core; AutoRouted is
+	// the subset routed automatically because their prediction exceeded the
+	// whole build's MemoryBudgetBytes with no per-partition budget set.
+	Partitions, AutoRouted int
+	// Runs and SpilledBytes are the sorted run files spilled and their
+	// total serialized size; MergePasses counts merge passes performed
+	// (final streaming merges included).
+	Runs, SpilledBytes, MergePasses int64
+}
+
+// fold accumulates one partition's spill accounting.
+func (sp *SpillStats) fold(w step2Work) {
+	if !w.spilled {
+		return
+	}
+	sp.Partitions++
+	if w.autoRouted {
+		sp.AutoRouted++
+	}
+	sp.Runs += w.spillRuns
+	sp.SpilledBytes += w.spillBytes
+	sp.MergePasses += w.mergePasses
+}
+
 // Stats aggregates a full ParaHash run.
 type Stats struct {
 	// Step1 and Step2 are the per-step performance records.
@@ -163,6 +191,9 @@ type Stats struct {
 	// DecodedBytes is the total encoded partition bytes Step 2 decoded
 	// (retried reads included), the mirror of Superkmers.TotalEncoded.
 	DecodedBytes int64
+	// Spill aggregates the out-of-core Step 2 path's work, all zero when
+	// every partition fit its budget in-core.
+	Spill SpillStats
 
 	// Checkpoint/resume accounting, both zero without a resumed checkpoint.
 

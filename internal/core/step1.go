@@ -20,6 +20,12 @@ func superkmerFile(i int) string { return fmt.Sprintf("superkmers/%04d", i) }
 // subgraphFile names a constructed subgraph in the store.
 func subgraphFile(i int) string { return fmt.Sprintf("subgraphs/%04d", i) }
 
+// spillRunFile names one out-of-core run of a spilled partition. Run names
+// are deterministic so a retried or resumed construction attempt overwrites
+// rather than accumulates; ordinals past the scan's run count are merge
+// intermediates, never journalled, swept as orphans.
+func spillRunFile(part, run int) string { return fmt.Sprintf("spill/%04d/run-%04d", part, run) }
+
 // SuperkmerFile and SubgraphFile expose the store names of partition
 // artifacts so fault plans (the chaos engine) can script IO faults against
 // specific files without duplicating the naming scheme.
@@ -27,6 +33,9 @@ func SuperkmerFile(i int) string { return superkmerFile(i) }
 
 // SubgraphFile is the exported counterpart of subgraphFile.
 func SubgraphFile(i int) string { return subgraphFile(i) }
+
+// SpillRunFile is the exported counterpart of spillRunFile.
+func SpillRunFile(part, run int) string { return spillRunFile(part, run) }
 
 // partitionSinks opens the sink for one superkmer partition's encoded file.
 type partitionSinks func(i int) (io.WriteCloser, error)

@@ -11,6 +11,7 @@ import (
 	"parahash/internal/faultinject"
 	"parahash/internal/graph"
 	"parahash/internal/hashtable"
+	"parahash/internal/manifest"
 	"parahash/internal/msp"
 	"parahash/internal/obs"
 	"parahash/internal/pipeline"
@@ -43,6 +44,46 @@ type step2Work struct {
 	inserts, updates       int64
 	probes                 int64
 	lockWaits, casFailures int64
+
+	// Out-of-core accounting: set when the partition was constructed by
+	// the sort-merge spill path instead of a hash table. spillBufferBytes
+	// is the admitted run-buffer residency (the partition budget), counted
+	// toward the peak-memory estimate in place of a table.
+	spilled          bool
+	autoRouted       bool
+	spillRuns        int64
+	spillBytes       int64
+	mergePasses      int64
+	spillBufferBytes int64
+}
+
+// spillPlan is one partition's out-of-core routing decision, made before
+// the pipeline starts so the admission gate can weigh the partition by its
+// bounded run buffer instead of an over-budget table prediction.
+type spillPlan struct {
+	// budget bounds the in-memory run buffer pair.
+	budget int64
+	// auto marks a partition routed out-of-core because its prediction
+	// exceeded the whole build's MemoryBudgetBytes with no per-partition
+	// budget configured (the clamped run-alone fallback replaced).
+	auto bool
+	// mergeOnly, when non-nil, holds the verified journalled runs of a
+	// resumed partition whose spill scan completed before the crash: the
+	// worker merges them directly without re-reading superkmers.
+	mergeOnly []manifest.SpillRun
+	// mergeKmers is the partition's k-mer count from the Step 1 manifest
+	// statistics, charged for virtual time on the merge-only path (the scan
+	// that would have counted them is skipped).
+	mergeKmers int64
+}
+
+// step2Input carries one partition's superkmers plus its routing decision
+// through the pipeline (workers receive no slot index, so the decision
+// rides with the data).
+type step2Input struct {
+	part  int
+	sks   []msp.Superkmer
+	spill *spillPlan
 }
 
 // loadPartition decodes a superkmer partition from the store, copying each
@@ -100,11 +141,42 @@ func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, s
 		}
 	}
 
-	workers := make([]pipeline.Worker[[]msp.Superkmer, device.Step2Output], len(procs))
+	// Route each pending partition before the pipeline starts: in-core
+	// against its Property-1 predicted table, or out-of-core when the
+	// prediction exceeds the partition memory budget.
+	plans := make([]*spillPlan, len(pending))
+	for slot, i := range pending {
+		predicted, ok := cfg.predictedTableBytes(partStats[i].Kmers)
+		if !ok {
+			// Sizing itself will fail in the worker with a proper error;
+			// leave the partition on the in-core path so it gets there.
+			continue
+		}
+		budget, auto := cfg.spillBudgetFor(predicted)
+		if budget == 0 {
+			continue
+		}
+		plans[slot] = &spillPlan{budget: budget, auto: auto}
+		if auto {
+			cfg.logf("core: partition %d predicted %d table bytes, over the %d-byte memory budget; auto-routing out-of-core",
+				i, predicted, cfg.MemoryBudgetBytes)
+		}
+		if ck != nil {
+			if runs, ok := ck.spillReady[i]; ok {
+				plans[slot].mergeOnly = runs
+				plans[slot].mergeKmers = partStats[i].Kmers
+			}
+		}
+	}
+
+	workers := make([]pipeline.Worker[step2Input, device.Step2Output], len(procs))
 	for i, p := range procs {
 		p := p
-		workers[i] = func(ctx context.Context, sks []msp.Superkmer) (device.Step2Output, error) {
-			return step2Construct(ctx, p, sks, cfg)
+		workers[i] = func(ctx context.Context, in step2Input) (device.Step2Output, error) {
+			if in.spill != nil {
+				return spillConstruct(ctx, in, cfg, st, ck)
+			}
+			return step2Construct(ctx, p, in.sks, cfg)
 		}
 	}
 
@@ -118,26 +190,36 @@ func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, s
 		// A partition's admission weight is its Property-1 predicted hash
 		// table footprint — the same λ/(4α)·N_kmer pre-sizing Step 2 itself
 		// uses — so the gate bounds exactly the bytes the tables will claim.
-		backend := cfg.tableBackend()
+		// A spilling partition is weighed by its bounded run buffer instead:
+		// that is all the memory the sort-merge path holds at once.
 		pol.AdmissionWeight = func(slot int) int64 {
-			kmers := partStats[pending[slot]].Kmers
-			slots, err := hashtable.SizeForKmersChecked(kmers, cfg.Lambda, cfg.Alpha)
-			if err != nil {
+			if plan := plans[slot]; plan != nil {
+				return plan.budget
+			}
+			predicted, ok := cfg.predictedTableBytes(partStats[pending[slot]].Kmers)
+			if !ok {
 				// Sizing itself will fail in the worker with a proper error;
 				// admit under the full budget so it gets there.
 				return cfg.MemoryBudgetBytes
 			}
-			return hashtable.MemoryBytesForBackend(backend, cfg.K, slots)
+			return predicted
 		}
 	}
 
-	read := func(slot int) ([]msp.Superkmer, error) {
-		sks, decoded, err := loadPartition(st, superkmerFile(pending[slot]))
+	read := func(slot int) (step2Input, error) {
+		in := step2Input{part: pending[slot], spill: plans[slot]}
+		if in.spill != nil && in.spill.mergeOnly != nil {
+			// Merge-only resume: the journalled runs carry everything the
+			// merge needs, so the superkmer partition is not decoded at all.
+			return in, nil
+		}
+		sks, decoded, err := loadPartition(st, superkmerFile(in.part))
 		// Accumulate (not assign): a retried read re-decodes the partition
 		// and both passes cost real IO. The write closure fills the other
 		// fields; the pipeline's stage ordering makes the shared struct safe.
 		works[slot].decodedBytes += decoded
-		return sks, err
+		in.sks = sks
+		return in, err
 	}
 	write := func(slot int, out device.Step2Output) error {
 		i := pending[slot]
@@ -151,6 +233,14 @@ func runStep2(ctx context.Context, partStats []msp.PartitionStats, cfg Config, s
 		w.probes = out.Probes
 		w.lockWaits = out.LockWaits
 		w.casFailures = out.CASFailures
+		if plan := plans[slot]; plan != nil {
+			w.spilled = true
+			w.autoRouted = plan.auto
+			w.spillRuns = out.SpillRuns
+			w.spillBytes = out.SpillBytes
+			w.mergePasses = out.MergePasses
+			w.spillBufferBytes = plan.budget
+		}
 		toWrite := out.Graph
 		if cfg.OutputFilterMin > 1 {
 			filtered := &graph.Subgraph{K: toWrite.K,
@@ -218,11 +308,123 @@ func foldStep2Works(st *Stats, works []step2Work) int64 {
 		st.Hash.LockWaits += w.lockWaits
 		st.Hash.CASFailures += w.casFailures
 		st.DecodedBytes += w.decodedBytes
-		if resident := w.tableBytes + w.fileBytes + w.graphBytes; resident > peak {
+		st.Spill.fold(w)
+		if resident := w.tableBytes + w.fileBytes + w.graphBytes + w.spillBufferBytes; resident > peak {
 			peak = resident
 		}
 	}
 	return peak
+}
+
+// predictedTableBytes is the Property-1 predicted hash-table footprint for
+// a partition holding the given k-mer count, under the configured backend.
+// ok is false when sizing itself fails (the in-core worker then surfaces the
+// proper typed error).
+func (c Config) predictedTableBytes(kmers int64) (predicted int64, ok bool) {
+	slots, err := hashtable.SizeForKmersChecked(kmers, c.Lambda, c.Alpha)
+	if err != nil {
+		return 0, false
+	}
+	return hashtable.MemoryBytesForBackend(c.tableBackend(), c.K, slots), true
+}
+
+// spillBudgetFor decides whether a partition with the given predicted table
+// footprint goes out-of-core, returning its run-buffer budget (0 = stay
+// in-core). auto reports the fallback route: no per-partition budget is
+// configured but the prediction alone exceeds the whole build's memory
+// budget, which used to run in-core anyway — alone, with its admission
+// weight clamped to the budget; an honest scheduler but a dishonest memory
+// bound.
+func (c Config) spillBudgetFor(predicted int64) (budget int64, auto bool) {
+	switch {
+	case c.PartitionMemoryBudgetBytes > 0 && predicted > c.PartitionMemoryBudgetBytes:
+		return c.PartitionMemoryBudgetBytes, false
+	case c.PartitionMemoryBudgetBytes == 0 && c.MemoryBudgetBytes > 0 && predicted > c.MemoryBudgetBytes:
+		return c.MemoryBudgetBytes, true
+	}
+	return 0, false
+}
+
+// spillConstruct builds one oversized partition out-of-core: scan its
+// superkmers into budget-bounded sorted runs spilled through the store
+// (each journalled in the manifest as it lands), then k-way merge-dedup
+// the runs into the final sorted subgraph. A merge-only input skips the
+// scan and merges the journalled runs a crashed build left behind.
+func spillConstruct(ctx context.Context, in step2Input, cfg Config, st store.PartitionStore, ck *checkpoint) (device.Step2Output, error) {
+	threads := cfg.CPUThreads
+	if threads < 1 {
+		threads = 1
+	}
+	ecfg := device.ExternalConfig{
+		K:           cfg.K,
+		BufferBytes: in.spill.budget,
+		SortWorkers: threads,
+		Store:       st,
+		RunName:     func(run int) string { return spillRunFile(in.part, run) },
+		Cal:         cfg.Calibration,
+		Threads:     threads,
+	}
+	var runNames []string
+	var kmers, spilledBytes int64
+	if in.spill.mergeOnly != nil {
+		for _, rec := range in.spill.mergeOnly {
+			runNames = append(runNames, rec.Name)
+			spilledBytes += rec.Bytes
+		}
+		kmers = in.spill.mergeKmers
+	} else {
+		if ck != nil {
+			// A fresh attempt (or a retry after a failed one) owns the
+			// partition's whole spill namespace again: drop stale claims so
+			// the journal only ever describes this attempt's runs. Files are
+			// overwritten in place — run names are deterministic.
+			if err := ck.clearSpillClaims(in.part); err != nil {
+				return device.Step2Output{}, err
+			}
+			ecfg.OnRun = func(run int, name string, bytes int64, crc uint32, vertices int64) error {
+				if err := ck.journalSpillRun(manifest.SpillRun{
+					Partition: in.part, Run: run, Name: name,
+					Bytes: bytes, CRC32: crc, Vertices: vertices,
+				}); err != nil {
+					return err
+				}
+				// A kill here models power loss mid-scan: some runs journalled,
+				// the scan incomplete. Resume drops them and re-spills. The
+				// stall point is the plan-scoped (in-process) analogue.
+				faultinject.MaybeCrash("step2.spill")
+				return faultinject.MaybeStall(ctx, "step2.spill")
+			}
+		}
+		spill, err := device.SpillRuns(ctx, in.sks, ecfg)
+		if err != nil {
+			return device.Step2Output{}, fmt.Errorf("core: spilling partition %d: %w", in.part, err)
+		}
+		if ck != nil {
+			if err := ck.journalSpillDone(in.part); err != nil {
+				return device.Step2Output{}, err
+			}
+		}
+		runNames = spill.RunNames
+		kmers = spill.Kmers
+		spilledBytes = spill.SpilledBytes
+	}
+	// A kill here models a crash between the completed scan and the merge;
+	// resume verifies the journalled runs and goes straight back to merging.
+	faultinject.MaybeCrash("step2.spill.merge")
+	if err := faultinject.MaybeStall(ctx, "step2.spill.merge"); err != nil {
+		return device.Step2Output{}, err
+	}
+	out, passes, err := device.MergeSpilled(ctx, runNames, ecfg)
+	if err != nil {
+		return device.Step2Output{}, fmt.Errorf("core: merging partition %d: %w", in.part, err)
+	}
+	out.Kmers = kmers
+	out.Seconds = cfg.Calibration.CPUStep2Seconds(kmers, threads, 0)
+	out.ComputeSeconds = out.Seconds
+	out.SpillRuns = int64(len(runNames))
+	out.SpillBytes = spilledBytes
+	out.MergePasses = passes
+	return out, nil
 }
 
 // step2Construct sizes the hash table for one partition and builds its

@@ -94,6 +94,14 @@ type Step2Output struct {
 	// WarpDivergence is, on GPUs, the mean ratio of slowest-lane probes to
 	// mean-lane probes per warp (1.0 = no divergence); zero on CPUs.
 	WarpDivergence float64
+	// SpillRuns / SpillBytes / MergePasses describe the out-of-core path's
+	// work when the partition was constructed by sort-merge instead of a
+	// hash table (all zero on the in-core path): runs spilled to the store,
+	// their total serialized bytes, and merge passes performed (including
+	// the final streaming merge).
+	SpillRuns   int64
+	SpillBytes  int64
+	MergePasses int64
 }
 
 // Processor abstracts a compute device for the work-stealing pipeline.

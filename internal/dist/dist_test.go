@@ -353,6 +353,47 @@ func TestZombieWriteIsFencedOff(t *testing.T) {
 	checkStoreClean(t, dir)
 }
 
+// TestDistBuildOutOfCore runs the distributed build with a per-partition
+// memory budget far below every partition's predicted table, so each worker
+// takes the sort-merge spill path under fenced run names. The result must
+// converge byte-identically to the unconstrained single-process oracle, and
+// the store must end with no spill runs — workers sweep their own namespace
+// and the coordinator's end-of-run sweep catches casualties.
+func TestDistBuildOutOfCore(t *testing.T) {
+	reads, base := testData(t)
+	oracle := oracleBytes(t, reads, base)
+	dir := t.TempDir()
+	cfg := distConfig(base, dir)
+	cfg.PartitionMemoryBudgetBytes = 2048
+	// One worker dies mid-fleet: its fenced spill runs become orphans the
+	// coordinator must sweep along with fenced subgraphs.
+	tr := &LocalTransport{Cfg: cfg, Faults: map[string]Fault{
+		"w1": {KillAfter: 1},
+	}}
+	_, res, stats, err := runDist(t, reads, cfg, tr, Options{Workers: 4, LeaseMS: 800})
+	if err != nil {
+		t.Fatalf("out-of-core distributed build failed: %v", err)
+	}
+	checkConverged(t, res, oracle)
+	if stats.Spawned != 4 {
+		t.Fatalf("expected 4 spawned workers, got %d", stats.Spawned)
+	}
+	checkStoreClean(t, dir)
+	ds, err := diskstore.Open(filepath.Join(dir, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ds.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "spill/") {
+			t.Fatalf("spill run %q survived the distributed build", n)
+		}
+	}
+}
+
 // TestWorkersExhaustedThenResume wedges the only worker, expects the typed
 // fleet-death error, and then finishes the same checkpoint with an ordinary
 // single-process resume — the distributed build's failure mode leaves a

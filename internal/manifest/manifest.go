@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -72,6 +73,24 @@ type Step2Partition struct {
 	Distinct int64  `json:"distinct"`
 }
 
+// SpillRun records one durably published out-of-core run file: a sorted,
+// CRC-footered slice of a partition's vertex multiset, spilled by the
+// external-memory Step 2 path when the partition's table prediction
+// exceeded its memory budget. Bytes is the full file size (header, records
+// and footer); CRC32 is the run's own footer checksum, recorded
+// independently so resume verification can cross-check the bytes on disk
+// against the journal. Spill claims are dropped in the same atomic save
+// that journals the partition's Step 2 completion — a partition never
+// carries both.
+type SpillRun struct {
+	Partition int    `json:"partition"`
+	Run       int    `json:"run"`
+	Name      string `json:"name"`
+	Bytes     int64  `json:"bytes"`
+	CRC32     uint32 `json:"crc32"`
+	Vertices  int64  `json:"vertices"`
+}
+
 // Lease records a coordinator-granted claim on a contiguous Step 2
 // partition range [Start, Start+Count). Token is the fencing token minted
 // when the lease was granted: it increases monotonically across all grants
@@ -103,6 +122,14 @@ type Manifest struct {
 	Step1Done bool             `json:"step1_done"`
 	Step1     []Step1Partition `json:"step1,omitempty"`
 	Step2     []Step2Partition `json:"step2,omitempty"`
+	// SpillRuns journals the durably published out-of-core run files of
+	// partitions currently being constructed by the external-memory Step 2
+	// path. SpillDone lists partitions whose run scan finished (every run
+	// journalled), so a resume can go straight to the merge instead of
+	// re-spilling. Both are cleared for a partition in the same save that
+	// records its Step 2 completion.
+	SpillRuns []SpillRun `json:"spill_runs,omitempty"`
+	SpillDone []int      `json:"spill_done,omitempty"`
 	// LeaseToken is the high-water fencing token: every granted lease's
 	// Token lies in (0, LeaseToken]. Journalling the high-water mark with
 	// the leases themselves guarantees tokens never repeat across a
@@ -164,12 +191,48 @@ func Parse(data []byte) (*Manifest, error) {
 		}
 		seen2[p.Index] = true
 	}
+	seenSpill := make(map[[2]int]bool, len(m.SpillRuns))
+	for _, r := range m.SpillRuns {
+		if r.Partition < 0 || r.Partition >= m.Partitions {
+			return nil, fmt.Errorf("%w: spill run partition %d out of range [0,%d)", ErrCorrupt, r.Partition, m.Partitions)
+		}
+		if r.Run < 0 {
+			return nil, fmt.Errorf("%w: negative spill run ordinal %d (partition %d)", ErrCorrupt, r.Run, r.Partition)
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("%w: spill run %d of partition %d has no name", ErrCorrupt, r.Run, r.Partition)
+		}
+		key := [2]int{r.Partition, r.Run}
+		if seenSpill[key] {
+			return nil, fmt.Errorf("%w: duplicate spill run %d for partition %d", ErrCorrupt, r.Run, r.Partition)
+		}
+		seenSpill[key] = true
+		if seen2[r.Partition] {
+			return nil, fmt.Errorf("%w: partition %d has both a step 2 completion and spill runs", ErrCorrupt, r.Partition)
+		}
+	}
+	seenDone := make(map[int]bool, len(m.SpillDone))
+	for _, p := range m.SpillDone {
+		if p < 0 || p >= m.Partitions {
+			return nil, fmt.Errorf("%w: spill-done partition %d out of range [0,%d)", ErrCorrupt, p, m.Partitions)
+		}
+		if seenDone[p] {
+			return nil, fmt.Errorf("%w: duplicate spill-done entry for partition %d", ErrCorrupt, p)
+		}
+		seenDone[p] = true
+		if seen2[p] {
+			return nil, fmt.Errorf("%w: partition %d has both a step 2 completion and a spill-done mark", ErrCorrupt, p)
+		}
+	}
 	if m.Step1Done && len(m.Step1) != m.Partitions {
 		return nil, fmt.Errorf("%w: step 1 marked done with %d of %d partitions recorded",
 			ErrCorrupt, len(m.Step1), m.Partitions)
 	}
 	if !m.Step1Done && len(m.Step2) > 0 {
 		return nil, fmt.Errorf("%w: step 2 completions recorded before step 1 finished", ErrCorrupt)
+	}
+	if !m.Step1Done && (len(m.SpillRuns) > 0 || len(m.SpillDone) > 0) {
+		return nil, fmt.Errorf("%w: spill runs recorded before step 1 finished", ErrCorrupt)
 	}
 	if len(m.Leases) > 0 && !m.Step1Done {
 		return nil, fmt.Errorf("%w: step 2 leases recorded before step 1 finished", ErrCorrupt)
@@ -319,6 +382,72 @@ func (m *Manifest) DropStep2(index int) {
 			return
 		}
 	}
+}
+
+// SpillRunsFor returns the journalled spill runs of a partition in run
+// ordinal order (the merge order).
+func (m *Manifest) SpillRunsFor(partition int) []SpillRun {
+	var runs []SpillRun
+	for _, r := range m.SpillRuns {
+		if r.Partition == partition {
+			runs = append(runs, r)
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Run < runs[j].Run })
+	return runs
+}
+
+// AddSpillRun installs or replaces a spill run record keyed by
+// (partition, run ordinal). Replacement happens when a failed construction
+// attempt is retried: the retry regenerates the same deterministic run
+// names, overwriting both the file and its journal entry.
+func (m *Manifest) AddSpillRun(rec SpillRun) {
+	for i := range m.SpillRuns {
+		if m.SpillRuns[i].Partition == rec.Partition && m.SpillRuns[i].Run == rec.Run {
+			m.SpillRuns[i] = rec
+			return
+		}
+	}
+	m.SpillRuns = append(m.SpillRuns, rec)
+}
+
+// SetSpillDone marks a partition's run scan complete: every run it spilled
+// is journalled, so a resume may merge without re-scanning superkmers.
+func (m *Manifest) SetSpillDone(partition int) {
+	if m.IsSpillDone(partition) {
+		return
+	}
+	m.SpillDone = append(m.SpillDone, partition)
+}
+
+// IsSpillDone reports whether a partition's run scan is marked complete.
+func (m *Manifest) IsSpillDone(partition int) bool {
+	for _, p := range m.SpillDone {
+		if p == partition {
+			return true
+		}
+	}
+	return false
+}
+
+// DropSpill removes all spill state (runs and the done mark) for a
+// partition — called when its subgraph is journalled, when a retry starts
+// over, or when resume verification finds a damaged run.
+func (m *Manifest) DropSpill(partition int) {
+	runs := m.SpillRuns[:0]
+	for _, r := range m.SpillRuns {
+		if r.Partition != partition {
+			runs = append(runs, r)
+		}
+	}
+	m.SpillRuns = runs
+	done := m.SpillDone[:0]
+	for _, p := range m.SpillDone {
+		if p != partition {
+			done = append(done, p)
+		}
+	}
+	m.SpillDone = done
 }
 
 // NextLeaseToken mints a fresh fencing token by bumping the journalled

@@ -144,6 +144,29 @@ type GovernanceMetrics struct {
 	PeakAdmittedBytes int64 `json:"peak_admitted_bytes"`
 }
 
+// SpillMetrics aggregates the out-of-core Step 2 path's work: partitions
+// whose predicted hash table exceeded their memory budget and were
+// constructed by external-memory sort-merge instead. All zero when every
+// partition fit in-core.
+type SpillMetrics struct {
+	// SpilledPartitions counts partitions constructed out-of-core;
+	// AutoRouted is the subset routed automatically because their table
+	// prediction exceeded the whole build's memory budget with no
+	// per-partition budget configured.
+	SpilledPartitions int `json:"spilled_partitions"`
+	AutoRouted        int `json:"auto_routed"`
+	// SpillRuns and SpillBytes are the sorted run files spilled to the
+	// store and their total serialized size.
+	SpillRuns  int64 `json:"spill_runs"`
+	SpillBytes int64 `json:"spill_bytes"`
+	// MergePasses counts merge passes performed (final streaming merges
+	// included; >1 per partition means the fan-in forced reduction passes).
+	MergePasses int64 `json:"merge_passes"`
+	// PartitionMemoryBudgetBytes echoes the configured per-partition
+	// budget (0 = auto-routing against the build budget only).
+	PartitionMemoryBudgetBytes int64 `json:"partition_memory_budget_bytes"`
+}
+
 // DistMetrics aggregates the distributed-build fault-tolerance counters: a
 // coordinator's record of how the worker fleet behaved. Present only on
 // `-workers=N` runs (the field is omitted for single-process builds, so
@@ -179,6 +202,7 @@ type BuildMetrics struct {
 	Steps      []StepMetrics     `json:"steps"`
 	Resilience ResilienceMetrics `json:"resilience"`
 	Governance GovernanceMetrics `json:"governance"`
+	Spill      SpillMetrics      `json:"spill"`
 	Dist       *DistMetrics      `json:"dist,omitempty"`
 }
 
